@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks backing the component bars of Figs. 4–6:
+//! FMM vs. direct N-body, candidate-pair detection, closest-point search,
+//! LCP solves, the self-interaction operator, and spherical-harmonic
+//! transforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::{direct_eval, LaplaceSL, StokesSL};
+use linalg::Vec3;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn cloud(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_fmm_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbody_laplace");
+    group.sample_size(10);
+    for &n in &[2000usize, 8000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = cloud(&mut rng, n);
+        let data: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = LaplaceSL;
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0.0; n];
+                direct_eval(&k, &src, &data, &src, &mut out);
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fmm_order4", n), &n, |b, _| {
+            let f = fmm::Fmm::new(
+                k,
+                k,
+                &src,
+                &src,
+                fmm::FmmOptions { order: 4, leaf_capacity: 120, max_depth: 10 },
+            );
+            b.iter(|| black_box(f.evaluate(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collision_candidates");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let boxes: Vec<linalg::Aabb> = (0..4000)
+        .map(|_| {
+            let c = Vec3::new(
+                rng.random_range(-5.0..5.0),
+                rng.random_range(-5.0..5.0),
+                rng.random_range(-5.0..5.0),
+            );
+            linalg::Aabb::new(c - Vec3::splat(0.15), c + Vec3::splat(0.15))
+        })
+        .collect();
+    let grid = octree::SpatialHash::new(octree::mean_diagonal_spacing(&boxes), Vec3::ZERO);
+    group.bench_function("self_pairs_4000", |b| {
+        b.iter(|| black_box(octree::box_box_candidates_self(&boxes, &grid)))
+    });
+    group.finish();
+}
+
+fn bench_lcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcp");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let m = 60;
+    let mut bmat = linalg::Mat::from_fn(m, m, |_, _| rng.random_range(-0.3..0.3));
+    for i in 0..m {
+        bmat[(i, i)] = m as f64;
+    }
+    let q: Vec<f64> = (0..m).map(|_| rng.random_range(-2.0..2.0)).collect();
+    group.bench_function("minimum_map_newton_60", |b| {
+        b.iter(|| {
+            black_box(collision::solve_lcp(
+                m,
+                |x, y| bmat.matvec_into(x, y),
+                &q,
+                &collision::LcpOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_selfop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selfop");
+    group.sample_size(10);
+    let basis = sphharm::SphBasis::new(12);
+    let coeffs = vesicle::sphere_coeffs(&basis, 1.0, Vec3::ZERO);
+    group.bench_function("build_p12", |b| {
+        b.iter(|| {
+            black_box(vesicle::SelfInteraction::build(
+                &basis,
+                &coeffs,
+                1.0,
+                vesicle::SelfOpOptions::default(),
+            ))
+        })
+    });
+    let op = vesicle::SelfInteraction::build(&basis, &coeffs, 1.0, vesicle::SelfOpOptions::default());
+    let f: Vec<f64> = (0..3 * basis.grid_size()).map(|i| (i as f64 * 0.1).sin()).collect();
+    group.bench_function("apply_p12", |b| b.iter(|| black_box(op.apply(&f))));
+    group.finish();
+}
+
+fn bench_sph_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sphharm");
+    let basis = sphharm::SphBasis::new(16);
+    let mut rng = StdRng::seed_from_u64(4);
+    let grid: Vec<f64> = (0..basis.grid_size()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    group.bench_function("analyze_p16", |b| b.iter(|| black_box(basis.analyze(&grid))));
+    let cf = basis.analyze(&grid);
+    group.bench_function("synthesize_p16", |b| {
+        b.iter(|| black_box(basis.synthesize(&cf, sphharm::Deriv::None)))
+    });
+    group.finish();
+}
+
+fn bench_stokes_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stokes_p2p");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 4000;
+    let src = cloud(&mut rng, n);
+    let data: Vec<f64> = (0..3 * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let k = StokesSL { mu: 1.0 };
+    group.bench_function("stokeslet_4000x4000", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0; 3 * n];
+            direct_eval(&k, &src, &data, &src, &mut out);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fmm_vs_direct,
+    bench_candidates,
+    bench_lcp,
+    bench_selfop,
+    bench_sph_transforms,
+    bench_stokes_direct
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Strong scaling (Fig. 4 and its table): fixed problem, sweep worker
+//! count, report total time, parallel efficiency, and the COL + BIE-solve
+//! combination, with the component breakdown per run.
+//!
+//! `cargo run --release -p bench --bin strong_scaling [-- --cells N --steps S]`
+
+use bench::{build_vessel_suspension, with_threads};
+use sim::StepTimers;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let cells = get("--cells", 8);
+    let steps = get("--steps", 2);
+    let max_threads = get("--max-threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    let mut threads = Vec::new();
+    let mut t = 1;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+
+    bench::warm_caches();
+    println!("# Strong scaling (Fig. 4 analogue): {cells} target cells, {steps} steps");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>12} {:>10}",
+        "cores", "total(s)", "eff", "COL", "BIEslv", "BIEfmm", "OthFMM", "Other", "COL+BIEslv", "eff"
+    );
+    let mut base_total = 0.0;
+    let mut base_cb = 0.0;
+    let mut csv = String::from("threads,total,col,bie_solve,bie_fmm,other_fmm,other\n");
+    for (k, &nt) in threads.iter().enumerate() {
+        let timers: StepTimers = with_threads(nt, || {
+            let mut sim = build_vessel_suspension(cells, 0, 8, 1);
+            let mut acc = StepTimers::default();
+            for _ in 0..steps {
+                acc.accumulate(&sim.step());
+            }
+            acc
+        });
+        let total = timers.total();
+        let cb = timers.col_plus_bie_solve();
+        if k == 0 {
+            base_total = total;
+            base_cb = cb;
+        }
+        let eff = base_total / (total * nt as f64 / threads[0] as f64);
+        let eff_cb = base_cb / (cb * nt as f64 / threads[0] as f64);
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>12.2} {:>10.2}",
+            nt, total, eff, timers.col, timers.bie_solve, timers.bie_fmm, timers.other_fmm,
+            timers.other, cb, eff_cb
+        );
+        csv.push_str(&format!(
+            "{nt},{total},{},{},{},{},{}\n",
+            timers.col, timers.bie_solve, timers.bie_fmm, timers.other_fmm, timers.other
+        ));
+    }
+    std::fs::create_dir_all("target/bench_out").ok();
+    std::fs::write("target/bench_out/strong_scaling.csv", csv).unwrap();
+    println!("\nwrote target/bench_out/strong_scaling.csv");
+}

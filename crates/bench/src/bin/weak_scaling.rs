@@ -1,0 +1,89 @@
+//! Weak scaling (Figs. 5/6 and tables): fixed grain per worker; the cell
+//! count grows with the worker count (cell size shrinking per the refill
+//! rule h → h/∛4 of §5.2) and the vessel patches refine in step. Reports
+//! volume fraction, #collision/#RBCs, total time, efficiency, and
+//! COL + BIE-solve — the exact rows of the paper's tables.
+//!
+//! `cargo run --release -p bench --bin weak_scaling [-- --profile skx|knl]`
+
+use bench::{build_vessel_suspension, with_threads};
+use sim::StepTimers;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "skx".to_string());
+    let steps: usize = args
+        .iter()
+        .position(|a| a == "--steps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    // grain: cells per worker (SKX analogue: larger grain; KNL: smaller
+    // grain ⇒ higher synchronization-to-work ratio)
+    let grain = if profile == "knl" { 2 } else { 6 };
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let mut runs = Vec::new();
+    let mut t = 1;
+    while t <= max_threads {
+        runs.push(t);
+        t *= 4;
+    }
+
+    bench::warm_caches();
+    println!("# Weak scaling ({profile} profile, Fig. {} analogue): {grain} cells/worker, {steps} steps",
+             if profile == "knl" { 6 } else { 5 });
+    println!(
+        "{:>8} {:>7} {:>9} {:>11} {:>10} {:>7} | {:>12} {:>7}",
+        "cores", "cells", "vol-frac", "#col/#RBC", "total(s)", "eff", "COL+BIEslv", "eff"
+    );
+    let mut base_total = 0.0;
+    let mut base_cb = 0.0;
+    let mut csv = String::from("threads,cells,vol_frac,col_ratio,total,col,bie_solve,bie_fmm,other_fmm,other\n");
+    let base_cells = grain; // nominal 1-worker population
+    for (k, &nt) in runs.iter().enumerate() {
+        let cells_target = grain * nt;
+        // refine the vessel patches one level per actual 4× cell growth
+        // (the generator enforces a minimum domain size, so tiny targets
+        // produce the same population and must not trigger refinement)
+        let growth = (cells_target as f64 / base_cells as f64).max(1.0);
+        let refine = (growth.log(4.0).floor() as u32).min(3);
+        let (timers, vf, col_ratio, ncells) = with_threads(nt, || {
+            let mut sim = build_vessel_suspension(cells_target, refine, 8, 2);
+            let vf = sim.volume_fraction();
+            let mut acc = StepTimers::default();
+            let mut contacts = 0usize;
+            for _ in 0..steps {
+                acc.accumulate(&sim.step());
+                contacts = contacts.max(sim.last_stats.contacts);
+            }
+            let ratio = contacts as f64 / sim.cells.len().max(1) as f64;
+            (acc, vf, ratio, sim.cells.len())
+        });
+        let total = timers.total();
+        let cb = timers.col_plus_bie_solve();
+        if k == 0 {
+            base_total = total;
+            base_cb = cb;
+        }
+        // ideal weak scaling: constant time per worker
+        let eff = base_total / total;
+        let eff_cb = base_cb / cb;
+        println!(
+            "{:>8} {:>7} {:>8.1}% {:>10.0}% {:>10.2} {:>7.2} | {:>12.2} {:>7.2}",
+            nt, ncells, 100.0 * vf, 100.0 * col_ratio, total, eff, cb, eff_cb
+        );
+        csv.push_str(&format!(
+            "{nt},{ncells},{vf},{col_ratio},{total},{},{},{},{},{}\n",
+            timers.col, timers.bie_solve, timers.bie_fmm, timers.other_fmm, timers.other
+        ));
+    }
+    std::fs::create_dir_all("target/bench_out").ok();
+    std::fs::write(format!("target/bench_out/weak_scaling_{profile}.csv"), csv).unwrap();
+    println!("\nwrote target/bench_out/weak_scaling_{profile}.csv");
+}

@@ -1,0 +1,166 @@
+//! Parallel closest-point search (§3.3).
+//!
+//! For every query point we must decide whether it is in the near-zone of
+//! the boundary (requiring near-singular integration) and, if so, find the
+//! closest point on Γ. Steps (matching the paper's a–e):
+//!
+//! a. inflate each patch's bounding box by its near-zone distance `d_ε`;
+//! b./c. spatial-hash the boxes and query points and sort to collect
+//!    candidate (patch, point) pairs (`octree::box_point_candidates`, with
+//!    rayon's parallel sort standing in for HykSort);
+//! d. run Newton with backtracking on each candidate pair;
+//! e. reduce over candidates to the globally closest patch per point.
+
+use linalg::Vec3;
+use octree::{box_point_candidates, mean_diagonal_spacing, SpatialHash};
+use patch::{BoundarySurface, SurfaceQuad};
+use rayon::prelude::*;
+
+/// Result of a closest-point query that landed in the near zone.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosestHit {
+    /// Patch containing the closest point.
+    pub patch: u32,
+    /// Parameter coordinates of the closest point.
+    pub u: f64,
+    /// Parameter coordinates of the closest point.
+    pub v: f64,
+    /// Distance from the query to the closest point.
+    pub dist: f64,
+    /// The closest point itself.
+    pub point: Vec3,
+    /// Outward unit normal at the closest point.
+    pub normal: Vec3,
+}
+
+/// Finds, for each target, the closest boundary point if the target lies
+/// within `near_factor · L̂(patch)` of some patch (L̂ = √patch-area, the
+/// paper's patch size). Returns `None` for far targets.
+pub fn closest_points(
+    surface: &BoundarySurface,
+    quad: &SurfaceQuad,
+    targets: &[Vec3],
+    near_factor: f64,
+) -> Vec<Option<ClosestHit>> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    // a. inflated near-zone boxes
+    let raw_boxes = surface.patch_boxes(6);
+    let d_eps: Vec<f64> = (0..surface.num_patches())
+        .map(|pi| near_factor * quad.patch_size(pi))
+        .collect();
+    let boxes: Vec<linalg::Aabb> = raw_boxes
+        .iter()
+        .zip(&d_eps)
+        .map(|(b, d)| b.inflated(*d))
+        .collect();
+
+    // b./c. hash + sort to find candidates
+    let grid = SpatialHash::new(mean_diagonal_spacing(&boxes), Vec3::ZERO);
+    let mut cands = box_point_candidates(&boxes, targets, &grid);
+    // group by target
+    cands.par_sort_unstable_by_key(|&(_, t)| t);
+
+    // d./e. Newton per candidate, reduce per target
+    let mut result: Vec<Option<ClosestHit>> = vec![None; targets.len()];
+    // build run offsets
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut s = 0;
+    for i in 1..=cands.len() {
+        if i == cands.len() || cands[i].1 != cands[s].1 {
+            runs.push((s, i));
+            s = i;
+        }
+    }
+    let hits: Vec<(u32, Option<ClosestHit>)> = runs
+        .par_iter()
+        .map(|&(a, b)| {
+            let t = cands[a].1;
+            let x = targets[t as usize];
+            let mut best: Option<ClosestHit> = None;
+            for &(pi, _) in &cands[a..b] {
+                let patch = &surface.patches[pi as usize];
+                let (u, v, dist) = patch.closest_point(x);
+                if dist <= d_eps[pi as usize] {
+                    let better = best.map(|h| dist < h.dist).unwrap_or(true);
+                    if better {
+                        let (p, xu, xv) = patch.eval_jet(u, v);
+                        best = Some(ClosestHit {
+                            patch: pi,
+                            u,
+                            v,
+                            dist,
+                            point: p,
+                            normal: xu.cross(xv).normalized(),
+                        });
+                    }
+                }
+            }
+            (t, best)
+        })
+        .collect();
+    for (t, h) in hits {
+        result[t as usize] = h;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch::cube_sphere;
+
+    #[test]
+    fn near_points_get_hits_far_points_dont() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 1, 8);
+        let quad = s.quadrature();
+        let l = quad.patch_size(0);
+        let targets = vec![
+            Vec3::new(1.0 - 0.1 * l, 0.0, 0.0), // near inside
+            Vec3::new(0.2, 0.1, 0.0),           // deep inside: far
+            Vec3::new(0.0, 0.0, 1.0 - 0.3 * l), // near pole
+        ];
+        let hits = closest_points(&s, &quad, &targets, 1.0);
+        assert!(hits[0].is_some());
+        assert!(hits[1].is_none());
+        assert!(hits[2].is_some());
+        let h = hits[0].unwrap();
+        // closest point on the sphere along +x
+        assert!((h.point - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-4, "{:?}", h.point);
+        assert!((h.dist - 0.1 * l).abs() < 1e-4);
+        assert!(h.normal.dot(Vec3::new(1.0, 0.0, 0.0)) > 0.999);
+    }
+
+    #[test]
+    fn matches_brute_force_distance() {
+        let s = cube_sphere(1.3, Vec3::new(0.2, -0.1, 0.4), 1, 8);
+        let quad = s.quadrature();
+        let mut targets = Vec::new();
+        // ring of points just inside the sphere
+        for k in 0..12 {
+            let a = 2.0 * std::f64::consts::PI * k as f64 / 12.0;
+            targets.push(Vec3::new(0.2 + 1.25 * a.cos(), -0.1 + 1.25 * a.sin(), 0.4));
+        }
+        let hits = closest_points(&s, &quad, &targets, 2.0);
+        for (i, hit) in hits.iter().enumerate() {
+            let h = hit.expect("ring point should be near");
+            // brute force over all patches
+            let mut best = f64::INFINITY;
+            for p in &s.patches {
+                let (_, _, d) = p.closest_point(targets[i]);
+                best = best.min(d);
+            }
+            assert!((h.dist - best).abs() < 1e-6, "target {i}: {} vs {best}", h.dist);
+            // true distance to sphere is 0.05
+            assert!((h.dist - 0.05).abs() < 1e-3, "target {i}: {}", h.dist);
+        }
+    }
+
+    #[test]
+    fn empty_targets_ok() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let quad = s.quadrature();
+        assert!(closest_points(&s, &quad, &[], 1.0).is_empty());
+    }
+}

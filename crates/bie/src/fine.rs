@@ -1,0 +1,199 @@
+//! The fine discretization of §3.1: η levels of patch subdivision with a
+//! tensor Clenshaw–Curtis rule on every subpatch, plus the parameter-space
+//! upsampling operator `U` from the coarse grid.
+//!
+//! The schematic of Fig. 2 uses η = 2 (16 subpatches) with 11th-order rules;
+//! the production configuration of §5.1 uses η = 1. Both are options here.
+
+use linalg::{clenshaw_curtis, Mat, Vec3};
+use patch::{patch_interp_matrix, BoundarySurface};
+use rayon::prelude::*;
+
+/// Fine (upsampled) quadrature nodes for near-singular integration.
+#[derive(Clone, Debug)]
+pub struct FineDiscretization {
+    /// Subdivision depth η (each patch splits into `4^η` subpatches).
+    pub eta: u32,
+    /// Clenshaw–Curtis order per subpatch direction.
+    pub qf: usize,
+    /// Fine nodes, patch-major.
+    pub points: Vec<Vec3>,
+    /// Outward unit normals at the fine nodes.
+    pub normals: Vec<Vec3>,
+    /// Quadrature weights (Jacobian included).
+    pub weights: Vec<f64>,
+    /// Fine nodes per patch: `4^η · qf²`.
+    pub per_patch: usize,
+    /// Parameter-space interpolation from the coarse `q²` grid to the fine
+    /// nodes of one patch (identical for every patch).
+    pub upsample: Mat,
+}
+
+impl FineDiscretization {
+    /// Builds the fine discretization of a surface.
+    pub fn build(surface: &BoundarySurface, eta: u32, qf: usize) -> FineDiscretization {
+        let k = 1usize << eta; // subpatches per direction
+        let rule = clenshaw_curtis(qf);
+        let per_patch = k * k * qf * qf;
+
+        // fine parameter points in the root patch domain (same per patch)
+        let mut params = Vec::with_capacity(per_patch);
+        for sv in 0..k {
+            let v0 = -1.0 + 2.0 * sv as f64 / k as f64;
+            let v1 = -1.0 + 2.0 * (sv + 1) as f64 / k as f64;
+            for su in 0..k {
+                let u0 = -1.0 + 2.0 * su as f64 / k as f64;
+                let u1 = -1.0 + 2.0 * (su + 1) as f64 / k as f64;
+                for &tv in &rule.nodes {
+                    let v = 0.5 * (v0 + v1) + 0.5 * (v1 - v0) * tv;
+                    for &tu in &rule.nodes {
+                        let u = 0.5 * (u0 + u1) + 0.5 * (u1 - u0) * tu;
+                        params.push((u, v));
+                    }
+                }
+            }
+        }
+        let upsample = patch_interp_matrix(surface.q, &params);
+
+        // weight of each fine node in the root parameter domain
+        let scale = (1.0 / k as f64) * (1.0 / k as f64);
+        let mut param_w = Vec::with_capacity(per_patch);
+        for _ in 0..(k * k) {
+            for wj in &rule.weights {
+                for wi in &rule.weights {
+                    param_w.push(wi * wj * scale);
+                }
+            }
+        }
+
+        let per: Vec<(Vec<Vec3>, Vec<Vec3>, Vec<f64>)> = surface
+            .patches
+            .par_iter()
+            .map(|p| {
+                let mut pts = Vec::with_capacity(per_patch);
+                let mut nrm = Vec::with_capacity(per_patch);
+                let mut wts = Vec::with_capacity(per_patch);
+                for (idx, &(u, v)) in params.iter().enumerate() {
+                    let (x, xu, xv) = p.eval_jet(u, v);
+                    let nr = xu.cross(xv);
+                    let jac = nr.norm();
+                    pts.push(x);
+                    nrm.push(nr.normalized());
+                    wts.push(param_w[idx] * jac);
+                }
+                (pts, nrm, wts)
+            })
+            .collect();
+
+        let mut out = FineDiscretization {
+            eta,
+            qf,
+            points: Vec::with_capacity(per_patch * surface.num_patches()),
+            normals: Vec::with_capacity(per_patch * surface.num_patches()),
+            weights: Vec::with_capacity(per_patch * surface.num_patches()),
+            per_patch,
+            upsample,
+        };
+        for (pts, nrm, wts) in per {
+            out.points.extend(pts);
+            out.normals.extend(nrm);
+            out.weights.extend(wts);
+        }
+        out
+    }
+
+    /// Number of fine nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the discretization is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Upsamples a density with `vd` components per coarse node
+    /// (patch-major, `q²` nodes per patch) to the fine nodes, in parallel
+    /// over patches.
+    pub fn upsample_density(&self, coarse: &[f64], vd: usize, num_patches: usize, q: usize) -> Vec<f64> {
+        let nc = q * q;
+        assert_eq!(coarse.len(), num_patches * nc * vd, "coarse density length");
+        let nf = self.per_patch;
+        let mut fine = vec![0.0; num_patches * nf * vd];
+        fine.par_chunks_mut(nf * vd)
+            .enumerate()
+            .for_each(|(pi, chunk)| {
+                // interpolate each component separately
+                let mut comp = vec![0.0; nc];
+                let mut res;
+                for c in 0..vd {
+                    for m in 0..nc {
+                        comp[m] = coarse[(pi * nc + m) * vd + c];
+                    }
+                    res = self.upsample.matvec(&comp);
+                    for (m, val) in res.iter().enumerate() {
+                        chunk[m * vd + c] = *val;
+                    }
+                }
+            });
+        fine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch::cube_sphere;
+
+    #[test]
+    fn fine_weights_integrate_area() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 8);
+        let fine = FineDiscretization::build(&s, 1, 8);
+        assert_eq!(fine.per_patch, 4 * 64);
+        let area: f64 = fine.weights.iter().sum();
+        let coarse_area = s.quadrature().total_area();
+        // both approximate the same polynomial surface's area
+        assert!((area - coarse_area).abs() / coarse_area < 1e-4, "{area} vs {coarse_area}");
+    }
+
+    #[test]
+    fn upsampling_exact_for_smooth_fields() {
+        // subdivided sphere: interpolation error of the composed map decays
+        // like L^q with the patch size
+        let s = cube_sphere(1.0, Vec3::ZERO, 1, 8);
+        let quad = s.quadrature();
+        let fine = FineDiscretization::build(&s, 1, 8);
+        // a smooth scalar field evaluated at the coarse nodes
+        let f = |p: Vec3| (1.5 * p.x).sin() + p.y * p.z;
+        let coarse: Vec<f64> = quad.points.iter().map(|&p| f(p)).collect();
+        let fine_vals = fine.upsample_density(&coarse, 1, s.num_patches(), s.q);
+        let mut max_err = 0.0_f64;
+        for (i, &p) in fine.points.iter().enumerate() {
+            max_err = max_err.max((fine_vals[i] - f(p)).abs());
+        }
+        assert!(max_err < 1e-4, "upsampling error {max_err}");
+    }
+
+    #[test]
+    fn vector_density_layout_roundtrip() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let quad = s.quadrature();
+        let fine = FineDiscretization::build(&s, 1, 6);
+        // constant vector field upsampled exactly, layout preserved
+        let coarse: Vec<f64> = quad.points.iter().flat_map(|_| [1.0, 2.0, 3.0]).collect();
+        let up = fine.upsample_density(&coarse, 3, s.num_patches(), s.q);
+        for chunk in up.chunks(3) {
+            assert!((chunk[0] - 1.0).abs() < 1e-12);
+            assert!((chunk[1] - 2.0).abs() < 1e-12);
+            assert!((chunk[2] - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deeper_eta_multiplies_nodes() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let f1 = FineDiscretization::build(&s, 1, 6);
+        let f2 = FineDiscretization::build(&s, 2, 6);
+        assert_eq!(f2.len(), 4 * f1.len());
+    }
+}

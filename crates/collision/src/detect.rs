@@ -1,0 +1,305 @@
+//! Parallel contact detection (§4, items 1–2 of the collision algorithm).
+//!
+//! 1. Space-time bounding boxes of all meshes are hashed and sorted to find
+//!    candidate mesh pairs (Fig. 3; the same sort-based search as the
+//!    closest-point machinery of §3.3, with `d_ε = 0` for static patches).
+//! 2. For each candidate mesh pair, vertex–triangle pairs within the
+//!    contact threshold are found with a second spatial hash, and the
+//!    interference measure `V` of each connected contact (one per touching
+//!    object pair) is assembled together with its position gradient.
+//!
+//! Interference measure (DESIGN.md substitution): where [17]/[25] compute
+//! exact piecewise-linear space-time interference volumes, we use
+//! `V_k = −Σ_pairs (δ − dist)₊ · a_v` accumulated over the vertex–triangle
+//! pairs of contact `k`, with `a_v` the vertex area weight and `δ` the
+//! contact threshold. `V_k < 0` exactly when surfaces come within `δ`, and
+//! `∇V` distributes along the closest-point directions — preserving the
+//! complementarity structure (Eq. 2.7) the paper's algorithm relies on.
+
+use crate::mesh::{barycentric, closest_point_on_triangle, TriMesh};
+use linalg::{Aabb, Vec3};
+use octree::{box_box_candidates_self, mean_diagonal_spacing, SpatialHash};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A single vertex–triangle interaction inside a contact.
+#[derive(Clone, Copy, Debug)]
+pub struct ContactPair {
+    /// Mesh owning the vertex.
+    pub vert_mesh: u32,
+    /// Vertex index within its mesh.
+    pub vert: u32,
+    /// Mesh owning the triangle.
+    pub tri_mesh: u32,
+    /// Triangle index within its mesh.
+    pub tri: u32,
+    /// Surface separation `dist − δ` (negative ⇒ active interference).
+    pub gap: f64,
+    /// Unit direction from the closest point on the triangle to the vertex.
+    pub dir: Vec3,
+    /// Barycentric coordinates of the closest point on the triangle.
+    pub bary: (f64, f64, f64),
+    /// Area weight of the pair (vertex area).
+    pub weight: f64,
+}
+
+/// A connected contact between two objects (one component of `V`).
+#[derive(Clone, Debug)]
+pub struct Contact {
+    /// First object id (always < `obj_b`).
+    pub obj_a: u32,
+    /// Second object id.
+    pub obj_b: u32,
+    /// Interference value `V_k` (negative while interfering).
+    pub value: f64,
+    /// Active vertex–triangle pairs.
+    pub pairs: Vec<ContactPair>,
+}
+
+impl Contact {
+    /// Gradient of `V_k` w.r.t. the vertices of object `obj`, as a sparse
+    /// list `(vertex, dV/dx)`. Moving a vertex along `+dir` opens the gap,
+    /// increasing `V` (since `V = Σ gap·w` over active pairs).
+    pub fn gradient(&self, obj: u32, meshes: &[TriMesh]) -> Vec<(u32, Vec3)> {
+        let mut acc: HashMap<u32, Vec3> = HashMap::new();
+        for p in &self.pairs {
+            if p.vert_mesh == obj {
+                *acc.entry(p.vert).or_insert(Vec3::ZERO) += p.dir * p.weight;
+            }
+            if p.tri_mesh == obj {
+                let tri = meshes[p.tri_mesh as usize].tris[p.tri as usize];
+                let (b0, b1, b2) = p.bary;
+                *acc.entry(tri[0]).or_insert(Vec3::ZERO) -= p.dir * (p.weight * b0);
+                *acc.entry(tri[1]).or_insert(Vec3::ZERO) -= p.dir * (p.weight * b1);
+                *acc.entry(tri[2]).or_insert(Vec3::ZERO) -= p.dir * (p.weight * b2);
+            }
+        }
+        let mut out: Vec<(u32, Vec3)> = acc.into_iter().collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+}
+
+/// Options for contact detection.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectOptions {
+    /// Contact activation threshold δ (surfaces closer than this count as
+    /// interfering; acts as the minimal separation the NCP enforces).
+    pub delta: f64,
+}
+
+/// Finds all contacts among the meshes at their *end-of-step* positions.
+///
+/// `start` optionally holds start-of-step vertex positions per mesh for the
+/// space-time bounding boxes (pass `None` for a static check). `obj_of`
+/// maps each mesh to its owning object id (all vessel patches share one
+/// object so one `V` component forms per touching body pair).
+pub fn detect_contacts(
+    meshes: &[TriMesh],
+    start: Option<&[Vec<Vec3>]>,
+    obj_of: &[u32],
+    opts: DetectOptions,
+) -> Vec<Contact> {
+    assert_eq!(meshes.len(), obj_of.len());
+    // 1. space-time boxes + candidate mesh pairs
+    let boxes: Vec<Aabb> = meshes
+        .par_iter()
+        .enumerate()
+        .map(|(i, m)| match start {
+            Some(s) => m.space_time_box(&s[i], opts.delta),
+            None => m.bounding_box().inflated(opts.delta),
+        })
+        .collect();
+    let grid = SpatialHash::new(mean_diagonal_spacing(&boxes).max(opts.delta), Vec3::ZERO);
+    let mesh_pairs: Vec<(u32, u32)> = box_box_candidates_self(&boxes, &grid)
+        .into_iter()
+        .filter(|&(a, b)| obj_of[a as usize] != obj_of[b as usize])
+        .collect();
+
+    // 2. vertex–triangle pairs per candidate mesh pair (both directions)
+    let raw: Vec<ContactPair> = mesh_pairs
+        .par_iter()
+        .flat_map_iter(|&(ma, mb)| {
+            let mut out = Vec::new();
+            vertex_triangle_pairs(meshes, ma, mb, opts.delta, &mut out);
+            vertex_triangle_pairs(meshes, mb, ma, opts.delta, &mut out);
+            out.into_iter()
+        })
+        .collect();
+
+    // group into contacts by object pair
+    let mut groups: HashMap<(u32, u32), Vec<ContactPair>> = HashMap::new();
+    for p in raw {
+        let oa = obj_of[p.vert_mesh as usize];
+        let ob = obj_of[p.tri_mesh as usize];
+        let key = (oa.min(ob), oa.max(ob));
+        groups.entry(key).or_default().push(p);
+    }
+    let mut contacts: Vec<Contact> = groups
+        .into_iter()
+        .map(|((oa, ob), pairs)| {
+            let value: f64 = pairs.iter().map(|p| p.gap * p.weight).sum();
+            Contact { obj_a: oa, obj_b: ob, value, pairs }
+        })
+        .collect();
+    contacts.sort_unstable_by_key(|c| (c.obj_a, c.obj_b));
+    contacts
+}
+
+/// Collects active vertex(of `mv`)–triangle(of `mt`) pairs within `delta`.
+fn vertex_triangle_pairs(meshes: &[TriMesh], mv: u32, mt: u32, delta: f64, out: &mut Vec<ContactPair>) {
+    let vm = &meshes[mv as usize];
+    let tm = &meshes[mt as usize];
+    // hash triangle boxes against vertices
+    let tri_boxes: Vec<Aabb> = tm
+        .tris
+        .iter()
+        .map(|t| {
+            Aabb::from_points([
+                tm.verts[t[0] as usize],
+                tm.verts[t[1] as usize],
+                tm.verts[t[2] as usize],
+            ])
+            .inflated(delta)
+        })
+        .collect();
+    let grid = SpatialHash::new(mean_diagonal_spacing(&tri_boxes).max(delta), Vec3::ZERO);
+    let cands = octree::box_point_candidates(&tri_boxes, &vm.verts, &grid);
+    for (ti, vi) in cands {
+        let t = tm.tris[ti as usize];
+        let a = tm.verts[t[0] as usize];
+        let b = tm.verts[t[1] as usize];
+        let c = tm.verts[t[2] as usize];
+        let p = vm.verts[vi as usize];
+        let cp = closest_point_on_triangle(p, a, b, c);
+        let d = (p - cp).norm();
+        if d < delta && d > 1e-14 {
+            out.push(ContactPair {
+                vert_mesh: mv,
+                vert: vi,
+                tri_mesh: mt,
+                tri: ti,
+                gap: d - delta,
+                dir: (p - cp) / d,
+                bary: barycentric(cp, a, b, c),
+                weight: vm.vert_area[vi as usize],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::triangulate_grid;
+
+    fn flat_square(z: f64, shift: f64) -> TriMesh {
+        let m = 5;
+        let mut grid = Vec::new();
+        for j in 0..m {
+            for i in 0..m {
+                grid.push(Vec3::new(i as f64 * 0.25 + shift, j as f64 * 0.25, z));
+            }
+        }
+        triangulate_grid(&grid, m)
+    }
+
+    #[test]
+    fn detects_close_parallel_sheets() {
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.05, 0.0);
+        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions { delta: 0.1 });
+        assert_eq!(contacts.len(), 1);
+        let c = &contacts[0];
+        assert!(c.value < 0.0, "V = {}", c.value);
+        assert!(!c.pairs.is_empty());
+        // gaps are dist − δ = −0.05
+        for p in &c.pairs {
+            assert!((p.gap + 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_contact_when_separated() {
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.5, 0.0);
+        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions { delta: 0.1 });
+        assert!(contacts.is_empty());
+    }
+
+    #[test]
+    fn same_object_meshes_never_collide() {
+        // two patches of the same vessel: near each other but same object id
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.05, 0.0);
+        let contacts = detect_contacts(&[a, b], None, &[7, 7], DetectOptions { delta: 0.1 });
+        assert!(contacts.is_empty());
+    }
+
+    #[test]
+    fn gradient_separates_objects() {
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.05, 0.0);
+        let meshes = vec![a, b];
+        let contacts = detect_contacts(&meshes, None, &[0, 1], DetectOptions { delta: 0.1 });
+        let c = &contacts[0];
+        // gradient w.r.t. object 1 (upper sheet): moving up must increase V
+        let g1 = c.gradient(1, &meshes);
+        assert!(!g1.is_empty());
+        let gsum: Vec3 = g1.iter().map(|(_, g)| *g).sum();
+        assert!(gsum.z > 0.0, "gradient should push the upper sheet up: {gsum:?}");
+        let g0 = c.gradient(0, &meshes);
+        let gsum0: Vec3 = g0.iter().map(|(_, g)| *g).sum();
+        assert!(gsum0.z < 0.0, "lower sheet pushed down: {gsum0:?}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.06, 0.1);
+        let meshes = vec![a.clone(), b.clone()];
+        let opts = DetectOptions { delta: 0.1 };
+        let contacts = detect_contacts(&meshes, None, &[0, 1], opts);
+        let c = &contacts[0];
+        let g = c.gradient(1, &meshes);
+        // pick a vertex with nonzero gradient and move it
+        let (vi, grad) = g
+            .iter()
+            .max_by(|x, y| x.1.norm().partial_cmp(&y.1.norm()).unwrap())
+            .copied()
+            .unwrap();
+        let h = 1e-7;
+        for axis in 0..3 {
+            let mut dir = Vec3::ZERO;
+            dir[axis] = h;
+            let mut moved = b.verts.clone();
+            moved[vi as usize] += dir;
+            let meshes2 = vec![a.clone(), b.with_positions(moved)];
+            let c2 = detect_contacts(&meshes2, None, &[0, 1], opts);
+            let v2 = c2.first().map(|c| c.value).unwrap_or(0.0);
+            let fd = (v2 - c.value) / h;
+            assert!(
+                (fd - grad[axis]).abs() < 1e-4 * (1.0 + grad[axis].abs()),
+                "axis {axis}: fd {fd} vs grad {}",
+                grad[axis]
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_object_pairs_give_multiple_components() {
+        let a = flat_square(0.0, 0.0);
+        let b = flat_square(0.05, 0.0);
+        let c = flat_square(0.0, 5.0);
+        let d = flat_square(0.05, 5.0);
+        let contacts = detect_contacts(
+            &[a, b, c, d],
+            None,
+            &[0, 1, 2, 3],
+            DetectOptions { delta: 0.1 },
+        );
+        assert_eq!(contacts.len(), 2);
+        assert_eq!((contacts[0].obj_a, contacts[0].obj_b), (0, 1));
+        assert_eq!((contacts[1].obj_a, contacts[1].obj_b), (2, 3));
+    }
+}

@@ -1,0 +1,269 @@
+//! Linear triangle-mesh proxies for collision handling.
+//!
+//! "The key step to algorithmically unify RBCs and patches is to form a
+//! linear triangle mesh approximation of both objects" (§4). RBC meshes
+//! come from the upsampled lat–long grid (2,112 points at the paper's
+//! resolution), vessel-patch meshes from the 22² equispaced grid.
+
+use linalg::{Aabb, Vec3};
+
+/// A triangle mesh with per-vertex area weights (used to weight the
+/// interference measure).
+#[derive(Clone, Debug)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub verts: Vec<Vec3>,
+    /// Triangles (ccw indices into `verts`).
+    pub tris: Vec<[u32; 3]>,
+    /// Per-vertex area weight (one third of incident triangle areas).
+    pub vert_area: Vec<f64>,
+}
+
+impl TriMesh {
+    /// Builds a mesh and computes vertex area weights.
+    pub fn new(verts: Vec<Vec3>, tris: Vec<[u32; 3]>) -> TriMesh {
+        let mut vert_area = vec![0.0; verts.len()];
+        for t in &tris {
+            let a = verts[t[0] as usize];
+            let b = verts[t[1] as usize];
+            let c = verts[t[2] as usize];
+            let area = 0.5 * (b - a).cross(c - a).norm();
+            for &v in t {
+                vert_area[v as usize] += area / 3.0;
+            }
+        }
+        TriMesh { verts, tris, vert_area }
+    }
+
+    /// Replaces vertex positions (same connectivity), refreshing areas.
+    pub fn with_positions(&self, verts: Vec<Vec3>) -> TriMesh {
+        assert_eq!(verts.len(), self.verts.len());
+        TriMesh::new(verts, self.tris.clone())
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        self.vert_area.iter().sum()
+    }
+
+    /// Bounding box of the mesh.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(self.verts.iter().copied())
+    }
+
+    /// Space-time bounding box: the box containing the mesh at these
+    /// positions and at `end_verts` (§4, Fig. 3), inflated by `margin`.
+    pub fn space_time_box(&self, end_verts: &[Vec3], margin: f64) -> Aabb {
+        let b = Aabb::from_points(self.verts.iter().chain(end_verts.iter()).copied());
+        b.inflated(margin)
+    }
+}
+
+/// Triangulates a closed lat–long grid (nlat rows × nlon periodic columns,
+/// latitude-major) by adding two pole vertices. Used for RBC collision
+/// meshes: for order-16 cells upsampled 2× this yields the paper's 2,112
+/// surface points (33 × 64) plus poles.
+pub fn triangulate_latlon(grid: &[Vec3], nlat: usize, nlon: usize, north: Vec3, south: Vec3) -> TriMesh {
+    assert_eq!(grid.len(), nlat * nlon);
+    let mut verts = grid.to_vec();
+    let np = verts.len() as u32;
+    verts.push(north); // index np
+    verts.push(south); // index np + 1
+    let mut tris = Vec::with_capacity(2 * nlat * nlon);
+    let idx = |i: usize, j: usize| (i * nlon + (j % nlon)) as u32;
+    // pole fans (row 0 is closest to θ = 0, i.e. north)
+    for j in 0..nlon {
+        tris.push([np, idx(0, j + 1), idx(0, j)]);
+        tris.push([np + 1, idx(nlat - 1, j), idx(nlat - 1, j + 1)]);
+    }
+    // body quads
+    for i in 0..nlat - 1 {
+        for j in 0..nlon {
+            let v00 = idx(i, j);
+            let v01 = idx(i, j + 1);
+            let v10 = idx(i + 1, j);
+            let v11 = idx(i + 1, j + 1);
+            tris.push([v00, v01, v11]);
+            tris.push([v00, v11, v10]);
+        }
+    }
+    TriMesh::new(verts, tris)
+}
+
+/// Triangulates an `m × m` patch sample grid (u fastest).
+pub fn triangulate_grid(grid: &[Vec3], m: usize) -> TriMesh {
+    assert_eq!(grid.len(), m * m);
+    let mut tris = Vec::with_capacity(2 * (m - 1) * (m - 1));
+    for j in 0..m - 1 {
+        for i in 0..m - 1 {
+            let v00 = (j * m + i) as u32;
+            let v10 = v00 + 1;
+            let v01 = ((j + 1) * m + i) as u32;
+            let v11 = v01 + 1;
+            tris.push([v00, v10, v11]);
+            tris.push([v00, v11, v01]);
+        }
+    }
+    TriMesh::new(grid.to_vec(), tris)
+}
+
+/// Closest point on triangle `(a, b, c)` to point `p` (Ericson, *Real-Time
+/// Collision Detection*). Returns the closest point.
+pub fn closest_point_on_triangle(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    let ab = b - a;
+    let ac = c - a;
+    let ap = p - a;
+    let d1 = ab.dot(ap);
+    let d2 = ac.dot(ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        return a;
+    }
+    let bp = p - b;
+    let d3 = ab.dot(bp);
+    let d4 = ac.dot(bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        return b;
+    }
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let v = d1 / (d1 - d3);
+        return a + ab * v;
+    }
+    let cp = p - c;
+    let d5 = ab.dot(cp);
+    let d6 = ac.dot(cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        return c;
+    }
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let w = d2 / (d2 - d6);
+        return a + ac * w;
+    }
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        return b + (c - b) * w;
+    }
+    let denom = 1.0 / (va + vb + vc);
+    let v = vb * denom;
+    let w = vc * denom;
+    a + ab * v + ac * w
+}
+
+/// Barycentric coordinates of a point assumed on the triangle plane.
+pub fn barycentric(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> (f64, f64, f64) {
+    let v0 = b - a;
+    let v1 = c - a;
+    let v2 = p - a;
+    let d00 = v0.dot(v0);
+    let d01 = v0.dot(v1);
+    let d11 = v1.dot(v1);
+    let d20 = v2.dot(v0);
+    let d21 = v2.dot(v1);
+    let denom = d00 * d11 - d01 * d01;
+    if denom.abs() < 1e-300 {
+        return (1.0, 0.0, 0.0);
+    }
+    let v = (d11 * d20 - d01 * d21) / denom;
+    let w = (d00 * d21 - d01 * d20) / denom;
+    (1.0 - v - w, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latlon_mesh_is_closed_sphere() {
+        // sample a unit sphere on a 9 × 16 grid
+        let (nlat, nlon) = (9usize, 16usize);
+        let mut grid = Vec::new();
+        for i in 0..nlat {
+            let th = std::f64::consts::PI * (i as f64 + 0.5) / nlat as f64;
+            for j in 0..nlon {
+                let ph = 2.0 * std::f64::consts::PI * j as f64 / nlon as f64;
+                grid.push(Vec3::new(th.sin() * ph.cos(), th.sin() * ph.sin(), th.cos()));
+            }
+        }
+        let mesh = triangulate_latlon(&grid, nlat, nlon, Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 0.0, -1.0));
+        assert_eq!(mesh.verts.len(), nlat * nlon + 2);
+        assert_eq!(mesh.tris.len(), 2 * nlon + 2 * (nlat - 1) * nlon);
+        // area close to 4π, Euler characteristic 2 for a sphere
+        let area = mesh.area();
+        assert!((area - 4.0 * std::f64::consts::PI).abs() / (4.0 * std::f64::consts::PI) < 0.05);
+        let v = mesh.verts.len() as i64;
+        let f = mesh.tris.len() as i64;
+        // count unique edges
+        let mut edges = std::collections::HashSet::new();
+        for t in &mesh.tris {
+            for k in 0..3 {
+                let a = t[k].min(t[(k + 1) % 3]);
+                let b = t[k].max(t[(k + 1) % 3]);
+                edges.insert((a, b));
+            }
+        }
+        let e = edges.len() as i64;
+        assert_eq!(v - e + f, 2, "Euler characteristic");
+    }
+
+    #[test]
+    fn grid_mesh_counts_and_area() {
+        let m = 5;
+        let mut grid = Vec::new();
+        for j in 0..m {
+            for i in 0..m {
+                grid.push(Vec3::new(i as f64, j as f64, 0.0));
+            }
+        }
+        let mesh = triangulate_grid(&grid, m);
+        assert_eq!(mesh.tris.len(), 2 * 16);
+        assert!((mesh.area() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_on_triangle_regions() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        // interior projection
+        let p = Vec3::new(0.25, 0.25, 1.0);
+        assert!((closest_point_on_triangle(p, a, b, c) - Vec3::new(0.25, 0.25, 0.0)).norm() < 1e-14);
+        // vertex region
+        let p = Vec3::new(-1.0, -1.0, 0.0);
+        assert_eq!(closest_point_on_triangle(p, a, b, c), a);
+        // edge region
+        let p = Vec3::new(0.5, -1.0, 0.0);
+        assert!((closest_point_on_triangle(p, a, b, c) - Vec3::new(0.5, 0.0, 0.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn barycentric_roundtrip() {
+        let a = Vec3::new(0.0, 0.0, 1.0);
+        let b = Vec3::new(2.0, 0.0, 1.0);
+        let c = Vec3::new(0.0, 3.0, 1.0);
+        let p = a * 0.2 + b * 0.5 + c * 0.3;
+        let (u, v, w) = barycentric(p, a, b, c);
+        assert!((u - 0.2).abs() < 1e-12);
+        assert!((v - 0.5).abs() < 1e-12);
+        assert!((w - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_time_box_covers_both_ends() {
+        let mesh = triangulate_grid(
+            &[
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+            ],
+            2,
+        );
+        let moved: Vec<Vec3> = mesh.verts.iter().map(|&v| v + Vec3::new(0.0, 0.0, 2.0)).collect();
+        let b = mesh.space_time_box(&moved, 0.1);
+        assert!(b.contains(Vec3::new(0.5, 0.5, 0.0)));
+        assert!(b.contains(Vec3::new(0.5, 0.5, 2.0)));
+        assert!(b.contains(Vec3::new(-0.05, 0.0, 1.0)));
+    }
+}

@@ -1,0 +1,350 @@
+//! The outer NCP loop of §4: iterate contact detection and linearized LCP
+//! solves until the configuration is interference-free (items 1–3 of the
+//! collision algorithm; the paper reports ~7 LCP solves per NCP).
+//!
+//! The coupling matrix `B` — "the change in the jth contact volume induced
+//! by the kth contact force" — is assembled sparsely into a hash-map keyed
+//! by contact pairs, exactly as the paper stores it (the distributed
+//! `MPI_All_to_Allv` accumulation becomes a shared-memory parallel fold).
+
+use crate::detect::{detect_contacts, Contact, DetectOptions};
+use crate::lcp::{solve_lcp, LcpOptions};
+use crate::mesh::TriMesh;
+use linalg::Vec3;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Maps contact forces on a mesh's vertices to vertex displacements over
+/// one time step (`Δt ×` the object's mobility). The simulation supplies
+/// the cell self-interaction mobility (Eq. 2.12); rigid vessel meshes
+/// report [`Mobility::is_rigid`] and are never moved.
+pub trait Mobility: Sync {
+    /// Whether this mesh belongs to a rigid (immovable) object.
+    fn is_rigid(&self, mesh: u32) -> bool;
+    /// Applies the (time-step-scaled) mobility of mesh `mesh` to a sparse
+    /// vertex force list, returning dense per-vertex displacements.
+    fn apply(&self, mesh: u32, force: &[(u32, Vec3)], nverts: usize) -> Vec<Vec3>;
+}
+
+/// Free-particle mobility: displacement = `scale ×` force at each vertex.
+/// Used in tests and as a fallback penalty-like response.
+pub struct IdentityMobility {
+    /// Displacement per unit force.
+    pub scale: f64,
+    /// Meshes flagged rigid.
+    pub rigid: Vec<bool>,
+}
+
+impl Mobility for IdentityMobility {
+    fn is_rigid(&self, mesh: u32) -> bool {
+        self.rigid.get(mesh as usize).copied().unwrap_or(false)
+    }
+    fn apply(&self, _mesh: u32, force: &[(u32, Vec3)], nverts: usize) -> Vec<Vec3> {
+        let mut out = vec![Vec3::ZERO; nverts];
+        for &(v, f) in force {
+            out[v as usize] = f * self.scale;
+        }
+        out
+    }
+}
+
+/// Options for the NCP solve.
+#[derive(Clone, Copy, Debug)]
+pub struct NcpOptions {
+    /// Contact detection threshold δ.
+    pub detect: DetectOptions,
+    /// Inner LCP controls.
+    pub lcp: LcpOptions,
+    /// Maximum outer (re-linearization) iterations.
+    pub max_outer: usize,
+}
+
+impl Default for NcpOptions {
+    fn default() -> Self {
+        NcpOptions {
+            detect: DetectOptions { delta: 1e-2 },
+            lcp: LcpOptions::default(),
+            max_outer: 10,
+        }
+    }
+}
+
+/// Outcome of the NCP solve.
+#[derive(Clone, Debug)]
+pub struct NcpResult {
+    /// Accumulated contact displacement per mesh vertex.
+    pub displacements: Vec<Vec<Vec3>>,
+    /// Sum of multipliers per outer iteration (diagnostic).
+    pub lambda_total: f64,
+    /// Contacts active at the first detection (collision statistics for the
+    /// scaling tables: "#collision/#RBCs").
+    pub initial_contacts: usize,
+    /// Outer iterations used.
+    pub outer_iters: usize,
+    /// Whether a contact-free state was reached.
+    pub resolved: bool,
+}
+
+/// Resolves interference: updates `end_positions` (one `Vec<Vec3>` per
+/// mesh) in place so that all meshes are separated by at least δ, moving
+/// only non-rigid meshes through their mobility.
+pub fn resolve_contacts(
+    meshes: &[TriMesh],
+    end_positions: &mut [Vec<Vec3>],
+    start_positions: &[Vec<Vec3>],
+    obj_of: &[u32],
+    mobility: &impl Mobility,
+    opts: &NcpOptions,
+) -> NcpResult {
+    let nm = meshes.len();
+    assert_eq!(end_positions.len(), nm);
+    assert_eq!(start_positions.len(), nm);
+    let mut displacements: Vec<Vec<Vec3>> =
+        meshes.iter().map(|m| vec![Vec3::ZERO; m.verts.len()]).collect();
+    let mut lambda_total = 0.0;
+    let mut initial_contacts = 0;
+    let mut resolved = false;
+    let mut outer = 0;
+
+    for it in 0..opts.max_outer {
+        outer = it + 1;
+        // current end-of-step meshes
+        let current: Vec<TriMesh> = meshes
+            .par_iter()
+            .zip(end_positions.par_iter())
+            .map(|(m, pos)| m.with_positions(pos.clone()))
+            .collect();
+        let contacts: Vec<Contact> =
+            detect_contacts(&current, Some(start_positions), obj_of, opts.detect)
+                .into_iter()
+                .filter(|c| c.value < 0.0)
+                .collect();
+        if it == 0 {
+            initial_contacts = contacts.len();
+        }
+        if contacts.is_empty() {
+            resolved = true;
+            break;
+        }
+        let m = contacts.len();
+
+        // per-contact: gradients and mobility responses on involved meshes
+        struct ContactData {
+            meshes: Vec<u32>,
+            grads: Vec<Vec<(u32, Vec3)>>,
+            disps: Vec<Vec<Vec3>>, // dense per mesh
+        }
+        let data: Vec<ContactData> = contacts
+            .par_iter()
+            .map(|c| {
+                // meshes involved in this contact (movable only)
+                let mut involved: Vec<u32> = c
+                    .pairs
+                    .iter()
+                    .flat_map(|p| [p.vert_mesh, p.tri_mesh])
+                    .filter(|&mi| !mobility.is_rigid(mi))
+                    .collect();
+                involved.sort_unstable();
+                involved.dedup();
+                let grads: Vec<Vec<(u32, Vec3)>> =
+                    involved.iter().map(|&mi| c.gradient(mi, &current)).collect();
+                let disps: Vec<Vec<Vec3>> = involved
+                    .iter()
+                    .zip(&grads)
+                    .map(|(&mi, g)| mobility.apply(mi, g, meshes[mi as usize].verts.len()))
+                    .collect();
+                ContactData { meshes: involved, grads, disps }
+            })
+            .collect();
+
+        // sparse B in a hash-map keyed by (j, k): nonzero only when two
+        // contacts share a movable mesh
+        let mut by_mesh: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (k, d) in data.iter().enumerate() {
+            for &mi in &d.meshes {
+                by_mesh.entry(mi).or_default().push(k);
+            }
+        }
+        let entries: Vec<((usize, usize), f64)> = by_mesh
+            .par_iter()
+            .flat_map_iter(|(&mi, cs)| {
+                let mut out = Vec::with_capacity(cs.len() * cs.len());
+                for &j in cs {
+                    let dj = &data[j];
+                    let slot_j = dj.meshes.iter().position(|&x| x == mi).unwrap();
+                    for &k in cs {
+                        let dk = &data[k];
+                        let slot_k = dk.meshes.iter().position(|&x| x == mi).unwrap();
+                        // B_jk += ∇V_j(mesh) · Δx_k(mesh)
+                        let mut acc = 0.0;
+                        for &(v, g) in &dj.grads[slot_j] {
+                            acc += g.dot(dk.disps[slot_k][v as usize]);
+                        }
+                        out.push(((j, k), acc));
+                    }
+                }
+                out.into_iter()
+            })
+            .collect();
+        let mut b_map: HashMap<(usize, usize), f64> = HashMap::new();
+        for (key, v) in entries {
+            *b_map.entry(key).or_insert(0.0) += v;
+        }
+
+        let q: Vec<f64> = contacts.iter().map(|c| c.value).collect();
+        let apply_b = |x: &[f64], y: &mut [f64]| {
+            y.iter_mut().for_each(|v| *v = 0.0);
+            for (&(j, k), &v) in &b_map {
+                y[j] += v * x[k];
+            }
+        };
+        let res = solve_lcp(m, apply_b, &q, &opts.lcp);
+        lambda_total += res.lambda.iter().sum::<f64>();
+
+        // apply Δx = Σ_k λ_k M ∇V_k to the end positions
+        for (k, d) in data.iter().enumerate() {
+            let lam = res.lambda[k];
+            if lam == 0.0 {
+                continue;
+            }
+            for (slot, &mi) in d.meshes.iter().enumerate() {
+                let pos = &mut end_positions[mi as usize];
+                let disp = &d.disps[slot];
+                let dtot = &mut displacements[mi as usize];
+                for (v, p) in pos.iter_mut().enumerate() {
+                    *p += disp[v] * lam;
+                    dtot[v] += disp[v] * lam;
+                }
+            }
+        }
+    }
+
+    if !resolved {
+        // final check
+        let current: Vec<TriMesh> = meshes
+            .iter()
+            .zip(end_positions.iter())
+            .map(|(m, pos)| m.with_positions(pos.clone()))
+            .collect();
+        resolved = detect_contacts(&current, Some(start_positions), obj_of, opts.detect)
+            .iter()
+            .all(|c| c.value >= -1e-12);
+    }
+
+    NcpResult { displacements, lambda_total, initial_contacts, outer_iters: outer, resolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::triangulate_grid;
+
+    fn flat_square(z: f64) -> TriMesh {
+        let m = 5;
+        let mut grid = Vec::new();
+        for j in 0..m {
+            for i in 0..m {
+                grid.push(Vec3::new(i as f64 * 0.25, j as f64 * 0.25, z));
+            }
+        }
+        triangulate_grid(&grid, m)
+    }
+
+    #[test]
+    fn separates_two_sheets() {
+        let a = flat_square(0.0);
+        let b = flat_square(0.04);
+        let meshes = vec![a.clone(), b.clone()];
+        let start = vec![a.verts.clone(), b.verts.clone()];
+        let mut end = start.clone();
+        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false] };
+        let opts = NcpOptions {
+            detect: DetectOptions { delta: 0.1 },
+            ..Default::default()
+        };
+        let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1], &mobility, &opts);
+        assert!(res.resolved, "not resolved after {} iterations", res.outer_iters);
+        assert!(res.initial_contacts == 1);
+        // sheets now separated by ≥ δ (within LCP tolerance)
+        let zmax_a = end[0].iter().map(|p| p.z).fold(f64::MIN, f64::max);
+        let zmin_b = end[1].iter().map(|p| p.z).fold(f64::MAX, f64::min);
+        assert!(
+            zmin_b - zmax_a > 0.1 - 1e-6,
+            "separation {} < delta",
+            zmin_b - zmax_a
+        );
+        // symmetric: both sheets moved by equal and opposite amounts
+        let da: Vec3 = res.displacements[0].iter().copied().sum();
+        let db: Vec3 = res.displacements[1].iter().copied().sum();
+        assert!((da + db).norm() < 1e-8 * (da.norm() + db.norm()).max(1e-30));
+    }
+
+    #[test]
+    fn rigid_wall_moves_only_the_cell() {
+        let wall = flat_square(0.0);
+        let sheet = flat_square(0.05);
+        let meshes = vec![wall.clone(), sheet.clone()];
+        let start = vec![wall.verts.clone(), sheet.verts.clone()];
+        let mut end = start.clone();
+        let mobility = IdentityMobility { scale: 1.0, rigid: vec![true, false] };
+        let opts = NcpOptions {
+            detect: DetectOptions { delta: 0.1 },
+            ..Default::default()
+        };
+        let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1], &mobility, &opts);
+        assert!(res.resolved);
+        // wall untouched
+        for (p, q) in end[0].iter().zip(&wall.verts) {
+            assert_eq!(p, q);
+        }
+        // sheet lifted to z ≥ 0.1
+        let zmin = end[1].iter().map(|p| p.z).fold(f64::MAX, f64::min);
+        assert!(zmin > 0.1 - 1e-6, "zmin {zmin}");
+    }
+
+    #[test]
+    fn no_contacts_is_noop() {
+        let a = flat_square(0.0);
+        let b = flat_square(5.0);
+        let meshes = vec![a.clone(), b.clone()];
+        let start = vec![a.verts.clone(), b.verts.clone()];
+        let mut end = start.clone();
+        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false] };
+        let res = resolve_contacts(
+            &meshes,
+            &mut end,
+            &start,
+            &[0, 1],
+            &mobility,
+            &NcpOptions::default(),
+        );
+        assert!(res.resolved);
+        assert_eq!(res.initial_contacts, 0);
+        assert_eq!(res.lambda_total, 0.0);
+        assert_eq!(end, start);
+    }
+
+    #[test]
+    fn three_body_pileup_resolves() {
+        let a = flat_square(0.0);
+        let b = flat_square(0.05);
+        let c = flat_square(0.10);
+        let meshes = vec![a.clone(), b.clone(), c.clone()];
+        let start: Vec<Vec<Vec3>> = meshes.iter().map(|m| m.verts.clone()).collect();
+        let mut end = start.clone();
+        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false, false] };
+        let opts = NcpOptions {
+            detect: DetectOptions { delta: 0.08 },
+            max_outer: 20,
+            ..Default::default()
+        };
+        let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1, 2], &mobility, &opts);
+        assert!(res.resolved, "unresolved after {}", res.outer_iters);
+        let z0 = end[0].iter().map(|p| p.z).fold(f64::MIN, f64::max);
+        let z1min = end[1].iter().map(|p| p.z).fold(f64::MAX, f64::min);
+        let z1max = end[1].iter().map(|p| p.z).fold(f64::MIN, f64::max);
+        let z2 = end[2].iter().map(|p| p.z).fold(f64::MAX, f64::min);
+        assert!(z1min - z0 > 0.08 - 1e-6);
+        assert!(z2 - z1max > 0.08 - 1e-6);
+    }
+}

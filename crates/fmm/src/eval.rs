@@ -1,0 +1,580 @@
+//! The kernel-independent FMM evaluation engine.
+//!
+//! Separates *setup* (octree construction, interaction lists, point
+//! permutations — geometry-dependent) from *evaluation* (upward pass,
+//! M2L/P2L, downward pass, P2P/L2T/M2T — density-dependent). The boundary
+//! solver calls [`Fmm::evaluate`] once per GMRES iteration with a new
+//! density on fixed geometry, exactly the access pattern the paper's
+//! BIE-solve loop has against PVFMM.
+
+use crate::ops::{cached_operators, FmmOperators};
+use crate::surface::{cube_surface, RAD_INNER, RAD_OUTER};
+use kernels::Kernel;
+use linalg::Vec3;
+use octree::{Octree, TreeOptions, NONE};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Tuning parameters of the FMM.
+#[derive(Clone, Copy, Debug)]
+pub struct FmmOptions {
+    /// Equivalent-surface order (points per cube edge). 4 ≈ 3–4 digits,
+    /// 6 ≈ 5–6 digits, 8 ≈ 8 digits for the kernels used here.
+    pub order: usize,
+    /// Octree leaf capacity (sources + targets).
+    pub leaf_capacity: usize,
+    /// Octree depth cap.
+    pub max_depth: u32,
+}
+
+impl Default for FmmOptions {
+    fn default() -> Self {
+        FmmOptions { order: 6, leaf_capacity: 160, max_depth: 14 }
+    }
+}
+
+/// A configured FMM over fixed source/target geometry.
+pub struct Fmm<KS: Kernel, KE: Kernel> {
+    src_kernel: KS,
+    eq_kernel: KE,
+    ops: Arc<FmmOperators>,
+    tree: Octree,
+    /// Source points in Morton order.
+    src_pts: Vec<Vec3>,
+    /// Target points in Morton order.
+    trg_pts: Vec<Vec3>,
+    n_trg: usize,
+    sd: usize,
+    td: usize,
+}
+
+impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
+    /// Builds the tree and binds the precomputed operators.
+    ///
+    /// `src_kernel` maps the physical source data (forces, density/normal
+    /// pairs) to values; `eq_kernel` is the single-layer kernel of the same
+    /// PDE used for all equivalent densities (its value dimension must match
+    /// `src_kernel`'s target dimension).
+    pub fn new(
+        src_kernel: KS,
+        eq_kernel: KE,
+        src: &[Vec3],
+        trg: &[Vec3],
+        opts: FmmOptions,
+    ) -> Self {
+        assert_eq!(
+            src_kernel.trg_dim(),
+            eq_kernel.trg_dim(),
+            "source and equivalent kernels must produce the same values"
+        );
+        let ops = cached_operators(&eq_kernel, opts.order);
+        Self::with_ops(src_kernel, eq_kernel, ops, src, trg, opts)
+    }
+
+    /// Like [`Fmm::new`] but with explicitly provided operators (used to
+    /// experiment with truncation tolerances; normal callers use the cache).
+    pub fn with_ops(
+        src_kernel: KS,
+        eq_kernel: KE,
+        ops: Arc<FmmOperators>,
+        src: &[Vec3],
+        trg: &[Vec3],
+        opts: FmmOptions,
+    ) -> Self {
+        let tree = Octree::build(
+            src,
+            trg,
+            TreeOptions { leaf_capacity: opts.leaf_capacity, max_depth: opts.max_depth },
+        );
+        let src_pts: Vec<Vec3> = tree.src_order.iter().map(|&i| src[i as usize]).collect();
+        let trg_pts: Vec<Vec3> = tree.trg_order.iter().map(|&i| trg[i as usize]).collect();
+        let sd = src_kernel.src_dim();
+        let td = src_kernel.trg_dim();
+        Fmm {
+            src_kernel,
+            eq_kernel,
+            ops,
+            tree,
+            src_pts,
+            trg_pts,
+            n_trg: trg.len(),
+            sd,
+            td,
+        }
+    }
+
+    /// The underlying octree (e.g. for statistics).
+    pub fn tree(&self) -> &Octree {
+        &self.tree
+    }
+
+    /// Applies the storage-scale convention: stored equivalent densities on
+    /// a surface of half-width `h` represent physical strengths
+    /// `stored · h^{e_c}` per component (see
+    /// [`kernels::Kernel::src_scale_exponents`]).
+    fn scaled_density(&self, d: &[f64], h: f64) -> Vec<f64> {
+        let exps = &self.ops.scale_exps;
+        if exps.iter().all(|&e| e == 0) {
+            return d.to_vec();
+        }
+        let dim = self.ops.sdim;
+        let mut out = d.to_vec();
+        for (j, v) in out.iter_mut().enumerate() {
+            let e = exps[j % dim];
+            if e != 0 {
+                *v *= h.powi(e);
+            }
+        }
+        out
+    }
+
+    /// Evaluates the potential of `src_data` (original source ordering,
+    /// `src_dim` entries per source) at every target; returns values in the
+    /// original target ordering (`trg_dim` entries per target).
+    pub fn evaluate(&self, src_data: &[f64]) -> Vec<f64> {
+        assert_eq!(src_data.len(), self.src_pts.len() * self.sd, "source data length");
+        let nd_eq = self.ops.n_surf * self.ops.sdim;
+        let nd_chk = self.ops.n_surf * self.ops.vdim;
+        let nodes = &self.tree.nodes;
+        let deg = self.ops.deg;
+
+        // permute source data into Morton order
+        let mut data = vec![0.0; src_data.len()];
+        for (pos, &orig) in self.tree.src_order.iter().enumerate() {
+            let o = orig as usize * self.sd;
+            data[pos * self.sd..(pos + 1) * self.sd]
+                .copy_from_slice(&src_data[o..o + self.sd]);
+        }
+
+        // ---------------- upward pass ----------------
+        let mut up_equiv: Vec<Vec<f64>> = vec![Vec::new(); nodes.len()];
+        for level in (0..self.tree.levels.len()).rev() {
+            let level_nodes = &self.tree.levels[level];
+            let results: Vec<(u32, Vec<f64>)> = level_nodes
+                .par_iter()
+                .map(|&ni| {
+                    let node = &nodes[ni as usize];
+                    let h = self.tree.node_half(ni);
+                    let center = self.tree.node_center(ni);
+                    let mut equiv = vec![0.0; nd_eq];
+                    if node.is_leaf {
+                        if node.nsrc() > 0 {
+                            // S2M: sources -> upward check surface -> density
+                            let uc = cube_surface(self.ops.p, center, RAD_OUTER * h);
+                            let mut check = vec![0.0; nd_chk];
+                            let (a, b) = node.src_range;
+                            let pts = &self.src_pts[a as usize..b as usize];
+                            let dat = &data[a as usize * self.sd..b as usize * self.sd];
+                            for (i, &t) in uc.iter().enumerate() {
+                                let o = &mut check[i * self.ops.vdim..(i + 1) * self.ops.vdim];
+                                for (j, &s) in pts.iter().enumerate() {
+                                    self.src_kernel.eval_acc(
+                                        t,
+                                        s,
+                                        &dat[j * self.sd..(j + 1) * self.sd],
+                                        o,
+                                    );
+                                }
+                            }
+                            let scale = h.powf(-deg);
+                            let mut d = self.ops.uc2ue.matvec(&check);
+                            d.iter_mut().for_each(|v| *v *= scale);
+                            equiv = d;
+                        }
+                    } else {
+                        // M2M from children (already computed: deeper level)
+                        for (o, &c) in node.children.iter().enumerate() {
+                            if c != NONE && !up_equiv[c as usize].is_empty() {
+                                self.ops.m2m[o].matvec_acc(&up_equiv[c as usize], 1.0, &mut equiv);
+                            }
+                        }
+                    }
+                    (ni, equiv)
+                })
+                .collect();
+            for (ni, equiv) in results {
+                up_equiv[ni as usize] = equiv;
+            }
+        }
+
+        // ---------------- downward pass ----------------
+        let mut dn_equiv: Vec<Vec<f64>> = vec![Vec::new(); nodes.len()];
+        for level in 0..self.tree.levels.len() {
+            let level_nodes = &self.tree.levels[level];
+            let results: Vec<(u32, Vec<f64>)> = level_nodes
+                .par_iter()
+                .map(|&ni| {
+                    let node = &nodes[ni as usize];
+                    let h = self.tree.node_half(ni);
+                    let center = self.tree.node_center(ni);
+                    let mut check = vec![0.0; nd_chk];
+                    let mut any = false;
+
+                    // M2L from the V list
+                    if !node.v_list.is_empty() {
+                        let (tx, ty, tz) = node.key.anchor();
+                        let kscale = h.powf(deg);
+                        for &v in &node.v_list {
+                            let src_equiv = &up_equiv[v as usize];
+                            if src_equiv.is_empty() || src_equiv.iter().all(|&x| x == 0.0) {
+                                continue;
+                            }
+                            let (sx, sy, sz) = nodes[v as usize].key.anchor();
+                            let off = (
+                                (sx as i64 - tx as i64) as i8,
+                                (sy as i64 - ty as i64) as i8,
+                                (sz as i64 - tz as i64) as i8,
+                            );
+                            let m = self
+                                .ops
+                                .m2l
+                                .get(&off)
+                                .expect("V-list offset outside precomputed M2L set");
+                            m.matvec_acc(src_equiv, kscale, &mut check);
+                            any = true;
+                        }
+                    }
+
+                    // P2L from the X list (direct source evaluation at the
+                    // downward check surface)
+                    if !node.x_list.is_empty() {
+                        let dc = cube_surface(self.ops.p, center, RAD_INNER * h);
+                        for &x in &node.x_list {
+                            let xn = &nodes[x as usize];
+                            let (a, b) = xn.src_range;
+                            if a == b {
+                                continue;
+                            }
+                            let pts = &self.src_pts[a as usize..b as usize];
+                            let dat = &data[a as usize * self.sd..b as usize * self.sd];
+                            for (i, &t) in dc.iter().enumerate() {
+                                let o = &mut check[i * self.ops.vdim..(i + 1) * self.ops.vdim];
+                                for (j, &s) in pts.iter().enumerate() {
+                                    self.src_kernel.eval_acc(
+                                        t,
+                                        s,
+                                        &dat[j * self.sd..(j + 1) * self.sd],
+                                        o,
+                                    );
+                                }
+                            }
+                            any = true;
+                        }
+                    }
+
+                    let mut equiv = if any {
+                        let scale = h.powf(-deg);
+                        let mut d = self.ops.dc2de.matvec(&check);
+                        d.iter_mut().for_each(|v| *v *= scale);
+                        d
+                    } else {
+                        Vec::new()
+                    };
+
+                    // L2L from the parent
+                    if node.parent != NONE {
+                        let pd = &dn_equiv[node.parent as usize];
+                        if !pd.is_empty() {
+                            if equiv.is_empty() {
+                                equiv = vec![0.0; nd_eq];
+                            }
+                            let oct = node.key.child_index();
+                            self.ops.l2l[oct].matvec_acc(pd, 1.0, &mut equiv);
+                        }
+                    }
+                    (ni, equiv)
+                })
+                .collect();
+            for (ni, equiv) in results {
+                dn_equiv[ni as usize] = equiv;
+            }
+        }
+
+        // ---------------- leaf evaluation ----------------
+        let leaves = self.tree.leaves();
+        let chunks: Vec<(u32, Vec<f64>)> = leaves
+            .par_iter()
+            .filter(|&&li| nodes[li as usize].ntrg() > 0)
+            .map(|&li| {
+                let node = &nodes[li as usize];
+                let (t0, t1) = node.trg_range;
+                let trgs = &self.trg_pts[t0 as usize..t1 as usize];
+                let mut out = vec![0.0; trgs.len() * self.td];
+
+                // P2P over the U list
+                for &u in &node.u_list {
+                    let un = &nodes[u as usize];
+                    let (a, b) = un.src_range;
+                    if a == b {
+                        continue;
+                    }
+                    let pts = &self.src_pts[a as usize..b as usize];
+                    let dat = &data[a as usize * self.sd..b as usize * self.sd];
+                    for (i, &t) in trgs.iter().enumerate() {
+                        let o = &mut out[i * self.td..(i + 1) * self.td];
+                        for (j, &s) in pts.iter().enumerate() {
+                            self.src_kernel.eval_acc(t, s, &dat[j * self.sd..(j + 1) * self.sd], o);
+                        }
+                    }
+                }
+
+                // L2T: own downward equivalent density
+                let dn = &dn_equiv[li as usize];
+                if !dn.is_empty() {
+                    let h = self.tree.node_half(li);
+                    let center = self.tree.node_center(li);
+                    let de = cube_surface(self.ops.p, center, RAD_OUTER * h);
+                    let dns = self.scaled_density(dn, h);
+                    for (i, &t) in trgs.iter().enumerate() {
+                        let o = &mut out[i * self.td..(i + 1) * self.td];
+                        for (j, &s) in de.iter().enumerate() {
+                            self.eq_kernel.eval_acc(
+                                t,
+                                s,
+                                &dns[j * self.ops.sdim..(j + 1) * self.ops.sdim],
+                                o,
+                            );
+                        }
+                    }
+                }
+
+                // M2T: W-list multipoles evaluated directly
+                for &w in &node.w_list {
+                    let wu = &up_equiv[w as usize];
+                    if wu.is_empty() {
+                        continue;
+                    }
+                    let h = self.tree.node_half(w);
+                    let center = self.tree.node_center(w);
+                    let ue = cube_surface(self.ops.p, center, RAD_INNER * h);
+                    let wus = self.scaled_density(wu, h);
+                    for (i, &t) in trgs.iter().enumerate() {
+                        let o = &mut out[i * self.td..(i + 1) * self.td];
+                        for (j, &s) in ue.iter().enumerate() {
+                            self.eq_kernel.eval_acc(
+                                t,
+                                s,
+                                &wus[j * self.ops.sdim..(j + 1) * self.ops.sdim],
+                                o,
+                            );
+                        }
+                    }
+                }
+                (li, out)
+            })
+            .collect();
+
+        // scatter back to the original target order
+        let mut out = vec![0.0; self.n_trg * self.td];
+        for (li, vals) in chunks {
+            let (t0, _) = nodes[li as usize].trg_range;
+            for (i, chunk) in vals.chunks(self.td).enumerate() {
+                let orig = self.tree.trg_order[t0 as usize + i] as usize;
+                out[orig * self.td..(orig + 1) * self.td].copy_from_slice(chunk);
+            }
+        }
+        out
+    }
+}
+
+/// One-shot convenience wrapper: builds the tree and evaluates once.
+pub fn fmm_evaluate<KS: Kernel + Clone, KE: Kernel + Clone>(
+    src_kernel: &KS,
+    eq_kernel: &KE,
+    src: &[Vec3],
+    src_data: &[f64],
+    trg: &[Vec3],
+    opts: FmmOptions,
+) -> Vec<f64> {
+    Fmm::new(src_kernel.clone(), eq_kernel.clone(), src, trg, opts).evaluate(src_data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::{direct_eval, LaplaceSL, StokesDL, StokesEquiv, StokesSL};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn cloud(rng: &mut StdRng, n: usize, spread: f64, offset: Vec3) -> Vec<Vec3> {
+        (0..n)
+            .map(|_| {
+                offset
+                    + Vec3::new(
+                        rng.random_range(-spread..spread),
+                        rng.random_range(-spread..spread),
+                        rng.random_range(-spread..spread),
+                    )
+            })
+            .collect()
+    }
+
+    fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+        num / den.max(1e-300)
+    }
+
+    #[test]
+    fn laplace_matches_direct_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = cloud(&mut rng, 1500, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 700, 1.0, Vec3::ZERO);
+        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = LaplaceSL;
+        let approx = fmm_evaluate(
+            &k,
+            &k,
+            &src,
+            &data,
+            &trg,
+            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 },
+        );
+        let mut exact = vec![0.0; trg.len()];
+        direct_eval(&k, &src, &data, &trg, &mut exact);
+        let e = rel_err(&approx, &exact);
+        assert!(e < 1e-5, "relative error {e}");
+    }
+
+    #[test]
+    fn laplace_matches_direct_clustered() {
+        // strong adaptivity: two tight clusters + sparse background
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut src = cloud(&mut rng, 600, 0.02, Vec3::new(0.7, 0.7, 0.7));
+        src.extend(cloud(&mut rng, 600, 0.02, Vec3::new(-0.7, -0.7, -0.7)));
+        src.extend(cloud(&mut rng, 100, 1.0, Vec3::ZERO));
+        let trg = src.clone();
+        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = LaplaceSL;
+        let approx = fmm_evaluate(
+            &k,
+            &k,
+            &src,
+            &data,
+            &trg,
+            FmmOptions { order: 6, leaf_capacity: 50, max_depth: 12 },
+        );
+        let mut exact = vec![0.0; trg.len()];
+        direct_eval(&k, &src, &data, &trg, &mut exact);
+        let e = rel_err(&approx, &exact);
+        assert!(e < 1e-5, "relative error {e}");
+    }
+
+    #[test]
+    fn stokes_single_layer_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let src = cloud(&mut rng, 900, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 400, 1.0, Vec3::ZERO);
+        let data: Vec<f64> = (0..src.len() * 3).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = StokesSL { mu: 0.7 };
+        let approx = fmm_evaluate(
+            &k,
+            &k,
+            &src,
+            &data,
+            &trg,
+            FmmOptions { order: 6, leaf_capacity: 70, max_depth: 10 },
+        );
+        let mut exact = vec![0.0; trg.len() * 3];
+        direct_eval(&k, &src, &data, &trg, &mut exact);
+        let e = rel_err(&approx, &exact);
+        assert!(e < 1e-4, "relative error {e}");
+    }
+
+    #[test]
+    fn stokes_double_layer_matches_direct() {
+        // stresslet sources with unit normals; equivalent densities are
+        // Stokeslets — the configuration the boundary solver uses.
+        let mut rng = StdRng::seed_from_u64(10);
+        let src = cloud(&mut rng, 800, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 300, 1.0, Vec3::new(0.1, 0.0, 0.0));
+        let mut data = Vec::with_capacity(src.len() * 6);
+        for _ in 0..src.len() {
+            for _ in 0..3 {
+                data.push(rng.random_range(-1.0..1.0));
+            }
+            let n = Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+            .normalized();
+            data.extend_from_slice(&[n.x, n.y, n.z]);
+        }
+        let sk = StokesDL;
+        // the augmented (force + source) equivalent kernel is required for
+        // stresslet sources, which carry net mass flux
+        let ek = StokesEquiv { mu: 1.0 };
+        let approx = fmm_evaluate(
+            &sk,
+            &ek,
+            &src,
+            &data,
+            &trg,
+            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 },
+        );
+        let mut exact = vec![0.0; trg.len() * 3];
+        direct_eval(&sk, &src, &data, &trg, &mut exact);
+        let e = rel_err(&approx, &exact);
+        assert!(e < 1e-4, "relative error {e}");
+    }
+
+    #[test]
+    fn accuracy_improves_with_order() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let src = cloud(&mut rng, 800, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 200, 1.0, Vec3::ZERO);
+        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = LaplaceSL;
+        let mut exact = vec![0.0; trg.len()];
+        direct_eval(&k, &src, &data, &trg, &mut exact);
+        let errs: Vec<f64> = [4usize, 6]
+            .iter()
+            .map(|&p| {
+                let approx = fmm_evaluate(
+                    &k,
+                    &k,
+                    &src,
+                    &data,
+                    &trg,
+                    FmmOptions { order: p, leaf_capacity: 50, max_depth: 10 },
+                );
+                rel_err(&approx, &exact)
+            })
+            .collect();
+        assert!(errs[1] < errs[0] * 0.5, "orders 4/6 errors: {errs:?}");
+    }
+
+    #[test]
+    fn reusable_geometry_multiple_densities() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let src = cloud(&mut rng, 500, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 200, 1.0, Vec3::ZERO);
+        let k = LaplaceSL;
+        let fmm = Fmm::new(k, k, &src, &trg, FmmOptions { order: 4, leaf_capacity: 40, max_depth: 10 });
+        for seed in 0..3 {
+            let mut r2 = StdRng::seed_from_u64(100 + seed);
+            let data: Vec<f64> = (0..src.len()).map(|_| r2.random_range(-1.0..1.0)).collect();
+            let approx = fmm.evaluate(&data);
+            let mut exact = vec![0.0; trg.len()];
+            direct_eval(&k, &src, &data, &trg, &mut exact);
+            assert!(rel_err(&approx, &exact) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn small_problem_is_pure_p2p() {
+        // fewer points than leaf capacity: single-leaf tree, exact result
+        let mut rng = StdRng::seed_from_u64(13);
+        let src = cloud(&mut rng, 30, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 20, 1.0, Vec3::ZERO);
+        let data: Vec<f64> = (0..30).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let k = LaplaceSL;
+        let approx = fmm_evaluate(&k, &k, &src, &data, &trg, FmmOptions::default());
+        let mut exact = vec![0.0; 20];
+        direct_eval(&k, &src, &data, &trg, &mut exact);
+        for (a, b) in approx.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+}

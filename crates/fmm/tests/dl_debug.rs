@@ -1,0 +1,46 @@
+//! Diagnostic scan: Stokes double-layer FMM error vs pseudo-inverse
+//! truncation (run with --ignored).
+
+use fmm::{FmmOperators, Fmm, FmmOptions};
+use kernels::{direct_eval, StokesDL, StokesEquiv};
+use linalg::Vec3;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn scan_dl_error() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let n = 800;
+    let r3 = |rng: &mut StdRng| {
+        Vec3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        )
+    };
+    let src: Vec<Vec3> = (0..n).map(|_| r3(&mut rng)).collect();
+    let trg: Vec<Vec3> = (0..300).map(|_| r3(&mut rng)).collect();
+    let mut data = Vec::new();
+    for _ in 0..n {
+        for _ in 0..3 {
+            data.push(rng.random_range(-1.0..1.0));
+        }
+        let nr = r3(&mut rng).normalized();
+        data.extend_from_slice(&[nr.x, nr.y, nr.z]);
+    }
+    let sk = StokesDL;
+    let ek = StokesEquiv { mu: 1.0 };
+    let mut exact = vec![0.0; trg.len() * 3];
+    direct_eval(&sk, &src, &data, &trg, &mut exact);
+    for tol in [1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-3] {
+        let ops = Arc::new(FmmOperators::build_with_tol(&ek, 6, tol));
+        let f = Fmm::with_ops(sk, ek, ops, &src, &trg,
+            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 });
+        let approx = f.evaluate(&data);
+        let num: f64 = approx.iter().zip(&exact).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let den: f64 = exact.iter().map(|b| b * b).sum::<f64>().sqrt();
+        println!("tol {tol:.0e}: rel err {:.3e}", num / den);
+    }
+}

@@ -1,0 +1,344 @@
+//! # forest — a forest of quadtrees over boundary patches
+//!
+//! The p4est substitute (DESIGN.md substitution table). The paper manages
+//! the vessel-boundary patch hierarchy with p4est: distributing patch data,
+//! tracking parent–child relations between the coarse and fine
+//! discretizations, and refining/coarsening in parallel (§3.2). This crate
+//! provides the same services in shared memory:
+//!
+//! - one quadtree per root patch, with exact polynomial subdivision at
+//!   every split;
+//! - uniform and predicate-driven refinement, and coarsening;
+//! - leaf enumeration in Morton order with balanced work partitioning
+//!   (the "distribute the geometry among processors" role);
+//! - cross-patch edge adjacency derived from shared edge geometry.
+
+use linalg::Vec3;
+use patch::{BoundarySurface, PatchKind, PolyPatch};
+use rayon::prelude::*;
+
+/// Sentinel for "no node".
+pub const NONE: u32 = u32::MAX;
+
+/// A node of a patch quadtree.
+#[derive(Clone, Debug)]
+pub struct QNode {
+    /// Root patch index this node descends from.
+    pub root: u32,
+    /// Refinement level (0 = root patch).
+    pub level: u32,
+    /// Parameter rectangle inside the root patch (`[u0,u1,v0,v1]`).
+    pub rect: [f64; 4],
+    /// The fitted polynomial for this node's sub-rectangle.
+    pub patch: PolyPatch,
+    /// Child node ids (`NONE` if leaf), Morton order (u fastest).
+    pub children: [u32; 4],
+    /// Parent node id (`NONE` for roots).
+    pub parent: u32,
+    /// Whether this is a leaf.
+    pub is_leaf: bool,
+}
+
+/// A forest of quadtrees over the root patches of a surface.
+#[derive(Clone, Debug)]
+pub struct QuadForest {
+    /// Quadrature order carried to derived surfaces.
+    pub q: usize,
+    /// Per-root patch kind (inherited by all descendants).
+    pub root_kinds: Vec<PatchKind>,
+    /// All nodes; the first `root_kinds.len()` entries are the roots.
+    pub nodes: Vec<QNode>,
+}
+
+impl QuadForest {
+    /// Builds a forest whose roots are the patches of `surface`.
+    pub fn from_surface(surface: &BoundarySurface) -> QuadForest {
+        let nodes = surface
+            .patches
+            .iter()
+            .enumerate()
+            .map(|(i, p)| QNode {
+                root: i as u32,
+                level: 0,
+                rect: [-1.0, 1.0, -1.0, 1.0],
+                patch: p.clone(),
+                children: [NONE; 4],
+                parent: NONE,
+                is_leaf: true,
+            })
+            .collect();
+        QuadForest { q: surface.q, root_kinds: surface.kinds.clone(), nodes }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf && (n.parent != NONE || n.level == 0))
+            .count()
+    }
+
+    /// Splits leaf `ni` into four children (exact polynomial subdivision).
+    pub fn split(&mut self, ni: u32) {
+        let node = &self.nodes[ni as usize];
+        assert!(node.is_leaf, "split: node {ni} is not a leaf");
+        let [u0, u1, v0, v1] = node.rect;
+        let (um, vm) = (0.5 * (u0 + u1), 0.5 * (v0 + v1));
+        let rects = [
+            [u0, um, v0, vm],
+            [um, u1, v0, vm],
+            [u0, um, vm, v1],
+            [um, u1, vm, v1],
+        ];
+        let root = node.root;
+        let level = node.level + 1;
+        let children = node.patch.split4();
+        for (k, (rect, child)) in rects.iter().zip(children.into_iter()).enumerate() {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(QNode {
+                root,
+                level,
+                rect: *rect,
+                patch: child,
+                children: [NONE; 4],
+                parent: ni,
+                is_leaf: true,
+            });
+            self.nodes[ni as usize].children[k] = id;
+        }
+        self.nodes[ni as usize].is_leaf = false;
+    }
+
+    /// Coarsens a family: detaches the (leaf) children of `ni`, making it a
+    /// leaf again. Children must all be leaves.
+    pub fn coarsen(&mut self, ni: u32) {
+        let children = self.nodes[ni as usize].children;
+        assert!(children.iter().all(|&c| c != NONE), "coarsen: {ni} has no children");
+        for &c in &children {
+            assert!(self.nodes[c as usize].is_leaf, "coarsen: child {c} is not a leaf");
+            // detach; detached nodes are skipped by leaf iteration
+            self.nodes[c as usize].parent = NONE;
+            self.nodes[c as usize].is_leaf = false;
+        }
+        self.nodes[ni as usize].children = [NONE; 4];
+        self.nodes[ni as usize].is_leaf = true;
+    }
+
+    /// Refines every leaf `levels` times (the weak-scaling rule M → 4M per
+    /// level, §5.2).
+    pub fn refine_uniform(&mut self, levels: u32) {
+        for _ in 0..levels {
+            let leaves = self.leaf_ids();
+            for li in leaves {
+                self.split(li);
+            }
+        }
+    }
+
+    /// Refines leaves while `pred` returns true, up to `max_level`.
+    /// The predicate sees the node and can inspect geometry (e.g. patch
+    /// size or curvature) — the adaptive-refinement hook the paper lists as
+    /// future work for its boundary solver.
+    pub fn refine_where(&mut self, max_level: u32, pred: impl Fn(&QNode) -> bool) {
+        loop {
+            let to_split: Vec<u32> = self
+                .leaf_ids()
+                .into_iter()
+                .filter(|&li| {
+                    let n = &self.nodes[li as usize];
+                    n.level < max_level && pred(n)
+                })
+                .collect();
+            if to_split.is_empty() {
+                break;
+            }
+            for li in to_split {
+                self.split(li);
+            }
+        }
+    }
+
+    /// Leaf ids in Morton order (depth-first by child index within each
+    /// root, roots in order) — the paper's distribution order.
+    pub fn leaf_ids(&self) -> Vec<u32> {
+        let num_roots = self.root_kinds.len();
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for r in (0..num_roots as u32).rev() {
+            stack.push(r);
+        }
+        while let Some(ni) = stack.pop() {
+            let n = &self.nodes[ni as usize];
+            if n.is_leaf {
+                out.push(ni);
+            } else if n.children[0] != NONE {
+                for &c in n.children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes the current leaves as a [`BoundarySurface`]
+    /// (kind inherited from the root patch).
+    pub fn leaf_surface(&self) -> BoundarySurface {
+        let ids = self.leaf_ids();
+        let patches: Vec<PolyPatch> =
+            ids.iter().map(|&i| self.nodes[i as usize].patch.clone()).collect();
+        let kinds = ids
+            .iter()
+            .map(|&i| self.root_kinds[self.nodes[i as usize].root as usize])
+            .collect();
+        BoundarySurface { q: self.q, patches, kinds }
+    }
+
+    /// Splits the Morton-ordered leaves into `parts` contiguous chunks of
+    /// near-equal size — the shared-memory analogue of p4est's processor
+    /// partitioning.
+    pub fn partition(&self, parts: usize) -> Vec<Vec<u32>> {
+        let ids = self.leaf_ids();
+        let parts = parts.max(1);
+        let per = ids.len().div_ceil(parts);
+        ids.chunks(per.max(1)).map(|c| c.to_vec()).collect()
+    }
+
+    /// Finds leaf pairs whose patches share an edge (approximately, by
+    /// matching sampled edge midpoints within `tol`). Used for neighbor
+    /// queries across patch boundaries.
+    pub fn edge_neighbors(&self, tol: f64) -> Vec<(u32, u32)> {
+        let ids = self.leaf_ids();
+        let edges: Vec<(Vec3, u32)> = ids
+            .par_iter()
+            .flat_map_iter(|&li| {
+                let p = &self.nodes[li as usize].patch;
+                [
+                    p.eval(0.0, -1.0),
+                    p.eval(0.0, 1.0),
+                    p.eval(-1.0, 0.0),
+                    p.eval(1.0, 0.0),
+                ]
+                .into_iter()
+                .map(move |mid| (mid, li))
+            })
+            .collect();
+        // match midpoints through a spatial hash to avoid O(E²)
+        let grid = octree::SpatialHash::new(tol.max(1e-9) * 4.0, Vec3::ZERO);
+        let mut keyed: Vec<(u64, u32, Vec3)> =
+            edges.iter().map(|e| (grid.key_of_point(e.0), e.1, e.0)).collect();
+        keyed.sort_unstable_by_key(|k| k.0);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let mut j = i + 1;
+            while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                j += 1;
+            }
+            for a in i..j {
+                for b in a + 1..j {
+                    if keyed[a].1 != keyed[b].1 && keyed[a].2.dist(keyed[b].2) < tol {
+                        let (x, y) = (keyed[a].1.min(keyed[b].1), keyed[a].1.max(keyed[b].1));
+                        out.push((x, y));
+                    }
+                }
+            }
+            i = j;
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch::cube_sphere;
+
+    #[test]
+    fn uniform_refinement_multiplies_leaves() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let mut f = QuadForest::from_surface(&s);
+        assert_eq!(f.num_leaves(), 6);
+        f.refine_uniform(2);
+        assert_eq!(f.num_leaves(), 6 * 16);
+        // splitting subdivides the fitted polynomials exactly; the computed
+        // areas differ only by the Clenshaw–Curtis error on the (non-
+        // polynomial) Jacobian, ~1e-4 at q = 6
+        let area = f.leaf_surface().quadrature().total_area();
+        let root_area = s.quadrature().total_area();
+        assert!((area - root_area).abs() / root_area < 5e-4, "area {area} vs {root_area}");
+    }
+
+    #[test]
+    fn refine_where_respects_predicate_and_level_cap() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let mut f = QuadForest::from_surface(&s);
+        f.refine_where(2, |n| n.patch.eval(0.0, 0.0).x > 0.0);
+        let ids = f.leaf_ids();
+        for &li in &ids {
+            let n = &f.nodes[li as usize];
+            assert!(n.level <= 2);
+            if n.level > 0 {
+                assert!(n.patch.eval(0.0, 0.0).x > -0.5);
+            }
+        }
+        assert!(f.num_leaves() > 6);
+    }
+
+    #[test]
+    fn coarsening_restores_leaf() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let mut f = QuadForest::from_surface(&s);
+        f.split(0);
+        assert_eq!(f.num_leaves(), 5 + 4);
+        f.coarsen(0);
+        assert_eq!(f.num_leaves(), 6);
+        assert!(f.nodes[0].is_leaf);
+    }
+
+    #[test]
+    fn partition_balanced_and_complete() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 1, 6);
+        let mut f = QuadForest::from_surface(&s);
+        f.refine_uniform(1);
+        let total = f.num_leaves();
+        let parts = f.partition(7);
+        let sum: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(sum, total);
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max - min <= max / 2 + 1, "imbalanced: {min}..{max}");
+    }
+
+    #[test]
+    fn split_children_cover_parent_geometry() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 8);
+        let mut f = QuadForest::from_surface(&s);
+        f.split(2);
+        let parent_pt = f.nodes[2].patch.eval(-0.5, -0.5);
+        let c0 = f.nodes[2].children[0];
+        let child_pt = f.nodes[c0 as usize].patch.eval(0.0, 0.0);
+        assert!((parent_pt - child_pt).norm() < 1e-10);
+    }
+
+    #[test]
+    fn edge_neighbors_found_on_sphere() {
+        let s = cube_sphere(1.0, Vec3::ZERO, 0, 6);
+        let f = QuadForest::from_surface(&s);
+        let nbrs = f.edge_neighbors(1e-6);
+        // each cube face touches 4 others: 6·4/2 = 12 shared edges
+        assert_eq!(nbrs.len(), 12, "neighbors: {nbrs:?}");
+    }
+
+    #[test]
+    fn kinds_inherited_through_refinement() {
+        let line = patch::StraightLine { a: Vec3::ZERO, b: Vec3::new(3.0, 0.0, 0.0) };
+        let s = patch::capsule_tube(&line, 0.5, 2, 6);
+        let mut f = QuadForest::from_surface(&s);
+        f.refine_uniform(1);
+        let ls = f.leaf_surface();
+        let inlets = ls.kinds.iter().filter(|k| matches!(k, PatchKind::Inlet(_))).count();
+        assert_eq!(inlets, 5 * 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Laplace kernels (single and double layer).
+//!
+//! Not used by the blood-flow model itself, but they are the cheapest
+//! elliptic kernels and serve as the reference case for validating the
+//! kernel-independent FMM and the singular-quadrature machinery — the
+//! boundary solver of the paper is advertised as a general elliptic-PDE
+//! solver, and these kernels exercise that generality.
+
+use linalg::Vec3;
+
+/// Laplace single-layer kernel `G(x,y) q = q / (4π |x−y|)`.
+#[inline]
+pub fn laplace_sl(x: Vec3, y: Vec3, q: f64) -> f64 {
+    let r2 = (x - y).norm_sq();
+    if r2 == 0.0 {
+        return 0.0;
+    }
+    q / (4.0 * std::f64::consts::PI * r2.sqrt())
+}
+
+/// Laplace double-layer kernel with the interior-Gauss convention:
+/// `K(x,y) q = q ((y−x)·n) / (4π |x−y|³)`, so that `∫_Γ K(x,·) dS = 1` for
+/// `x` inside the closed surface `Γ` with outward normal `n` (the classical
+/// identity `∫ ∂/∂n (1/4πr) dS = −1` carries the opposite sign).
+#[inline]
+pub fn laplace_dl(x: Vec3, y: Vec3, q: f64, n: Vec3) -> f64 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return 0.0;
+    }
+    let rinv3 = 1.0 / (r2 * r2.sqrt());
+    -q * r.dot(n) * rinv3 / (4.0 * std::f64::consts::PI)
+}
+
+/// Gradient of the Laplace single layer with respect to the target.
+#[inline]
+pub fn laplace_sl_grad(x: Vec3, y: Vec3, q: f64) -> Vec3 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return Vec3::ZERO;
+    }
+    let rinv3 = 1.0 / (r2 * r2.sqrt());
+    r * (-q * rinv3 / (4.0 * std::f64::consts::PI))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::quad::gauss_legendre;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn gauss_identity_for_double_layer() {
+        let gl = gauss_legendre(20);
+        let nphi = 40;
+        let eval = |x: Vec3| -> f64 {
+            let mut acc = 0.0;
+            for i in 0..20 {
+                let ct = gl.nodes[i];
+                let st = (1.0 - ct * ct).sqrt();
+                for j in 0..nphi {
+                    let phi = 2.0 * PI * j as f64 / nphi as f64;
+                    let y = Vec3::new(st * phi.cos(), st * phi.sin(), ct);
+                    acc += laplace_dl(x, y, 1.0, y) * gl.weights[i] * 2.0 * PI / nphi as f64;
+                }
+            }
+            acc
+        };
+        assert!((eval(Vec3::new(0.1, 0.2, -0.3)) - 1.0).abs() < 1e-10);
+        assert!(eval(Vec3::new(1.5, 0.0, 1.5)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn potential_is_harmonic_away_from_source() {
+        let y = Vec3::new(0.2, 0.1, 0.0);
+        let x = Vec3::new(1.0, -0.5, 0.7);
+        let h = 1e-4;
+        let u0 = laplace_sl(x, y, 1.0);
+        let mut lap = 0.0;
+        for k in 0..3 {
+            let mut xp = x;
+            let mut xm = x;
+            xp[k] += h;
+            xm[k] -= h;
+            lap += (laplace_sl(xp, y, 1.0) + laplace_sl(xm, y, 1.0) - 2.0 * u0) / (h * h);
+        }
+        assert!(lap.abs() < 1e-6, "laplacian {lap}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let y = Vec3::new(-0.3, 0.4, 0.1);
+        let x = Vec3::new(0.8, 0.2, -0.6);
+        let g = laplace_sl_grad(x, y, 2.5);
+        let h = 1e-6;
+        for k in 0..3 {
+            let mut xp = x;
+            let mut xm = x;
+            xp[k] += h;
+            xm[k] -= h;
+            let fd = (laplace_sl(xp, y, 2.5) - laplace_sl(xm, y, 2.5)) / (2.0 * h);
+            assert!((g[k] - fd).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Stokes kernels: single-layer Stokeslet, double-layer stresslet, and the
+//! associated pressure kernels (Eq. 2.4 and 2.5 of the paper).
+//!
+//! Sign conventions, fixed once and verified by the Gauss-type identities in
+//! the tests below (`r = x − y`, `n` the outward normal of the closed
+//! surface, fluid on the *interior* side as in a blood vessel):
+//!
+//! - single layer: `S(x,y) f = 1/(8πμ) (f/|r| + r (r·f)/|r|³)`;
+//! - double layer: `D(x,y) φ = −3/(4π) · r (r·φ)(r·n)/|r|⁵`, chosen so that
+//!   for constant density `c`, `∫_Γ D(x,·) c dS = c` for `x` strictly inside,
+//!   `c/2` in the principal-value sense on `Γ`, and `0` outside. Hence the
+//!   interior-limit operator is `(1/2) I + D_PV`, matching Eq. (2.5).
+
+use linalg::Vec3;
+
+/// Stokes single-layer (Stokeslet) velocity kernel.
+///
+/// Returns `S(x,y) f` where `r = x − y`; `mu` is the ambient viscosity.
+/// Returns zero when `x == y` (the singular self term is handled by the
+/// dedicated quadrature schemes, never by this function).
+#[inline]
+pub fn stokeslet(x: Vec3, y: Vec3, f: Vec3, mu: f64) -> Vec3 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return Vec3::ZERO;
+    }
+    let rinv = 1.0 / r2.sqrt();
+    let rinv3 = rinv * rinv * rinv;
+    let c = 1.0 / (8.0 * std::f64::consts::PI * mu);
+    c * (f * rinv + r * (r.dot(f) * rinv3))
+}
+
+/// The 3×3 Stokeslet matrix `S(x,y)` (row-major), without the force applied.
+#[inline]
+pub fn stokeslet_matrix(x: Vec3, y: Vec3, mu: f64) -> [[f64; 3]; 3] {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    let mut m = [[0.0; 3]; 3];
+    if r2 == 0.0 {
+        return m;
+    }
+    let rinv = 1.0 / r2.sqrt();
+    let rinv3 = rinv / r2;
+    let c = 1.0 / (8.0 * std::f64::consts::PI * mu);
+    let ra = r.to_array();
+    for i in 0..3 {
+        for j in 0..3 {
+            let delta = if i == j { rinv } else { 0.0 };
+            m[i][j] = c * (delta + ra[i] * ra[j] * rinv3);
+        }
+    }
+    m
+}
+
+/// Stokes double-layer (stresslet) velocity kernel.
+///
+/// Returns `D(x,y) φ` with source normal `n = n(y)`; `r = x − y`. See the
+/// module docs for the sign convention. Independent of viscosity.
+#[inline]
+pub fn stresslet(x: Vec3, y: Vec3, phi: Vec3, n: Vec3) -> Vec3 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return Vec3::ZERO;
+    }
+    let rinv = 1.0 / r2.sqrt();
+    let rinv5 = rinv * rinv * rinv * rinv * rinv;
+    let c = -3.0 / (4.0 * std::f64::consts::PI);
+    r * (c * r.dot(phi) * r.dot(n) * rinv5)
+}
+
+/// Pressure kernel associated with the Stokeslet:
+/// `p(x) = (1/4π) r·f / |r|³`.
+#[inline]
+pub fn stokeslet_pressure(x: Vec3, y: Vec3, f: Vec3) -> f64 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return 0.0;
+    }
+    let rinv3 = 1.0 / (r2 * r2.sqrt());
+    r.dot(f) * rinv3 / (4.0 * std::f64::consts::PI)
+}
+
+/// Pressure kernel associated with the stresslet double layer (with the same
+/// sign convention as [`stresslet`]):
+/// `p(x) = −(μ/2π) [ (n·φ)/|r|³ − 3 (r·φ)(r·n)/|r|⁵ ]`.
+#[inline]
+pub fn stresslet_pressure(x: Vec3, y: Vec3, phi: Vec3, n: Vec3, mu: f64) -> f64 {
+    let r = x - y;
+    let r2 = r.norm_sq();
+    if r2 == 0.0 {
+        return 0.0;
+    }
+    let rinv3 = 1.0 / (r2 * r2.sqrt());
+    let rinv5 = rinv3 / r2;
+    -(mu / (2.0 * std::f64::consts::PI)) * (n.dot(phi) * rinv3 - 3.0 * r.dot(phi) * r.dot(n) * rinv5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::quad::gauss_legendre;
+    use std::f64::consts::PI;
+
+    /// Quadrature over the unit sphere: Gauss–Legendre in cos(theta),
+    /// uniform in phi — spectrally accurate for smooth integrands.
+    fn sphere_quadrature(nlat: usize) -> Vec<(Vec3, f64)> {
+        let gl = gauss_legendre(nlat);
+        let nphi = 2 * nlat;
+        let mut out = Vec::new();
+        for i in 0..nlat {
+            let ct = gl.nodes[i];
+            let st = (1.0 - ct * ct).sqrt();
+            let wlat = gl.weights[i];
+            for j in 0..nphi {
+                let phi = 2.0 * PI * j as f64 / nphi as f64;
+                let y = Vec3::new(st * phi.cos(), st * phi.sin(), ct);
+                out.push((y, wlat * 2.0 * PI / nphi as f64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn double_layer_gauss_identity_inside_on_outside() {
+        // ∫ D(x,y) c dS over the unit sphere equals c inside, 0 outside.
+        let quad = sphere_quadrature(24);
+        let c = Vec3::new(0.3, -1.0, 2.0);
+        for (x, expect) in [
+            (Vec3::new(0.2, 0.1, -0.3), c),
+            (Vec3::new(0.0, 0.0, 0.0), c),
+            (Vec3::new(2.0, 1.0, 0.5), Vec3::ZERO),
+        ] {
+            let mut acc = Vec3::ZERO;
+            for &(y, w) in &quad {
+                let n = y; // unit sphere: outward normal = position
+                acc += stresslet(x, y, c, n) * w;
+            }
+            assert!(
+                (acc - expect).norm() < 1e-10,
+                "x={x:?} got {acc:?} want {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_layer_velocity_is_continuous_and_divergence_free() {
+        // numerically check ∇·u = 0 for a Stokeslet field
+        let y = Vec3::new(0.1, -0.2, 0.05);
+        let f = Vec3::new(1.0, 2.0, -0.5);
+        let x = Vec3::new(1.0, 0.7, -0.4);
+        let h = 1e-5;
+        let mut div = 0.0;
+        for k in 0..3 {
+            let mut xp = x;
+            let mut xm = x;
+            xp[k] += h;
+            xm[k] -= h;
+            div += (stokeslet(xp, y, f, 1.0)[k] - stokeslet(xm, y, f, 1.0)[k]) / (2.0 * h);
+        }
+        assert!(div.abs() < 1e-8, "div={div}");
+    }
+
+    #[test]
+    fn stresslet_field_is_divergence_free() {
+        let y = Vec3::new(0.0, 0.0, 0.0);
+        let n = Vec3::new(0.0, 0.0, 1.0);
+        let phi = Vec3::new(1.0, -1.0, 0.5);
+        let x = Vec3::new(0.8, 0.3, 0.6);
+        let h = 1e-5;
+        let mut div = 0.0;
+        for k in 0..3 {
+            let mut xp = x;
+            let mut xm = x;
+            xp[k] += h;
+            xm[k] -= h;
+            div += (stresslet(xp, y, phi, n)[k] - stresslet(xm, y, phi, n)[k]) / (2.0 * h);
+        }
+        assert!(div.abs() < 1e-8, "div={div}");
+    }
+
+    #[test]
+    fn stokeslet_satisfies_stokes_equation_away_from_source() {
+        // μ Δu = ∇p away from the singularity
+        let y = Vec3::ZERO;
+        let f = Vec3::new(0.7, -0.3, 1.1);
+        let x = Vec3::new(0.9, 0.5, -0.7);
+        let mu = 2.0;
+        let h = 1e-4;
+        for comp in 0..3 {
+            // Laplacian of u_comp by central differences
+            let mut lap = 0.0;
+            let u0 = stokeslet(x, y, f, mu)[comp];
+            for k in 0..3 {
+                let mut xp = x;
+                let mut xm = x;
+                xp[k] += h;
+                xm[k] -= h;
+                lap += (stokeslet(xp, y, f, mu)[comp] + stokeslet(xm, y, f, mu)[comp] - 2.0 * u0)
+                    / (h * h);
+            }
+            // pressure gradient component
+            let mut xp = x;
+            let mut xm = x;
+            xp[comp] += h;
+            xm[comp] -= h;
+            let dp = (stokeslet_pressure(xp, y, f) - stokeslet_pressure(xm, y, f)) / (2.0 * h);
+            assert!(
+                (mu * lap - dp).abs() < 1e-4,
+                "comp {comp}: mu lap {} vs dp {}",
+                mu * lap,
+                dp
+            );
+        }
+    }
+
+    #[test]
+    fn stokeslet_matrix_matches_apply() {
+        let x = Vec3::new(1.0, 2.0, 3.0);
+        let y = Vec3::new(-0.5, 0.3, 0.9);
+        let f = Vec3::new(0.2, -0.7, 1.3);
+        let m = stokeslet_matrix(x, y, 1.7);
+        let u = stokeslet(x, y, f, 1.7);
+        for i in 0..3 {
+            let v = m[i][0] * f.x + m[i][1] * f.y + m[i][2] * f.z;
+            assert!((v - u[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn kernels_scale_correctly_with_viscosity_and_distance() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::ZERO;
+        let f = Vec3::new(0.0, 1.0, 0.0);
+        // Stokeslet homogeneous of degree −1
+        let u1 = stokeslet(x, y, f, 1.0);
+        let u2 = stokeslet(x * 2.0, y, f, 1.0);
+        assert!((u1.norm() / u2.norm() - 2.0).abs() < 1e-12);
+        // viscosity scaling 1/μ
+        let umu = stokeslet(x, y, f, 4.0);
+        assert!((u1.norm() / umu.norm() - 4.0).abs() < 1e-12);
+        // stresslet homogeneous of degree −2 (normal chosen with r·n ≠ 0)
+        let n = Vec3::new(1.0, 0.0, 1.0).normalized();
+        let phi = Vec3::new(1.0, 1.0, 1.0);
+        let d1 = stresslet(x, y, phi, n);
+        let d2 = stresslet(x * 2.0, y, phi, n);
+        assert!((d1.norm() / d2.norm() - 4.0).abs() < 1e-12);
+    }
+}

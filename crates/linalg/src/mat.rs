@@ -1,0 +1,310 @@
+//! Dense row-major matrix type and basic BLAS-like operations.
+//!
+//! This stands in for the Intel MKL dense routines the paper links against.
+//! Sizes in this code base are modest (at most a few thousand on a side, most
+//! commonly a few hundred), so a straightforward cache-blocked
+//! implementation is adequate and keeps the crate dependency-free.
+
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates an `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Mat {
+        assert_eq!(data.len(), rows * cols, "Mat::from_vec: size mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product writing into a caller-provided buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Accumulating matrix–vector product `y += alpha * A x`.
+    pub fn matvec_acc(&self, x: &[f64], alpha: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi += alpha * acc;
+        }
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (yj, aij) in y.iter_mut().zip(self.row(i)) {
+                *yj += aij * xi;
+            }
+        }
+        y
+    }
+
+    /// Matrix–matrix product `C = A B` with simple ikj loop ordering (good
+    /// locality for row-major data).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
+        let mut c = Mat::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let crow = c.row_mut(i);
+                for (cij, bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scales the matrix in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns `A + alpha * B`.
+    pub fn add_scaled(&self, b: &Mat, alpha: f64) -> Mat {
+        assert_eq!((self.rows, self.cols), (b.rows, b.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(x, y)| x + alpha * y)
+            .collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// y ← y + alpha x (BLAS axpy).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean dot product of two slices.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm of a slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64 + 1.0);
+        let i = Mat::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_fn(4, 3, |i, j| (i as f64) - 2.0 * (j as f64));
+        let x = vec![1.0, -1.0, 2.0];
+        let xm = Mat::from_vec(3, 1, x.clone());
+        let y = a.matvec(&x);
+        let ym = a.matmul(&xm);
+        for i in 0..4 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_matvec_t() {
+        let a = Mat::from_fn(3, 5, |i, j| ((i + 1) * (j + 2)) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        let x = vec![1.0, 2.0, 3.0];
+        let y1 = a.matvec_t(&x);
+        let y2 = a.transpose().matvec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let a = Mat::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(3, 4, |i, j| (i as f64) * 0.5 - j as f64);
+        let c = Mat::from_fn(4, 2, |i, j| 1.0 / ((i + j + 1) as f64));
+        let l = a.matmul(&b).matmul(&c);
+        let r = a.matmul(&b.matmul(&c));
+        assert!((l.add_scaled(&r, -1.0)).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn blas_helpers() {
+        let x = vec![1.0, 2.0, 2.0];
+        assert!((norm2(&x) - 3.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&x), 2.0);
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 5.0]);
+        assert!((dot(&x, &y) - (3.0 + 10.0 + 10.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matvec_acc_accumulates() {
+        let a = Mat::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0; 3];
+        a.matvec_acc(&x, 2.0, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Direct dense solvers: LU with partial pivoting and Householder QR.
+//!
+//! These replace the LAPACK routines (via MKL) used by the reference
+//! implementation for small dense blocks: Newton systems in the closest-point
+//! search, polynomial fitting of boundary patches, and the per-level
+//! pseudo-inverse solves inside the kernel-independent FMM.
+
+use crate::mat::Mat;
+
+/// LU factorization with partial pivoting, `P A = L U`.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: Mat,
+    piv: Vec<usize>,
+    /// Sign of the permutation (+1/−1); 0 if the matrix is singular.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns `None` when a pivot underflows
+    /// (numerically singular matrix).
+    pub fn new(a: &Mat) -> Option<Lu> {
+        assert_eq!(a.rows(), a.cols(), "Lu::new: matrix must be square");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // pivot search
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE * 4.0 {
+                return None;
+            }
+            if p != k {
+                piv.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = t;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in k + 1..n {
+                        let v = lu[(k, j)];
+                        lu[(i, j)] -= m * v;
+                    }
+                }
+            }
+        }
+        Some(Lu { lu, piv, sign })
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // apply permutation
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // forward substitution with unit lower triangle
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n);
+        let mut x = Mat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let sol = self.solve(&col);
+            for i in 0..n {
+                x[(i, j)] = sol[i];
+            }
+        }
+        x
+    }
+
+    /// Matrix inverse (column-by-column solve against the identity).
+    pub fn inverse(&self) -> Mat {
+        self.solve_mat(&Mat::identity(self.lu.rows()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// Used for least-squares solves, e.g. fitting tensor-product polynomial
+/// patches through projected sample points.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    qr: Mat,
+    // Householder scalar for each reflector.
+    beta: Vec<f64>,
+    rdiag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors the matrix. Requires `rows ≥ cols`.
+    pub fn new(a: &Mat) -> Qr {
+        let (m, n) = (a.rows(), a.cols());
+        assert!(m >= n, "Qr::new: requires rows >= cols");
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        let mut rdiag = vec![0.0; n];
+        for k in 0..n {
+            // norm of column k below the diagonal
+            let mut nrm: f64 = 0.0;
+            for i in k..m {
+                nrm = nrm.hypot(qr[(i, k)]);
+            }
+            if nrm == 0.0 {
+                beta[k] = 0.0;
+                rdiag[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -nrm } else { nrm };
+            // v = x - alpha e1, stored in place; v_k adjusted
+            qr[(k, k)] -= alpha;
+            // beta = 2 / (vᵀv)
+            let mut vtv = 0.0;
+            for i in k..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            beta[k] = if vtv > 0.0 { 2.0 / vtv } else { 0.0 };
+            rdiag[k] = alpha;
+            // apply reflector to trailing columns
+            for j in k + 1..n {
+                let mut dotv = 0.0;
+                for i in k..m {
+                    dotv += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta[k] * dotv;
+                for i in k..m {
+                    let v = qr[(i, k)];
+                    qr[(i, j)] -= s * v;
+                }
+            }
+        }
+        Qr { qr, beta, rdiag }
+    }
+
+    /// Least-squares solve `min ‖A x − b‖₂`.
+    pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        assert_eq!(b.len(), m);
+        let mut y = b.to_vec();
+        // apply Qᵀ
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut dotv = 0.0;
+            for i in k..m {
+                dotv += self.qr[(i, k)] * y[i];
+            }
+            let s = self.beta[k] * dotv;
+            for i in k..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // back substitution with R
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.rdiag[i];
+            x[i] = if d.abs() > 0.0 { acc / d } else { 0.0 };
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::{norm2, Mat};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_mat(rng: &mut StdRng, m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |_, _| rng.random_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn lu_solves_random_systems() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20, 60] {
+            // diagonally boosted to stay well conditioned
+            let mut a = random_mat(&mut rng, n, n);
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let xtrue: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+            let b = a.matvec(&xtrue);
+            let lu = Lu::new(&a).expect("nonsingular");
+            let x = lu.solve(&b);
+            let err: f64 = x
+                .iter()
+                .zip(&xtrue)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singularity_and_det() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(Lu::new(&a).is_none());
+        let b = Mat::from_vec(2, 2, vec![0.0, 1.0, -1.0, 0.0]);
+        let lu = Lu::new(&b).unwrap();
+        assert!((lu.det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lu_inverse_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 12;
+        let mut a = random_mat(&mut rng, n, n);
+        for i in 0..n {
+            a[(i, i)] += 4.0;
+        }
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        let err = prod.add_scaled(&Mat::identity(n), -1.0).frobenius_norm();
+        assert!(err < 1e-10, "err={err}");
+    }
+
+    #[test]
+    fn qr_least_squares_matches_normal_equations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, n) = (40, 7);
+        let a = random_mat(&mut rng, m, n);
+        let b: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x = Qr::new(&a).solve_ls(&b);
+        // normal equations residual: Aᵀ(Ax − b) should vanish
+        let mut r = a.matvec(&x);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri -= bi;
+        }
+        let g = a.matvec_t(&r);
+        assert!(norm2(&g) < 1e-10, "gradient norm {}", norm2(&g));
+    }
+
+    #[test]
+    fn qr_exact_solve_square() {
+        let a = Mat::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]);
+        let xtrue = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&xtrue);
+        let x = Qr::new(&a).solve_ls(&b);
+        for (u, v) in x.iter().zip(&xtrue) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

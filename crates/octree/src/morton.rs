@@ -1,0 +1,290 @@
+//! Morton (Z-order) keys for octree nodes and spatial sorting.
+//!
+//! The paper sorts bounding-box samples and target points by a Morton-order
+//! spatial hash (§3.3, step c) and distributes octree nodes in Morton order
+//! inside PVFMM. Keys here carry 21 bits per dimension plus a level, enough
+//! for trees of depth ≤ 21.
+
+/// Maximum representable octree depth.
+pub const MAX_DEPTH: u32 = 21;
+
+/// A node key: refinement level and integer anchor coordinates.
+///
+/// The anchor is the lower corner of the node in units of the level-`level`
+/// grid: coordinates lie in `[0, 2^level)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MortonKey {
+    /// Refinement level (0 = root).
+    pub level: u32,
+    /// Interleaved Morton code of the anchor at `MAX_DEPTH` resolution.
+    pub code: u64,
+}
+
+/// Spreads the low 21 bits of `v` so that there are two zero bits between
+/// consecutive bits (the standard magic-number dilation).
+#[inline]
+pub fn dilate3(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`dilate3`].
+#[inline]
+pub fn contract3(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Interleaves three 21-bit coordinates into a Morton code.
+#[inline]
+pub fn morton_encode(x: u64, y: u64, z: u64) -> u64 {
+    dilate3(x) | (dilate3(y) << 1) | (dilate3(z) << 2)
+}
+
+/// Splits a Morton code back into its three coordinates.
+#[inline]
+pub fn morton_decode(code: u64) -> (u64, u64, u64) {
+    (contract3(code), contract3(code >> 1), contract3(code >> 2))
+}
+
+impl MortonKey {
+    /// The root key (level 0, anchor at the origin).
+    pub const ROOT: MortonKey = MortonKey { level: 0, code: 0 };
+
+    /// Builds a key from level-local anchor coordinates in `[0, 2^level)`.
+    pub fn from_anchor(level: u32, x: u64, y: u64, z: u64) -> MortonKey {
+        debug_assert!(level <= MAX_DEPTH);
+        debug_assert!(x < (1 << level).max(1) && y < (1 << level).max(1) && z < (1 << level).max(1));
+        let shift = MAX_DEPTH - level;
+        MortonKey { level, code: morton_encode(x << shift, y << shift, z << shift) }
+    }
+
+    /// Anchor coordinates in the level-local grid `[0, 2^level)`.
+    pub fn anchor(self) -> (u64, u64, u64) {
+        let (x, y, z) = morton_decode(self.code);
+        let shift = MAX_DEPTH - self.level;
+        (x >> shift, y >> shift, z >> shift)
+    }
+
+    /// Parent key; the root is its own parent.
+    pub fn parent(self) -> MortonKey {
+        if self.level == 0 {
+            return self;
+        }
+        let level = self.level - 1;
+        let shift = MAX_DEPTH - level;
+        // zero out the bits below the parent level
+        let mask = !((1u64 << (3 * shift.min(63) as u64)).wrapping_sub(1));
+        let mask = if shift >= 21 { 0 } else { mask };
+        MortonKey { level, code: self.code & mask }
+    }
+
+    /// The eight children, in Morton order.
+    pub fn children(self) -> [MortonKey; 8] {
+        debug_assert!(self.level < MAX_DEPTH);
+        let level = self.level + 1;
+        let shift = MAX_DEPTH - level;
+        let mut out = [MortonKey { level, code: 0 }; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            let dx = (i & 1) as u64;
+            let dy = ((i >> 1) & 1) as u64;
+            let dz = ((i >> 2) & 1) as u64;
+            o.code = self.code | morton_encode(dx << shift, dy << shift, dz << shift);
+        }
+        out
+    }
+
+    /// Index of this node among its parent's children (0–7).
+    pub fn child_index(self) -> usize {
+        if self.level == 0 {
+            return 0;
+        }
+        let shift = MAX_DEPTH - self.level;
+        let (x, y, z) = morton_decode(self.code);
+        (((x >> shift) & 1) | (((y >> shift) & 1) << 1) | (((z >> shift) & 1) << 2)) as usize
+    }
+
+    /// Whether `self` is an ancestor of `other` (inclusive of equality).
+    pub fn is_ancestor_of(self, other: MortonKey) -> bool {
+        if self.level > other.level {
+            return false;
+        }
+        other.ancestor_at(self.level) == self
+    }
+
+    /// The ancestor of this key at the given (coarser or equal) level.
+    pub fn ancestor_at(self, level: u32) -> MortonKey {
+        debug_assert!(level <= self.level);
+        let shift = MAX_DEPTH - level;
+        let mask = if shift >= 21 {
+            0u64
+        } else {
+            !((1u64 << (3 * shift as u64)) - 1)
+        };
+        MortonKey { level, code: self.code & mask }
+    }
+
+    /// Same-level neighbours sharing a face, edge, or corner (≤ 26), clipped
+    /// to the root cube.
+    pub fn neighbors(self) -> Vec<MortonKey> {
+        let (x, y, z) = self.anchor();
+        let n = 1u64 << self.level;
+        let mut out = Vec::with_capacity(26);
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    let nz = z as i64 + dz;
+                    if nx < 0 || ny < 0 || nz < 0 {
+                        continue;
+                    }
+                    let (nx, ny, nz) = (nx as u64, ny as u64, nz as u64);
+                    if nx >= n || ny >= n || nz >= n {
+                        continue;
+                    }
+                    out.push(MortonKey::from_anchor(self.level, nx, ny, nz));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether two same- or different-level boxes are adjacent (share at
+    /// least a corner) or overlap. Works on the integer anchor geometry.
+    pub fn is_adjacent(self, other: MortonKey) -> bool {
+        // compare in the finer of the two grids
+        let (a, b) = if self.level >= other.level { (self, other) } else { (other, self) };
+        let shift = a.level - b.level;
+        let (ax, ay, az) = a.anchor();
+        let (bx, by, bz) = b.anchor();
+        // box b in a's grid units: [b*2^shift, (b+1)*2^shift]
+        let scale = 1u64 << shift;
+        let adj1 = |p: u64, q0: u64| -> bool {
+            let q1 = q0 + scale;
+            // interval [p, p+1] vs [q0, q1]: adjacent or overlapping
+            p + 1 >= q0 && p <= q1
+        };
+        adj1(ax, bx * scale) && adj1(ay, by * scale) && adj1(az, bz * scale)
+    }
+}
+
+/// Computes the Morton code (at `MAX_DEPTH` resolution) of a point inside
+/// the root cube `[center − half, center + half]³`.
+pub fn point_morton(p: linalg::Vec3, center: linalg::Vec3, half: f64) -> u64 {
+    let n = (1u64 << MAX_DEPTH) as f64;
+    let clampi = |v: f64| -> u64 {
+        let t = (v + half) / (2.0 * half);
+        let i = (t * n).floor();
+        i.clamp(0.0, n - 1.0) as u64
+    };
+    morton_encode(
+        clampi(p.x - center.x),
+        clampi(p.y - center.y),
+        clampi(p.z - center.z),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilate_contract_roundtrip() {
+        for v in [0u64, 1, 2, 7, 0x1f_ffff, 123456, 0x15555] {
+            assert_eq!(contract3(dilate3(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (x, y, z) in [(0u64, 0, 0), (1, 2, 3), (100, 2000, 30000), (0x1fffff, 0, 0x1fffff)] {
+            assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let k = MortonKey::from_anchor(5, 13, 7, 22);
+        let children = k.children();
+        for (i, c) in children.iter().enumerate() {
+            assert_eq!(c.parent(), k);
+            assert_eq!(c.child_index(), i);
+            assert!(k.is_ancestor_of(*c));
+        }
+        assert_eq!(k.anchor(), (13, 7, 22));
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let root = MortonKey::ROOT;
+        let k = MortonKey::from_anchor(4, 3, 9, 14);
+        assert!(root.is_ancestor_of(k));
+        assert!(k.is_ancestor_of(k));
+        assert!(!k.is_ancestor_of(root));
+        assert_eq!(k.ancestor_at(0), root);
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        // interior node: 26 neighbours
+        let k = MortonKey::from_anchor(3, 3, 3, 3);
+        assert_eq!(k.neighbors().len(), 26);
+        // corner node: 7 neighbours
+        let c = MortonKey::from_anchor(3, 0, 0, 0);
+        assert_eq!(c.neighbors().len(), 7);
+        // all neighbours are adjacent
+        for n in k.neighbors() {
+            assert!(k.is_adjacent(n), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn adjacency_across_levels() {
+        let coarse = MortonKey::from_anchor(2, 0, 0, 0);
+        // fine box just outside the corner of `coarse`
+        let fine_touching = MortonKey::from_anchor(4, 4, 0, 0);
+        let fine_far = MortonKey::from_anchor(4, 9, 9, 9);
+        assert!(coarse.is_adjacent(fine_touching));
+        assert!(!coarse.is_adjacent(fine_far));
+        // containment counts as adjacent
+        let inside = MortonKey::from_anchor(4, 1, 2, 3);
+        assert!(coarse.is_adjacent(inside));
+    }
+
+    #[test]
+    fn point_codes_sort_spatially() {
+        use linalg::Vec3;
+        let c = Vec3::ZERO;
+        let a = point_morton(Vec3::new(-0.9, -0.9, -0.9), c, 1.0);
+        let b = point_morton(Vec3::new(0.9, 0.9, 0.9), c, 1.0);
+        assert!(a < b);
+        // same cell at max depth → same code
+        let p = Vec3::new(0.123456, -0.654, 0.999);
+        assert_eq!(point_morton(p, c, 1.0), point_morton(p, c, 1.0));
+    }
+
+    #[test]
+    fn morton_order_refines_lexicographic_on_level() {
+        // children are contiguous and ordered
+        let k = MortonKey::from_anchor(2, 1, 1, 1);
+        let ch = k.children();
+        for w in ch.windows(2) {
+            assert!(w[0].code < w[1].code);
+        }
+        assert!(ch[0].code >= k.code);
+    }
+}

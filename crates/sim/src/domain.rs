@@ -1,0 +1,209 @@
+//! The confined-flow domain: vessel boundary state, boundary conditions,
+//! and inlet/outlet bookkeeping (§5.1).
+
+use bie::{BieOptions, DoubleLayerSolver};
+use collision::{triangulate_grid, TriMesh};
+use kernels::{StokesDL, StokesEquiv};
+use linalg::Vec3;
+use patch::{BoundarySurface, PatchKind};
+
+/// A flow port (inlet or outlet cap of the vessel).
+#[derive(Clone, Copy, Debug)]
+pub struct Port {
+    /// Port id (matches [`PatchKind::Inlet`]/[`PatchKind::Outlet`]).
+    pub id: u32,
+    /// Whether fluid enters here.
+    pub is_inlet: bool,
+    /// Cap center.
+    pub center: Vec3,
+    /// Unit direction of flow *into* the domain at this port.
+    pub inward: Vec3,
+    /// Cap radius estimate.
+    pub radius: f64,
+}
+
+/// The rigid vessel: boundary solver plus collision meshes and ports.
+pub struct Vessel {
+    /// The Stokes boundary solver on Γ.
+    pub solver: DoubleLayerSolver<StokesDL, StokesEquiv>,
+    /// Boundary condition `g` at the coarse nodes (3 per node).
+    pub bc: Vec<f64>,
+    /// Collision triangle meshes, one per patch (the paper's 22² grids).
+    pub meshes: Vec<TriMesh>,
+    /// Ports (inlets and outlets).
+    pub ports: Vec<Port>,
+    /// Interior volume of the vessel (from the divergence theorem).
+    pub volume: f64,
+}
+
+impl Vessel {
+    /// Builds the vessel state: boundary solver, parabolic port boundary
+    /// conditions scaled so the net flux is zero (§5.1), and collision
+    /// meshes with `col_m × col_m` samples per patch (paper: 22).
+    pub fn new(surface: BoundarySurface, mu: f64, opts: BieOptions, peak_speed: f64, col_m: usize) -> Vessel {
+        let solver = DoubleLayerSolver::new(surface, StokesDL, StokesEquiv { mu }, opts);
+        let quad = &solver.quad;
+        let surface = &solver.surface;
+
+        // identify ports from cap patches
+        let mut ports: Vec<Port> = Vec::new();
+        for pid in port_ids(surface) {
+            let (is_inlet, patches): (bool, Vec<usize>) = {
+                let mut inlet = false;
+                let idx: Vec<usize> = surface
+                    .kinds
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, k)| match k {
+                        PatchKind::Inlet(p) if *p == pid => {
+                            inlet = true;
+                            Some(i)
+                        }
+                        PatchKind::Outlet(p) if *p == pid => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                (inlet, idx)
+            };
+            // area-weighted center and mean normal over the cap
+            let mut center = Vec3::ZERO;
+            let mut normal = Vec3::ZERO;
+            let mut area = 0.0;
+            for l in 0..quad.len() {
+                if patches.contains(&(quad.patch_of[l] as usize)) {
+                    let w = quad.weights[l];
+                    center += quad.points[l] * w;
+                    normal += quad.normals[l] * w;
+                    area += w;
+                }
+            }
+            center /= area;
+            // outward cap normal points out of the fluid; inward = −n
+            let inward = -normal.normalized();
+            let radius = (area / std::f64::consts::PI).sqrt();
+            ports.push(Port { id: pid, is_inlet, center, inward, radius });
+        }
+
+        // parabolic boundary condition on ports, zero on walls; outlet
+        // speeds scaled for zero total flux
+        let mut bc = vec![0.0; quad.len() * 3];
+        let mut influx = 0.0;
+        let mut outflux = 0.0;
+        for l in 0..quad.len() {
+            let k = surface.kinds[quad.patch_of[l] as usize];
+            let port = match k {
+                PatchKind::Inlet(p) | PatchKind::Outlet(p) => {
+                    ports.iter().find(|q| q.id == p).copied()
+                }
+                PatchKind::Wall => None,
+            };
+            if let Some(port) = port {
+                let rho = (quad.points[l] - port.center).norm() / port.radius;
+                let profile = (1.0 - rho * rho).max(0.0);
+                let u = port.inward * (peak_speed * profile);
+                bc[l * 3] = u.x;
+                bc[l * 3 + 1] = u.y;
+                bc[l * 3 + 2] = u.z;
+                let fl = u.dot(quad.normals[l]) * quad.weights[l];
+                if port.is_inlet {
+                    influx += fl;
+                } else {
+                    outflux += fl;
+                }
+            }
+        }
+        if outflux.abs() > 1e-300 {
+            // rescale outlet velocities for exact discrete zero net flux
+            let scale = -influx / outflux;
+            for l in 0..quad.len() {
+                if matches!(surface.kinds[quad.patch_of[l] as usize], PatchKind::Outlet(_)) {
+                    bc[l * 3] *= scale;
+                    bc[l * 3 + 1] *= scale;
+                    bc[l * 3 + 2] *= scale;
+                }
+            }
+        }
+
+        let meshes: Vec<TriMesh> = solver
+            .surface
+            .collision_grid(col_m)
+            .into_iter()
+            .map(|g| triangulate_grid(&g, col_m))
+            .collect();
+
+        // interior volume via the divergence theorem (normals outward)
+        let mut volume = 0.0;
+        for l in 0..quad.len() {
+            volume += quad.points[l].dot(quad.normals[l]) * quad.weights[l];
+        }
+        volume /= 3.0;
+
+        Vessel { solver, bc, meshes, ports, volume }
+    }
+}
+
+fn port_ids(surface: &BoundarySurface) -> Vec<u32> {
+    let mut ids: Vec<u32> = surface
+        .kinds
+        .iter()
+        .filter_map(|k| match k {
+            PatchKind::Inlet(p) | PatchKind::Outlet(p) => Some(*p),
+            PatchKind::Wall => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch::{capsule_tube, StraightLine};
+
+    fn tube_vessel() -> Vessel {
+        let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(6.0, 0.0, 0.0) };
+        let s = capsule_tube(&line, 1.0, 3, 8);
+        let opts = BieOptions { use_fmm: Some(false), ..Default::default() };
+        Vessel::new(s, 1.0, opts, 1.0, 8)
+    }
+
+    #[test]
+    fn ports_identified_with_opposed_flow() {
+        let v = tube_vessel();
+        assert_eq!(v.ports.len(), 2);
+        let inlet = v.ports.iter().find(|p| p.is_inlet).unwrap();
+        let outlet = v.ports.iter().find(|p| !p.is_inlet).unwrap();
+        // inlet at x≈0 cap pointing +x, outlet at x≈6 pointing −x inward
+        assert!(inlet.center.x < 0.0, "{:?}", inlet.center);
+        assert!(outlet.center.x > 6.0, "{:?}", outlet.center);
+        assert!(inlet.inward.x > 0.9);
+        assert!(outlet.inward.x < -0.9);
+    }
+
+    #[test]
+    fn boundary_condition_has_zero_net_flux() {
+        let v = tube_vessel();
+        let quad = &v.solver.quad;
+        let mut flux = 0.0;
+        for l in 0..quad.len() {
+            let u = Vec3::new(v.bc[l * 3], v.bc[l * 3 + 1], v.bc[l * 3 + 2]);
+            flux += u.dot(quad.normals[l]) * quad.weights[l];
+        }
+        assert!(flux.abs() < 1e-12, "net flux {flux}");
+        // walls are no-slip
+        for l in 0..quad.len() {
+            if matches!(v.solver.surface.kinds[quad.patch_of[l] as usize], PatchKind::Wall) {
+                assert_eq!(v.bc[l * 3], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn vessel_volume_close_to_capsule() {
+        let v = tube_vessel();
+        // capsule: cylinder π r² L + sphere 4/3 π r³
+        let exact = std::f64::consts::PI * 6.0 + 4.0 / 3.0 * std::f64::consts::PI;
+        assert!((v.volume - exact).abs() / exact < 1e-2, "{} vs {exact}", v.volume);
+    }
+}

@@ -1,0 +1,163 @@
+//! The vessel-filling procedure of §5.1: "uniformly sample the volume of
+//! the bounding box of the vessel with a spacing h to find point locations
+//! inside the domain at which we place RBCs in a random orientation. We
+//! then slowly increase the size of each RBC until it collides with the
+//! vessel boundary or another RBC... This typically produces RBCs of radius
+//! r with r0 < r < 2r0."
+
+use bie::closest_points;
+use kernels::{direct_eval, LaplaceDL};
+use linalg::Vec3;
+use patch::BoundarySurface;
+use rand::Rng;
+use rayon::prelude::*;
+use sphharm::SphBasis;
+use vesicle::{biconcave_coeffs, rotated_coeffs, Cell, CellParams};
+
+/// A placed seed: center and grown radius.
+#[derive(Clone, Copy, Debug)]
+pub struct Seed {
+    /// Cell center.
+    pub center: Vec3,
+    /// Grown cell radius.
+    pub radius: f64,
+}
+
+/// Finds seed locations inside the vessel and grows their radii until they
+/// would touch the wall or each other (capped at `2 r0`), with `r0 = h/2 ·
+/// margin`. Interior/exterior classification uses the Gauss double-layer
+/// identity (1 inside, 0 outside) evaluated with the coarse quadrature.
+pub fn fill_seeds(surface: &BoundarySurface, h: f64, margin: f64) -> Vec<Seed> {
+    let quad = surface.quadrature();
+    let bbox = surface.bounding_box();
+    // candidate lattice
+    let ext = bbox.extent();
+    let (nx, ny, nz) = (
+        (ext.x / h).floor() as i64,
+        (ext.y / h).floor() as i64,
+        (ext.z / h).floor() as i64,
+    );
+    let mut candidates = Vec::new();
+    for k in 0..=nz {
+        for j in 0..=ny {
+            for i in 0..=nx {
+                candidates.push(bbox.lo + Vec3::new(i as f64 * h, j as f64 * h, k as f64 * h));
+            }
+        }
+    }
+    // inside test: Laplace double layer of the constant density 1
+    let src_data: Vec<f64> = (0..quad.len())
+        .flat_map(|l| {
+            let n = quad.normals[l];
+            [quad.weights[l], n.x, n.y, n.z]
+        })
+        .collect();
+    let mut winding = vec![0.0; candidates.len()];
+    direct_eval(&LaplaceDL, &quad.points, &src_data, &candidates, &mut winding);
+    let inside: Vec<Vec3> = candidates
+        .into_iter()
+        .zip(&winding)
+        .filter(|(_, &w)| w > 0.5)
+        .map(|(p, _)| p)
+        .collect();
+
+    // distance to the wall for each inside point
+    let wall_dist: Vec<f64> = {
+        let hits = closest_points(surface, &quad, &inside, 1e9);
+        hits.par_iter()
+            .zip(&inside)
+            .map(|(hit, _)| hit.map(|h| h.dist).unwrap_or(f64::INFINITY))
+            .collect()
+    };
+
+    // grow radii: limited by wall distance and half the gap to the nearest
+    // neighbour (all seeds grow at the same rate, so the gap splits evenly)
+    let r0 = 0.5 * h * margin;
+    let rmax_cap = 2.0 * r0;
+    let seeds: Vec<Seed> = inside
+        .par_iter()
+        .enumerate()
+        .filter_map(|(i, &c)| {
+            let mut nearest = f64::INFINITY;
+            for (j, &o) in inside.iter().enumerate() {
+                if j != i {
+                    nearest = nearest.min((o - c).norm());
+                }
+            }
+            let r = (wall_dist[i] * 0.9).min(0.5 * nearest * 0.95).min(rmax_cap);
+            if r >= 0.5 * r0 {
+                Some(Seed { center: c, radius: r })
+            } else {
+                None
+            }
+        })
+        .collect();
+    seeds
+}
+
+/// Creates biconcave cells of various sizes at the seeds, each in a random
+/// orientation (the filled configurations of Figs. 1 and 8).
+pub fn cells_from_seeds(
+    basis: &SphBasis,
+    seeds: &[Seed],
+    params: CellParams,
+    rng: &mut impl Rng,
+) -> Vec<Cell> {
+    seeds
+        .iter()
+        .map(|s| {
+            let coeffs = biconcave_coeffs(basis, s.radius, s.center);
+            let rot = rotated_coeffs(basis, &coeffs, rng);
+            Cell::new(basis, rot, params)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch::{capsule_tube, StraightLine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeds_are_inside_and_disjoint() {
+        let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(6.0, 0.0, 0.0) };
+        let s = capsule_tube(&line, 1.0, 3, 8);
+        let seeds = fill_seeds(&s, 0.8, 0.9);
+        assert!(!seeds.is_empty(), "no seeds placed");
+        // pairwise disjoint spheres
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                let d = (seeds[i].center - seeds[j].center).norm();
+                assert!(
+                    d >= 0.9 * (seeds[i].radius + seeds[j].radius),
+                    "seeds {i},{j} overlap: d={d}"
+                );
+            }
+            // inside the tube: distance from axis < 1
+            let c = seeds[i].center;
+            let axis_d = (c.y * c.y + c.z * c.z).sqrt();
+            assert!(
+                axis_d + seeds[i].radius <= 1.05,
+                "seed {i} pokes through the wall"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_built_with_varied_radii() {
+        let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(8.0, 0.0, 0.0) };
+        let s = capsule_tube(&line, 1.0, 4, 8);
+        let basis = SphBasis::new(8);
+        let seeds = fill_seeds(&s, 0.7, 0.9);
+        let mut rng = StdRng::seed_from_u64(42);
+        let cells = cells_from_seeds(&basis, &seeds, CellParams::default(), &mut rng);
+        assert_eq!(cells.len(), seeds.len());
+        // volume fraction is positive and below close packing
+        let vol: f64 = cells.iter().map(|c| c.geometry(&basis).volume()).sum();
+        let vessel_vol = std::f64::consts::PI * 8.0 + 4.0 / 3.0 * std::f64::consts::PI;
+        let vf = vol / vessel_vol;
+        assert!(vf > 0.005 && vf < 0.74, "volume fraction {vf}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # sim — the parallel RBC-flow simulation platform (the paper's core)
+//!
+//! Orchestrates everything: cells (`vesicle`), the vessel boundary solver
+//! (`bie`), contact-free time stepping (`collision`), and far-field
+//! summation (`fmm`), with per-component wall-time accounting matching the
+//! COL / BIE-solve / BIE-FMM / Other-FMM / Other breakdown of Figs. 4–6.
+//!
+//! Modules:
+//! - [`stepper`]: the time-step algorithm of §2.2;
+//! - [`domain`]: vessel state, inlet/outlet ports, boundary conditions;
+//! - [`fill`]: the vessel-filling procedure of §5.1;
+//! - [`timers`]: component timers.
+
+pub mod domain;
+pub mod fill;
+pub mod stepper;
+pub mod timers;
+
+pub use domain::{Port, Vessel};
+pub use fill::{cells_from_seeds, fill_seeds, Seed};
+pub use stepper::{SimConfig, Simulation, StepStats};
+pub use timers::{timed, StepTimers};

@@ -1,0 +1,624 @@
+//! Real spherical-harmonic basis on Gauss–Legendre × uniform grids.
+//!
+//! RBC surfaces in the paper are "discretized using a spherical harmonic
+//! representation, with surfaces sampled uniformly in the standard
+//! latitude-longitude sphere parametrization" (§2.2); order p = 16 gives the
+//! paper's 544 quadrature points per cell ((p+1) Gauss–Legendre latitudes ×
+//! 2p uniform longitudes).
+//!
+//! We use orthonormal *real* spherical harmonics
+//! `Y_n^0 = Q_n^0`, `Y_n^{m,c} = √2 Q_n^m cos mφ`, `Y_n^{m,s} = √2 Q_n^m sin mφ`
+//! where `Q_n^m` are the fully normalized associated Legendre functions
+//! computed with the standard stable three-term recurrence. Analysis uses
+//! Gauss–Legendre quadrature in latitude (exact for band-limited data) and
+//! the trapezoidal rule in longitude.
+
+use linalg::quad::gauss_legendre;
+use rayon::prelude::*;
+use std::f64::consts::PI;
+
+/// Which derivative of the basis to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deriv {
+    /// Function values.
+    None,
+    /// ∂/∂θ.
+    Dtheta,
+    /// ∂/∂φ.
+    Dphi,
+    /// ∂²/∂θ².
+    Dtheta2,
+    /// ∂²/∂φ².
+    Dphi2,
+    /// ∂²/∂θ∂φ.
+    DthetaDphi,
+}
+
+/// Spectral coefficients of a scalar field at order `p`.
+///
+/// Layout: the `m = 0` block holds `a_{n,0}` for `n = 0..=p`; each `m ≥ 1`
+/// block holds `a_{n,m}` for `n = m..=p` followed by `b_{n,m}` — `(p+1)²`
+/// values in total.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SphCoeffs {
+    /// Basis order.
+    pub p: usize,
+    /// Packed coefficients.
+    pub data: Vec<f64>,
+}
+
+impl SphCoeffs {
+    /// All-zero coefficients at order `p`.
+    pub fn zeros(p: usize) -> SphCoeffs {
+        SphCoeffs { p, data: vec![0.0; (p + 1) * (p + 1)] }
+    }
+
+    /// Offset of the `m` block inside `data`.
+    fn block_start(p: usize, m: usize) -> usize {
+        if m == 0 {
+            0
+        } else {
+            // m = 0 block: p+1; blocks 1..m: 2(p+1-k) each
+            (p + 1) + (1..m).map(|k| 2 * (p + 1 - k)).sum::<usize>()
+        }
+    }
+
+    /// Cosine coefficient `a_{n,m}` (for `m = 0` the only kind).
+    pub fn a(&self, n: usize, m: usize) -> f64 {
+        debug_assert!(m <= n && n <= self.p);
+        let s = Self::block_start(self.p, m);
+        if m == 0 {
+            self.data[s + n]
+        } else {
+            self.data[s + (n - m)]
+        }
+    }
+
+    /// Sine coefficient `b_{n,m}` (`m ≥ 1`).
+    pub fn b(&self, n: usize, m: usize) -> f64 {
+        debug_assert!(m >= 1 && m <= n && n <= self.p);
+        let s = Self::block_start(self.p, m);
+        self.data[s + (self.p + 1 - m) + (n - m)]
+    }
+
+    /// Sets the cosine coefficient `a_{n,m}`.
+    pub fn set_a(&mut self, n: usize, m: usize, v: f64) {
+        *self.a_mut(n, m) = v;
+    }
+
+    /// Sets the sine coefficient `b_{n,m}` (`m ≥ 1`).
+    pub fn set_b(&mut self, n: usize, m: usize, v: f64) {
+        *self.b_mut(n, m) = v;
+    }
+
+    fn a_mut(&mut self, n: usize, m: usize) -> &mut f64 {
+        let s = Self::block_start(self.p, m);
+        if m == 0 {
+            &mut self.data[s + n]
+        } else {
+            &mut self.data[s + (n - m)]
+        }
+    }
+
+    fn b_mut(&mut self, n: usize, m: usize) -> &mut f64 {
+        let s = Self::block_start(self.p, m);
+        let off = self.p + 1 - m;
+        &mut self.data[s + off + (n - m)]
+    }
+
+    /// Re-expands the coefficients at a different order: truncation when
+    /// `q < p`, zero-padding when `q > p` (the spectrally exact up/down
+    /// sampling used for the fine collision grids).
+    pub fn resampled(&self, q: usize) -> SphCoeffs {
+        let mut out = SphCoeffs::zeros(q);
+        let nmax = self.p.min(q);
+        for m in 0..=nmax {
+            for n in m.max(0)..=nmax {
+                if m == 0 {
+                    *out.a_mut(n, 0) = self.a(n, 0);
+                } else {
+                    *out.a_mut(n, m) = self.a(n, m);
+                    *out.b_mut(n, m) = self.b(n, m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Truncated spectral energy above degree `n0` relative to the total —
+    /// a cheap smoothness diagnostic used to monitor aliasing.
+    pub fn high_frequency_fraction(&self, n0: usize) -> f64 {
+        let mut hi = 0.0;
+        let mut total = 0.0;
+        for m in 0..=self.p {
+            for n in m..=self.p {
+                let e = if m == 0 {
+                    self.a(n, 0).powi(2)
+                } else {
+                    self.a(n, m).powi(2) + self.b(n, m).powi(2)
+                };
+                total += e;
+                if n > n0 {
+                    hi += e;
+                }
+            }
+        }
+        if total > 0.0 {
+            hi / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Precomputed tables for one order `p` (grid, Legendre values and
+/// θ-derivatives at the grid latitudes, Fourier tables).
+pub struct SphBasis {
+    /// Basis order.
+    pub p: usize,
+    /// Number of latitudes `p + 1`.
+    pub nlat: usize,
+    /// Number of longitudes `2p` (at least 4).
+    pub nlon: usize,
+    /// Latitude angles θ_i (from the Gauss–Legendre nodes, θ = acos x).
+    pub theta: Vec<f64>,
+    /// Gauss–Legendre weights (w.r.t. x = cos θ).
+    pub glw: Vec<f64>,
+    /// Longitude angles φ_j = 2π j / nlon.
+    pub phi: Vec<f64>,
+    /// `q[m][(n−m)·nlat + i]` = Q_n^m(cos θ_i).
+    q: Vec<Vec<f64>>,
+    /// Matching table of dQ_n^m/dθ.
+    dq: Vec<Vec<f64>>,
+    /// Matching table of d²Q_n^m/dθ².
+    d2q: Vec<Vec<f64>>,
+}
+
+/// Computes `Q_n^m(x)` for fixed `x` and all `m ≤ n ≤ p`, plus first and
+/// second θ-derivatives. Returns three tables indexed like [`SphBasis::q`].
+fn legendre_tables(p: usize, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let nlat = xs.len();
+    let mut q: Vec<Vec<f64>> = (0..=p).map(|m| vec![0.0; (p + 1 - m) * nlat]).collect();
+    for (i, &x) in xs.iter().enumerate() {
+        let s = (1.0 - x * x).sqrt(); // sin θ > 0 at interior GL nodes
+        // diagonal terms Q_m^m
+        let mut qmm = (1.0 / (4.0 * PI)).sqrt();
+        for m in 0..=p {
+            if m > 0 {
+                qmm *= s * ((2.0 * m as f64 + 1.0) / (2.0 * m as f64)).sqrt();
+            }
+            q[m][i] = qmm; // n = m entry
+            if m < p {
+                q[m][nlat + i] = x * (2.0 * m as f64 + 3.0).sqrt() * qmm; // n = m+1
+            }
+            for n in (m + 2)..=p {
+                let nf = n as f64;
+                let mf = m as f64;
+                let anm = ((4.0 * nf * nf - 1.0) / (nf * nf - mf * mf)).sqrt();
+                let bnm = (((nf - 1.0) * (nf - 1.0) - mf * mf) / (4.0 * (nf - 1.0) * (nf - 1.0) - 1.0))
+                    .sqrt();
+                q[m][(n - m) * nlat + i] =
+                    anm * (x * q[m][(n - 1 - m) * nlat + i] - bnm * q[m][(n - 2 - m) * nlat + i]);
+            }
+        }
+    }
+    // first derivative: dQ_n^m/dθ = [n x Q_n^m − c_nm Q_{n−1}^m] / sin θ
+    let mut dq: Vec<Vec<f64>> = (0..=p).map(|m| vec![0.0; (p + 1 - m) * nlat]).collect();
+    for m in 0..=p {
+        for n in m..=p {
+            let nf = n as f64;
+            let mf = m as f64;
+            let c = if n > m {
+                ((2.0 * nf + 1.0) * (nf * nf - mf * mf) / (2.0 * nf - 1.0)).sqrt()
+            } else {
+                0.0
+            };
+            for (i, &x) in xs.iter().enumerate() {
+                let s = (1.0 - x * x).sqrt();
+                let qn = q[m][(n - m) * nlat + i];
+                let qn1 = if n > m { q[m][(n - 1 - m) * nlat + i] } else { 0.0 };
+                dq[m][(n - m) * nlat + i] = (nf * x * qn - c * qn1) / s;
+            }
+        }
+    }
+    // second derivative from the ODE of associated Legendre functions:
+    // d²Q/dθ² = −cot θ · dQ/dθ + (m²/sin²θ − n(n+1)) Q
+    let mut d2q: Vec<Vec<f64>> = (0..=p).map(|m| vec![0.0; (p + 1 - m) * nlat]).collect();
+    for m in 0..=p {
+        for n in m..=p {
+            let nf = n as f64;
+            let mf = m as f64;
+            for (i, &x) in xs.iter().enumerate() {
+                let s2 = 1.0 - x * x;
+                let s = s2.sqrt();
+                let qn = q[m][(n - m) * nlat + i];
+                let dqn = dq[m][(n - m) * nlat + i];
+                d2q[m][(n - m) * nlat + i] =
+                    -(x / s) * dqn + (mf * mf / s2 - nf * (nf + 1.0)) * qn;
+            }
+        }
+    }
+    (q, dq, d2q)
+}
+
+impl SphBasis {
+    /// Builds the basis tables for order `p ≥ 1`.
+    pub fn new(p: usize) -> SphBasis {
+        assert!(p >= 1, "spherical harmonic order must be >= 1");
+        let nlat = p + 1;
+        let nlon = (2 * p).max(4);
+        let gl = gauss_legendre(nlat);
+        // θ decreasing in x; keep natural order θ_0 < θ_1 < ... by reversing
+        let theta: Vec<f64> = gl.nodes.iter().rev().map(|&x| x.acos()).collect();
+        let xs: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
+        let glw: Vec<f64> = gl.weights.iter().rev().copied().collect();
+        let phi: Vec<f64> = (0..nlon).map(|j| 2.0 * PI * j as f64 / nlon as f64).collect();
+        let (q, dq, d2q) = legendre_tables(p, &xs);
+        SphBasis { p, nlat, nlon, theta, glw, phi, q, dq, d2q }
+    }
+
+    /// Total number of grid points `(p+1)·2p`.
+    pub fn grid_size(&self) -> usize {
+        self.nlat * self.nlon
+    }
+
+    /// Flat grid index of latitude `i`, longitude `j` (latitude-major).
+    #[inline]
+    pub fn grid_index(&self, i: usize, j: usize) -> usize {
+        i * self.nlon + j
+    }
+
+    /// Quadrature weight for surface integration *in parameter space*:
+    /// `∫ f dΩ = Σ_ij w_ij f_ij` on the unit sphere (the `sin θ` Jacobian is
+    /// absorbed in the Gauss–Legendre weights over `x = cos θ`).
+    pub fn sphere_weight(&self, i: usize) -> f64 {
+        self.glw[i] * 2.0 * PI / self.nlon as f64
+    }
+
+    /// Analysis: grid samples (latitude-major) → coefficients.
+    pub fn analyze(&self, f: &[f64]) -> SphCoeffs {
+        assert_eq!(f.len(), self.grid_size(), "analyze: grid size mismatch");
+        let mut out = SphCoeffs::zeros(self.p);
+        // longitude DFT per latitude: A_m(i), B_m(i)
+        let nlon = self.nlon;
+        let mut am = vec![0.0; (self.p + 1) * self.nlat];
+        let mut bm = vec![0.0; (self.p + 1) * self.nlat];
+        for i in 0..self.nlat {
+            let row = &f[i * nlon..(i + 1) * nlon];
+            for m in 0..=self.p {
+                let mut ca = 0.0;
+                let mut cb = 0.0;
+                for (j, &v) in row.iter().enumerate() {
+                    let ang = m as f64 * self.phi[j];
+                    ca += v * ang.cos();
+                    cb += v * ang.sin();
+                }
+                am[m * self.nlat + i] = ca * 2.0 * PI / nlon as f64;
+                bm[m * self.nlat + i] = cb * 2.0 * PI / nlon as f64;
+            }
+        }
+        // Legendre transform per (n, m) with GL weights
+        for m in 0..=self.p {
+            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            for n in m..=self.p {
+                let mut ac = 0.0;
+                let mut bc = 0.0;
+                for i in 0..self.nlat {
+                    let qv = self.q[m][(n - m) * self.nlat + i] * self.glw[i];
+                    ac += qv * am[m * self.nlat + i];
+                    bc += qv * bm[m * self.nlat + i];
+                }
+                if m == 0 {
+                    *out.a_mut(n, 0) = ac * norm;
+                } else if 2 * m == self.nlon {
+                    // Nyquist longitude mode: cos(mφ_j) = ±1 at every grid
+                    // point, so its discrete norm is doubled, and sin(mφ_j)
+                    // vanishes identically — the sine coefficient is not
+                    // representable on this grid and is pinned to zero.
+                    *out.a_mut(n, m) = 0.5 * ac * norm;
+                    *out.b_mut(n, m) = 0.0;
+                } else {
+                    *out.a_mut(n, m) = ac * norm;
+                    *out.b_mut(n, m) = bc * norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Synthesis of the field (or a derivative) on this basis' grid.
+    pub fn synthesize(&self, c: &SphCoeffs, d: Deriv) -> Vec<f64> {
+        assert_eq!(c.p, self.p, "synthesize: order mismatch");
+        let nlat = self.nlat;
+        let nlon = self.nlon;
+        let mut out = vec![0.0; self.grid_size()];
+        // per-latitude Fourier coefficients of the result
+        // gm_a[m][i], gm_b[m][i]
+        let table = |m: usize| -> &Vec<f64> {
+            match d {
+                Deriv::None | Deriv::Dphi | Deriv::Dphi2 => &self.q[m],
+                Deriv::Dtheta | Deriv::DthetaDphi => &self.dq[m],
+                Deriv::Dtheta2 => &self.d2q[m],
+            }
+        };
+        let mut ga = vec![0.0; (self.p + 1) * nlat];
+        let mut gb = vec![0.0; (self.p + 1) * nlat];
+        for m in 0..=self.p {
+            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let tab = table(m);
+            for n in m..=self.p {
+                let (an, bn) = if m == 0 {
+                    (c.a(n, 0), 0.0)
+                } else {
+                    (c.a(n, m), c.b(n, m))
+                };
+                if an == 0.0 && bn == 0.0 {
+                    continue;
+                }
+                for i in 0..nlat {
+                    let qv = tab[(n - m) * nlat + i] * norm;
+                    ga[m * nlat + i] += qv * an;
+                    gb[m * nlat + i] += qv * bn;
+                }
+            }
+        }
+        // apply the φ part with derivative factors
+        for i in 0..nlat {
+            for j in 0..nlon {
+                let mut v = 0.0;
+                for m in 0..=self.p {
+                    let a = ga[m * nlat + i];
+                    let b = gb[m * nlat + i];
+                    if a == 0.0 && b == 0.0 {
+                        continue;
+                    }
+                    let ang = m as f64 * self.phi[j];
+                    let mf = m as f64;
+                    v += match d {
+                        Deriv::None | Deriv::Dtheta | Deriv::Dtheta2 => {
+                            a * ang.cos() + b * ang.sin()
+                        }
+                        Deriv::Dphi | Deriv::DthetaDphi => {
+                            mf * (-a * ang.sin() + b * ang.cos())
+                        }
+                        Deriv::Dphi2 => -mf * mf * (a * ang.cos() + b * ang.sin()),
+                    };
+                }
+                out[self.grid_index(i, j)] = v;
+            }
+        }
+        out
+    }
+
+    /// Point synthesis at arbitrary `(θ, φ)` (used for resampling onto
+    /// rotated or refined grids, and by the closest-point machinery).
+    pub fn synthesize_at(&self, c: &SphCoeffs, theta: f64, phi: f64) -> f64 {
+        assert_eq!(c.p, self.p);
+        let x = theta.cos();
+        let (q, _, _) = legendre_tables(self.p, &[x]);
+        let mut v = 0.0;
+        for m in 0..=self.p {
+            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let ang = m as f64 * phi;
+            let (cm, sm) = (ang.cos(), ang.sin());
+            for n in m..=self.p {
+                let qv = q[m][n - m] * norm;
+                if m == 0 {
+                    v += qv * c.a(n, 0) * cm;
+                } else {
+                    v += qv * (c.a(n, m) * cm + c.b(n, m) * sm);
+                }
+            }
+        }
+        v
+    }
+
+    /// Analyzes a 3-component (xyz-interleaved) vector field; returns one
+    /// coefficient set per component. Runs the three transforms in parallel.
+    pub fn analyze_vec3(&self, f: &[f64]) -> [SphCoeffs; 3] {
+        assert_eq!(f.len(), 3 * self.grid_size());
+        let comps: Vec<SphCoeffs> = (0..3)
+            .into_par_iter()
+            .map(|k| {
+                let scalar: Vec<f64> = (0..self.grid_size()).map(|i| f[3 * i + k]).collect();
+                self.analyze(&scalar)
+            })
+            .collect();
+        let mut it = comps.into_iter();
+        [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn roundtrip_bandlimited_random() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        // the sine Nyquist modes (m = nlon/2) are invisible on the grid;
+        // exclude them from the representable subspace
+        if 2 * p == basis.nlon {
+            for n in p..=p {
+                c.set_b(n, p, 0.0);
+            }
+        }
+        let grid = basis.synthesize(&c, Deriv::None);
+        let c2 = basis.analyze(&grid);
+        for (u, v) in c.data.iter().zip(&c2.data) {
+            assert!((u - v).abs() < 1e-11, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn analyze_constant_gives_y00_only() {
+        let basis = SphBasis::new(6);
+        let grid = vec![3.0; basis.grid_size()];
+        let c = basis.analyze(&grid);
+        // a_{0,0} = 3·√(4π), everything else ~ 0
+        let expect = 3.0 * (4.0 * PI).sqrt();
+        assert!((c.a(0, 0) - expect).abs() < 1e-10);
+        let energy: f64 = c.data.iter().skip(1).map(|v| v * v).sum();
+        assert!(energy < 1e-20);
+    }
+
+    #[test]
+    fn known_harmonic_z_is_degree_one() {
+        // f = cos θ = √(4π/3) Y_1^0
+        let basis = SphBasis::new(5);
+        let mut grid = vec![0.0; basis.grid_size()];
+        for i in 0..basis.nlat {
+            for j in 0..basis.nlon {
+                grid[basis.grid_index(i, j)] = basis.theta[i].cos();
+            }
+        }
+        let c = basis.analyze(&grid);
+        assert!((c.a(1, 0) - (4.0 * PI / 3.0).sqrt()).abs() < 1e-12);
+        for n in [0usize, 2, 3, 4, 5] {
+            assert!(c.a(n, 0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn theta_derivative_matches_finite_difference() {
+        let p = 10;
+        let basis = SphBasis::new(p);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let dth = basis.synthesize(&c, Deriv::Dtheta);
+        let h = 1e-6;
+        for &(i, j) in &[(2usize, 3usize), (5, 10), (8, 0)] {
+            let t = basis.theta[i];
+            let ph = basis.phi[j];
+            let fd = (basis.synthesize_at(&c, t + h, ph) - basis.synthesize_at(&c, t - h, ph))
+                / (2.0 * h);
+            assert!(
+                (dth[basis.grid_index(i, j)] - fd).abs() < 1e-6,
+                "({i},{j}): {} vs {fd}",
+                dth[basis.grid_index(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn phi_derivatives_match_finite_difference() {
+        let p = 9;
+        let basis = SphBasis::new(p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let dph = basis.synthesize(&c, Deriv::Dphi);
+        let dph2 = basis.synthesize(&c, Deriv::Dphi2);
+        let h = 1e-5;
+        let (i, j) = (4usize, 7usize);
+        let t = basis.theta[i];
+        let ph = basis.phi[j];
+        let f = |x: f64| basis.synthesize_at(&c, t, x);
+        let fd1 = (f(ph + h) - f(ph - h)) / (2.0 * h);
+        let fd2 = (f(ph + h) - 2.0 * f(ph) + f(ph - h)) / (h * h);
+        assert!((dph[basis.grid_index(i, j)] - fd1).abs() < 1e-7);
+        assert!((dph2[basis.grid_index(i, j)] - fd2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn second_theta_derivative_matches_finite_difference() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let d2 = basis.synthesize(&c, Deriv::Dtheta2);
+        let h = 1e-4;
+        let (i, j) = (3usize, 5usize);
+        let t = basis.theta[i];
+        let ph = basis.phi[j];
+        let f = |x: f64| basis.synthesize_at(&c, x, ph);
+        let fd = (f(t + h) - 2.0 * f(t) + f(t - h)) / (h * h);
+        assert!(
+            (d2[basis.grid_index(i, j)] - fd).abs() < 1e-4 * fd.abs().max(1.0),
+            "{} vs {fd}",
+            d2[basis.grid_index(i, j)]
+        );
+    }
+
+    #[test]
+    fn mixed_derivative_consistent() {
+        let p = 7;
+        let basis = SphBasis::new(p);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let dtp = basis.synthesize(&c, Deriv::DthetaDphi);
+        let h = 1e-5;
+        let (i, j) = (2usize, 9usize);
+        let t = basis.theta[i];
+        let ph = basis.phi[j];
+        let fd = (basis.synthesize_at(&c, t + h, ph + h) - basis.synthesize_at(&c, t + h, ph - h)
+            - basis.synthesize_at(&c, t - h, ph + h)
+            + basis.synthesize_at(&c, t - h, ph - h))
+            / (4.0 * h * h);
+        assert!((dtp[basis.grid_index(i, j)] - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn resampling_preserves_low_modes() {
+        let p = 6;
+        let q = 12;
+        let bp = SphBasis::new(p);
+        let bq = SphBasis::new(q);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c = SphCoeffs::zeros(p);
+        for v in &mut c.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let up = c.resampled(q);
+        // synthesize on the fine grid and analyze back: low modes intact
+        let fine = bq.synthesize(&up, Deriv::None);
+        let back = bq.analyze(&fine).resampled(p);
+        for (u, v) in c.data.iter().zip(&back.data) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        // evaluating the coarse and fine representations at a point agrees
+        let v1 = bp.synthesize_at(&c, 1.1, 2.2);
+        let v2 = bq.synthesize_at(&up, 1.1, 2.2);
+        assert!((v1 - v2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn sphere_quadrature_weights_integrate_area() {
+        let basis = SphBasis::new(8);
+        let mut area = 0.0;
+        for i in 0..basis.nlat {
+            area += basis.sphere_weight(i) * basis.nlon as f64;
+        }
+        assert!((area - 4.0 * PI).abs() < 1e-10);
+    }
+
+    #[test]
+    fn high_frequency_fraction_detects_roughness() {
+        let p = 8;
+        let mut smooth = SphCoeffs::zeros(p);
+        *smooth.a_mut(1, 0) = 1.0;
+        assert_eq!(smooth.high_frequency_fraction(4), 0.0);
+        let mut rough = SphCoeffs::zeros(p);
+        *rough.a_mut(8, 3) = 1.0;
+        assert_eq!(rough.high_frequency_fraction(4), 1.0);
+    }
+}

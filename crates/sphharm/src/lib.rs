@@ -1,0 +1,12 @@
+//! # sphharm — spherical-harmonic surface representation
+//!
+//! The RBC-surface substrate (§2.2 of the paper): spectral analysis and
+//! synthesis on Gauss–Legendre × uniform longitude grids, with first and
+//! second parametric derivatives, spectrally exact up/down-sampling, and
+//! quadrature weights for surface integrals. Order p = 16 reproduces the
+//! paper's 544 quadrature points per cell; the 2×-upsampled grid gives the
+//! 2,112 collision points.
+
+pub mod basis;
+
+pub use basis::{Deriv, SphBasis, SphCoeffs};

@@ -1,0 +1,293 @@
+//! Differential geometry of spherical-harmonic cell surfaces.
+//!
+//! From the three coefficient sets of the position field we compute, on the
+//! (p+1) × 2p grid: tangents, normals, the first and second fundamental
+//! forms, mean and Gaussian curvature, the area element, and the
+//! Laplace–Beltrami operator — everything the Canham–Helfrich bending force
+//! (§2.1) and the inextensibility tension need.
+
+use linalg::Vec3;
+use sphharm::{Deriv, SphBasis, SphCoeffs};
+
+/// Pointwise surface geometry on the spherical-harmonic grid.
+#[derive(Clone, Debug)]
+pub struct SurfaceGeometry {
+    /// Positions `X`.
+    pub x: Vec<Vec3>,
+    /// ∂X/∂θ.
+    pub xt: Vec<Vec3>,
+    /// ∂X/∂φ.
+    pub xp: Vec<Vec3>,
+    /// Outward unit normals.
+    pub normal: Vec<Vec3>,
+    /// First fundamental form E = X_θ·X_θ.
+    pub e: Vec<f64>,
+    /// First fundamental form F = X_θ·X_φ.
+    pub f: Vec<f64>,
+    /// First fundamental form G = X_φ·X_φ.
+    pub g: Vec<f64>,
+    /// Area element W = √(EG − F²).
+    pub w: Vec<f64>,
+    /// Mean curvature H = (E·N − 2F·M + G·L)/(2W²); for a sphere of radius
+    /// `a` with outward normals this convention gives `H = −1/a`.
+    pub h: Vec<f64>,
+    /// Gaussian curvature K = (LN − M²)/W².
+    pub kg: Vec<f64>,
+    /// Quadrature weight per grid node for surface integrals
+    /// (`∫ f dA = Σ w_quad f`), Jacobian included.
+    pub w_quad: Vec<f64>,
+    /// First-order Laplace–Beltrami coefficient `b¹` (see
+    /// [`SurfaceGeometry::laplace_beltrami`]).
+    pub lb_b1: Vec<f64>,
+    /// First-order Laplace–Beltrami coefficient `b²`.
+    pub lb_b2: Vec<f64>,
+}
+
+/// Computes the geometry of the surface given its position coefficients.
+pub fn surface_geometry(basis: &SphBasis, coeffs: &[SphCoeffs; 3]) -> SurfaceGeometry {
+    let n = basis.grid_size();
+    let synth = |d: Deriv| -> Vec<Vec3> {
+        let gx = basis.synthesize(&coeffs[0], d);
+        let gy = basis.synthesize(&coeffs[1], d);
+        let gz = basis.synthesize(&coeffs[2], d);
+        (0..n).map(|i| Vec3::new(gx[i], gy[i], gz[i])).collect()
+    };
+    let x = synth(Deriv::None);
+    let xt = synth(Deriv::Dtheta);
+    let xp = synth(Deriv::Dphi);
+    let xtt = synth(Deriv::Dtheta2);
+    let xtp = synth(Deriv::DthetaDphi);
+    let xpp = synth(Deriv::Dphi2);
+
+    let mut geo = SurfaceGeometry {
+        x,
+        xt,
+        xp,
+        normal: vec![Vec3::ZERO; n],
+        e: vec![0.0; n],
+        f: vec![0.0; n],
+        g: vec![0.0; n],
+        w: vec![0.0; n],
+        h: vec![0.0; n],
+        kg: vec![0.0; n],
+        w_quad: vec![0.0; n],
+        lb_b1: vec![0.0; n],
+        lb_b2: vec![0.0; n],
+    };
+    for i in 0..n {
+        let e = geo.xt[i].dot(geo.xt[i]);
+        let f = geo.xt[i].dot(geo.xp[i]);
+        let g = geo.xp[i].dot(geo.xp[i]);
+        let cross = geo.xt[i].cross(geo.xp[i]);
+        let w = cross.norm().max(1e-300);
+        let nrm = cross / w;
+        let l = xtt[i].dot(nrm);
+        let m = xtp[i].dot(nrm);
+        let nn = xpp[i].dot(nrm);
+        geo.e[i] = e;
+        geo.f[i] = f;
+        geo.g[i] = g;
+        geo.w[i] = w;
+        geo.normal[i] = nrm;
+        geo.h[i] = (e * nn - 2.0 * f * m + g * l) / (2.0 * w * w);
+        geo.kg[i] = (l * nn - m * m) / (w * w);
+    }
+    // Laplace–Beltrami first-order coefficients from pointwise metric
+    // derivatives (spectral X-derivatives are exact at the nodes, while the
+    // flux intermediates of the divergence form are not smooth scalar
+    // fields on the sphere and must not be differentiated spectrally):
+    //   b¹ = [∂θ(G/W) + ∂φ(−F/W)] / W,   b² = [∂θ(−F/W) + ∂φ(E/W)] / W.
+    for i in 0..n {
+        let (e, f, g, w) = (geo.e[i], geo.f[i], geo.g[i], geo.w[i]);
+        let e_t = 2.0 * geo.xt[i].dot(xtt[i]);
+        let e_p = 2.0 * geo.xt[i].dot(xtp[i]);
+        let f_t = xtt[i].dot(geo.xp[i]) + geo.xt[i].dot(xtp[i]);
+        let f_p = xtp[i].dot(geo.xp[i]) + geo.xt[i].dot(xpp[i]);
+        let g_t = 2.0 * geo.xp[i].dot(xtp[i]);
+        let g_p = 2.0 * geo.xp[i].dot(xpp[i]);
+        let w_t = (e_t * g + e * g_t - 2.0 * f * f_t) / (2.0 * w);
+        let w_p = (e_p * g + e * g_p - 2.0 * f * f_p) / (2.0 * w);
+        let d_t_g_over_w = (g_t * w - g * w_t) / (w * w);
+        let d_p_f_over_w = (f_p * w - f * w_p) / (w * w);
+        let d_t_f_over_w = (f_t * w - f * w_t) / (w * w);
+        let d_p_e_over_w = (e_p * w - e * w_p) / (w * w);
+        geo.lb_b1[i] = (d_t_g_over_w - d_p_f_over_w) / w;
+        geo.lb_b2[i] = (-d_t_f_over_w + d_p_e_over_w) / w;
+    }
+    // quadrature: parametric weight × W / sinθ (the GL weights absorb sinθ)
+    for ilat in 0..basis.nlat {
+        let s = basis.theta[ilat].sin();
+        let wq = basis.sphere_weight(ilat);
+        for j in 0..basis.nlon {
+            let idx = basis.grid_index(ilat, j);
+            geo.w_quad[idx] = wq * geo.w[idx] / s;
+        }
+    }
+    geo
+}
+
+impl SurfaceGeometry {
+    /// Surface area.
+    pub fn area(&self) -> f64 {
+        self.w_quad.iter().sum()
+    }
+
+    /// Enclosed volume `(1/3) ∫ X·n dA`.
+    pub fn volume(&self) -> f64 {
+        self.x
+            .iter()
+            .zip(&self.normal)
+            .zip(&self.w_quad)
+            .map(|((x, n), w)| x.dot(*n) * w)
+            .sum::<f64>()
+            / 3.0
+    }
+
+    /// Centroid (volume-weighted approximation from the surface:
+    /// `∫ x (x·n) dA / (2·... )`; we use the simpler area-weighted mean,
+    /// which is adequate for the convergence diagnostics of Fig. 11).
+    pub fn centroid(&self) -> Vec3 {
+        let a = self.area();
+        self.x
+            .iter()
+            .zip(&self.w_quad)
+            .map(|(x, w)| *x * *w)
+            .sum::<Vec3>()
+            / a
+    }
+
+    /// Applies the surface Laplace–Beltrami operator to a smooth scalar
+    /// grid function in non-divergence form,
+    /// `Δf = g¹¹ f_θθ + 2 g¹² f_θφ + g²² f_φφ + b¹ f_θ + b² f_φ`,
+    /// with the metric coefficients differentiated pointwise (exactly) at
+    /// construction time. The spectral derivatives are applied only to `f`
+    /// itself, which is a genuine scalar field on the surface.
+    pub fn laplace_beltrami(&self, basis: &SphBasis, f: &[f64]) -> Vec<f64> {
+        let n = basis.grid_size();
+        assert_eq!(f.len(), n);
+        let cf = basis.analyze(f);
+        let ft = basis.synthesize(&cf, Deriv::Dtheta);
+        let fp = basis.synthesize(&cf, Deriv::Dphi);
+        let ftt = basis.synthesize(&cf, Deriv::Dtheta2);
+        let ftp = basis.synthesize(&cf, Deriv::DthetaDphi);
+        let fpp = basis.synthesize(&cf, Deriv::Dphi2);
+        (0..n)
+            .map(|i| {
+                let w2 = self.w[i] * self.w[i];
+                let g11 = self.g[i] / w2;
+                let g12 = -self.f[i] / w2;
+                let g22 = self.e[i] / w2;
+                g11 * ftt[i]
+                    + 2.0 * g12 * ftp[i]
+                    + g22 * fpp[i]
+                    + self.lb_b1[i] * ft[i]
+                    + self.lb_b2[i] * fp[i]
+            })
+            .collect()
+    }
+
+    /// `∇_γ σ · ∇_γ f` for two smooth scalar grid fields.
+    pub fn grad_dot(&self, basis: &SphBasis, sigma: &[f64], f: &[f64]) -> Vec<f64> {
+        let n = basis.grid_size();
+        let cs = basis.analyze(sigma);
+        let st = basis.synthesize(&cs, Deriv::Dtheta);
+        let sp = basis.synthesize(&cs, Deriv::Dphi);
+        let cf = basis.analyze(f);
+        let ft = basis.synthesize(&cf, Deriv::Dtheta);
+        let fp = basis.synthesize(&cf, Deriv::Dphi);
+        (0..n)
+            .map(|i| {
+                let w2 = self.w[i] * self.w[i];
+                let g11 = self.g[i] / w2;
+                let g12 = -self.f[i] / w2;
+                let g22 = self.e[i] / w2;
+                g11 * st[i] * ft[i] + g12 * (st[i] * fp[i] + sp[i] * ft[i]) + g22 * sp[i] * fp[i]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{biconcave_coeffs, sphere_coeffs};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn sphere_geometry_exact() {
+        let p = 12;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, 1.5, Vec3::new(0.3, -0.2, 0.1));
+        let geo = surface_geometry(&basis, &coeffs);
+        let area = geo.area();
+        let exact_area = 4.0 * PI * 1.5 * 1.5;
+        assert!((area - exact_area).abs() / exact_area < 1e-10, "area {area}");
+        let vol = geo.volume();
+        let exact_vol = 4.0 / 3.0 * PI * 1.5_f64.powi(3);
+        assert!((vol - exact_vol).abs() / exact_vol < 1e-10, "vol {vol}");
+        // H = −1/a everywhere with our convention, K = 1/a²
+        for i in 0..basis.grid_size() {
+            assert!((geo.h[i] + 1.0 / 1.5).abs() < 1e-8, "H {}", geo.h[i]);
+            assert!((geo.kg[i] - 1.0 / 2.25).abs() < 1e-7, "K {}", geo.kg[i]);
+            // outward normal
+            let dir = (geo.x[i] - Vec3::new(0.3, -0.2, 0.1)).normalized();
+            assert!(geo.normal[i].dot(dir) > 0.999);
+        }
+        let c = geo.centroid();
+        assert!((c - Vec3::new(0.3, -0.2, 0.1)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn biconcave_has_rbc_proportions() {
+        let p = 16;
+        let basis = SphBasis::new(p);
+        let coeffs = biconcave_coeffs(&basis, 1.0, Vec3::ZERO);
+        let geo = surface_geometry(&basis, &coeffs);
+        // reduced volume of a healthy RBC shape ≈ 0.64
+        let a = geo.area();
+        let v = geo.volume();
+        let reduced = 6.0 * PI.sqrt() * v / a.powf(1.5);
+        assert!((0.55..0.75).contains(&reduced), "reduced volume {reduced}");
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn laplace_beltrami_of_sphere_harmonic() {
+        // on the unit sphere, Δ Y_n^m = −n(n+1) Y_n^m
+        let p = 10;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, 1.0, Vec3::ZERO);
+        let geo = surface_geometry(&basis, &coeffs);
+        let mut c = sphharm::SphCoeffs::zeros(p);
+        c.set_a(3, 2, 1.0);
+        let f = basis.synthesize(&c, Deriv::None);
+        let lap = geo.laplace_beltrami(&basis, &f);
+        for i in 0..basis.grid_size() {
+            let expect = -12.0 * f[i];
+            assert!(
+                (lap[i] - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "node {i}: {} vs {expect}",
+                lap[i]
+            );
+        }
+    }
+
+    #[test]
+    fn laplace_beltrami_of_position_is_curvature_normal() {
+        // Δ_γ X = 2 H n (with our H sign convention)
+        let p = 12;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, 2.0, Vec3::ZERO);
+        let geo = surface_geometry(&basis, &coeffs);
+        let fx: Vec<f64> = geo.x.iter().map(|v| v.x).collect();
+        let lap = geo.laplace_beltrami(&basis, &fx);
+        for i in (0..basis.grid_size()).step_by(17) {
+            let expect = 2.0 * geo.h[i] * geo.normal[i].x;
+            assert!(
+                (lap[i] - expect).abs() < 1e-6,
+                "node {i}: {} vs {expect}",
+                lap[i]
+            );
+        }
+    }
+}

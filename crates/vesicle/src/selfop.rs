@@ -1,0 +1,256 @@
+//! Singular self-interaction quadrature for the single-layer potential on a
+//! cell surface.
+//!
+//! The paper evaluates `S_i f_i` on `γ_i` with the spectral rotation
+//! quadrature of [14, 48] and the precomputed-operator variant of [28]. We
+//! substitute the unified check-point scheme already used for the vessel
+//! boundary (§3.1) — the QBX-style evaluation both build on: upsample the
+//! density to the 2×-refined grid, evaluate the (now smooth) potential at
+//! check points along the outward normal, and extrapolate back to the
+//! surface. Like [28], the composed linear operator is precomputed per cell
+//! per time step, so the many applications inside the implicit solve and
+//! the LCP assembly are dense matvecs (MKL-style BLAS work in the paper).
+
+use crate::geometry::surface_geometry;
+use kernels::stokeslet_matrix;
+use linalg::{checkpoint_extrapolation_weights, Mat};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use sphharm::{SphBasis, SphCoeffs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parameters of the self-interaction quadrature.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfOpOptions {
+    /// Upsampling factor for the fine grid (2 reproduces the paper's 544 →
+    /// 2,112 points at p = 16).
+    pub upsample: usize,
+    /// Number of check points − 1.
+    pub p_extrap: usize,
+    /// First check distance as a multiple of the mean grid spacing.
+    pub big_r: f64,
+    /// Check spacing as a multiple of the mean grid spacing.
+    pub small_r: f64,
+}
+
+impl Default for SelfOpOptions {
+    fn default() -> Self {
+        SelfOpOptions { upsample: 2, p_extrap: 8, big_r: 2.0, small_r: 1.0 }
+    }
+}
+
+/// Process-wide cache of the (geometry-independent) spectral upsampling
+/// matrices `p → p_up` (grid values to grid values, one scalar component).
+static UPSAMPLE_CACHE: Mutex<Option<HashMap<(usize, usize), Arc<Mat>>>> = Mutex::new(None);
+
+/// Returns the dense grid-to-grid spectral upsampling matrix from order `p`
+/// to order `pu` (zero-padding in coefficient space).
+pub fn upsample_matrix(p: usize, pu: usize) -> Arc<Mat> {
+    let key = (p, pu);
+    let mut guard = UPSAMPLE_CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(m) = map.get(&key) {
+        return m.clone();
+    }
+    let bp = SphBasis::new(p);
+    let bu = SphBasis::new(pu);
+    let n = bp.grid_size();
+    let nu = bu.grid_size();
+    let mut m = Mat::zeros(nu, n);
+    // columns: unit impulses at coarse grid nodes
+    let cols: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let c = bp.analyze(&e).resampled(pu);
+            bu.synthesize(&c, sphharm::Deriv::None)
+        })
+        .collect();
+    for (j, col) in cols.iter().enumerate() {
+        for i in 0..nu {
+            m[(i, j)] = col[i];
+        }
+    }
+    let arc = Arc::new(m);
+    map.insert(key, arc.clone());
+    arc
+}
+
+/// The precomputed self-interaction operator of one cell: applies
+/// `f ↦ S_i f` (single-layer Stokes) from the coarse grid to the coarse
+/// grid. Rebuilt whenever the cell geometry changes (once per time step).
+pub struct SelfInteraction {
+    /// Kernel+extrapolation matrix: (3N × 3N_up).
+    k_mat: Mat,
+    /// Shared spectral upsampling matrix (N_up × N, per component).
+    upsample: Arc<Mat>,
+    n: usize,
+    nu: usize,
+}
+
+impl SelfInteraction {
+    /// Builds the operator for a cell with the given position coefficients.
+    pub fn build(
+        basis: &SphBasis,
+        coeffs: &[SphCoeffs; 3],
+        mu: f64,
+        opts: SelfOpOptions,
+    ) -> SelfInteraction {
+        let pu = basis.p * opts.upsample;
+        let bu = SphBasis::new(pu);
+        let upsample = upsample_matrix(basis.p, pu);
+        // fine geometry (positions + quadrature weights)
+        let cu: [SphCoeffs; 3] = [
+            coeffs[0].resampled(pu),
+            coeffs[1].resampled(pu),
+            coeffs[2].resampled(pu),
+        ];
+        let geo_u = surface_geometry(&bu, &cu);
+        let geo_c = surface_geometry(basis, coeffs);
+
+        let n = basis.grid_size();
+        let nu = bu.grid_size();
+        // mean grid spacing of the fine grid: sqrt(area / N_up)
+        let h = (geo_u.area() / nu as f64).sqrt();
+        let big_r = opts.big_r * h;
+        let small_r = opts.small_r * h;
+        let p1 = opts.p_extrap + 1;
+        let ew = checkpoint_extrapolation_weights(big_r, small_r, opts.p_extrap, 0.0);
+
+        // K[(3i+a),(3j+b)] = Σ_k e_k S_ab(c_ik, y_j) w_j
+        let mut k_mat = Mat::zeros(3 * n, 3 * nu);
+        let rows: Vec<(usize, Vec<f64>)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut row = vec![0.0; 3 * 3 * nu]; // 3 rows of the matrix
+                let xi = geo_c.x[i];
+                let ni = geo_c.normal[i];
+                for k in 0..p1 {
+                    let t = big_r + k as f64 * small_r;
+                    let c = xi + ni * t; // exterior check point
+                    let e = ew[k];
+                    for j in 0..nu {
+                        let s = stokeslet_matrix(c, geo_u.x[j], mu);
+                        let w = geo_u.w_quad[j] * e;
+                        for a in 0..3 {
+                            for b in 0..3 {
+                                row[a * 3 * nu + 3 * j + b] += s[a][b] * w;
+                            }
+                        }
+                    }
+                }
+                (i, row)
+            })
+            .collect();
+        for (i, row) in rows {
+            for a in 0..3 {
+                k_mat.row_mut(3 * i + a)
+                    .copy_from_slice(&row[a * 3 * nu..(a + 1) * 3 * nu]);
+            }
+        }
+        SelfInteraction { k_mat, upsample, n, nu }
+    }
+
+    /// Applies `S_i` to a force density on the coarse grid (xyz-interleaved,
+    /// `3N` entries), returning the velocity on the coarse grid.
+    pub fn apply(&self, f: &[f64]) -> Vec<f64> {
+        assert_eq!(f.len(), 3 * self.n);
+        // upsample per component
+        let mut fu = vec![0.0; 3 * self.nu];
+        let mut comp = vec![0.0; self.n];
+        for c in 0..3 {
+            for i in 0..self.n {
+                comp[i] = f[3 * i + c];
+            }
+            let up = self.upsample.matvec(&comp);
+            for j in 0..self.nu {
+                fu[3 * j + c] = up[j];
+            }
+        }
+        self.k_mat.matvec(&fu)
+    }
+
+    /// Coarse grid size N.
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::sphere_coeffs;
+    use linalg::Vec3;
+
+    #[test]
+    fn upsample_matrix_reproduces_bandlimited() {
+        let (p, pu) = (6, 12);
+        let m = upsample_matrix(p, pu);
+        let bp = SphBasis::new(p);
+        let bu = SphBasis::new(pu);
+        let mut c = SphCoeffs::zeros(p);
+        c.set_a(2, 1, 0.7);
+        c.set_b(3, 2, -0.4);
+        let coarse = bp.synthesize(&c, sphharm::Deriv::None);
+        let fine = m.matvec(&coarse);
+        let exact = bu.synthesize(&c.resampled(pu), sphharm::Deriv::None);
+        for (u, v) in fine.iter().zip(&exact) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn translating_sphere_identity() {
+        // single layer of the uniform Stokes-drag traction on a sphere of
+        // radius a gives the rigid translation velocity U on the surface:
+        // t = 3μU/(2a)  ⇒  S[t] = U.
+        let p = 12;
+        let a = 1.3;
+        let mu = 0.8;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, a, Vec3::ZERO);
+        let op = SelfInteraction::build(&basis, &coeffs, mu, SelfOpOptions::default());
+        let n = basis.grid_size();
+        let u_ref = Vec3::new(0.3, -1.0, 0.5);
+        let t = u_ref * (3.0 * mu / (2.0 * a));
+        let mut f = vec![0.0; 3 * n];
+        for i in 0..n {
+            f[3 * i] = t.x;
+            f[3 * i + 1] = t.y;
+            f[3 * i + 2] = t.z;
+        }
+        let u = op.apply(&f);
+        let mut max_err = 0.0_f64;
+        for i in 0..n {
+            let got = Vec3::new(u[3 * i], u[3 * i + 1], u[3 * i + 2]);
+            max_err = max_err.max((got - u_ref).norm());
+        }
+        // accuracy is limited by the extrapolation span relative to the
+        // surface curvature scale; it tightens with the grid (≈1e-5 at the
+        // production p = 16)
+        assert!(
+            max_err < 2.5e-3 * u_ref.norm(),
+            "translating-sphere error {max_err}"
+        );
+    }
+
+    #[test]
+    fn operator_is_linear_and_symmetricish() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, 1.0, Vec3::ZERO);
+        let op = SelfInteraction::build(&basis, &coeffs, 1.0, SelfOpOptions::default());
+        let n = basis.grid_size();
+        let f1: Vec<f64> = (0..3 * n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let f2: Vec<f64> = (0..3 * n).map(|i| (i as f64 * 0.05).cos()).collect();
+        let u1 = op.apply(&f1);
+        let u2 = op.apply(&f2);
+        let fsum: Vec<f64> = f1.iter().zip(&f2).map(|(a, b)| a + 2.0 * b).collect();
+        let usum = op.apply(&fsum);
+        for i in 0..3 * n {
+            assert!((usum[i] - u1[i] - 2.0 * u2[i]).abs() < 1e-10);
+        }
+    }
+}

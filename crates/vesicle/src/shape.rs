@@ -1,0 +1,149 @@
+//! Reference cell shapes: spheres and the biconcave RBC profile.
+
+use linalg::Vec3;
+use rand::Rng;
+use sphharm::{SphBasis, SphCoeffs};
+
+/// Spherical-harmonic coefficients of a sphere surface.
+pub fn sphere_coeffs(basis: &SphBasis, radius: f64, center: Vec3) -> [SphCoeffs; 3] {
+    shape_from_radial(basis, center, |_, _| radius)
+}
+
+/// Coefficients of the classical biconcave RBC shape (Evans & Fung): in
+/// cylindrical coordinates with `ρ = sin θ`,
+/// `z(ρ) = ±(c/2)·√(1−ρ²)·(c0 + c1 ρ² + c2 ρ⁴)` with the standard
+/// constants `c0 = 0.2072, c1 = 2.0026, c2 = −1.1228`, scaled so the
+/// maximal diameter is `2·radius`.
+pub fn biconcave_coeffs(basis: &SphBasis, radius: f64, center: Vec3) -> [SphCoeffs; 3] {
+    let (c0, c1, c2) = (0.2072, 2.0026, -1.1228);
+    let n = basis.grid_size();
+    let mut gx = vec![0.0; n];
+    let mut gy = vec![0.0; n];
+    let mut gz = vec![0.0; n];
+    for i in 0..basis.nlat {
+        let th = basis.theta[i];
+        let rho = th.sin();
+        let zmag = 0.5 * (1.0 - rho * rho).abs().sqrt() * (c0 + c1 * rho * rho + c2 * rho.powi(4));
+        let z = if th < std::f64::consts::FRAC_PI_2 { zmag } else { -zmag };
+        for j in 0..basis.nlon {
+            let ph = basis.phi[j];
+            let idx = basis.grid_index(i, j);
+            gx[idx] = center.x + radius * rho * ph.cos();
+            gy[idx] = center.y + radius * rho * ph.sin();
+            gz[idx] = center.z + radius * z;
+        }
+    }
+    [basis.analyze(&gx), basis.analyze(&gy), basis.analyze(&gz)]
+}
+
+/// Builds coefficients from a radial function `r(θ, φ)` about a center.
+pub fn shape_from_radial(
+    basis: &SphBasis,
+    center: Vec3,
+    r: impl Fn(f64, f64) -> f64,
+) -> [SphCoeffs; 3] {
+    let n = basis.grid_size();
+    let mut gx = vec![0.0; n];
+    let mut gy = vec![0.0; n];
+    let mut gz = vec![0.0; n];
+    for i in 0..basis.nlat {
+        let th = basis.theta[i];
+        for j in 0..basis.nlon {
+            let ph = basis.phi[j];
+            let rad = r(th, ph);
+            let idx = basis.grid_index(i, j);
+            gx[idx] = center.x + rad * th.sin() * ph.cos();
+            gy[idx] = center.y + rad * th.sin() * ph.sin();
+            gz[idx] = center.z + rad * th.cos();
+        }
+    }
+    [basis.analyze(&gx), basis.analyze(&gy), basis.analyze(&gz)]
+}
+
+/// Perturbed sphere: `r = a (1 + amp·Y-like bump)`, used by relaxation and
+/// convergence tests.
+pub fn bumpy_sphere_coeffs(basis: &SphBasis, radius: f64, center: Vec3, amp: f64) -> [SphCoeffs; 3] {
+    shape_from_radial(basis, center, |th, ph| {
+        radius * (1.0 + amp * (2.0 * th).sin() * (2.0 * ph).cos())
+    })
+}
+
+/// Applies a random 3-D rotation to position coefficients by re-analyzing
+/// rotated grid samples (used by the vessel-filling procedure of §5.1,
+/// which places cells "in a random orientation").
+pub fn rotated_coeffs(
+    basis: &SphBasis,
+    coeffs: &[SphCoeffs; 3],
+    rng: &mut impl Rng,
+) -> [SphCoeffs; 3] {
+    // random rotation from three Euler angles
+    let a = rng.random_range(0.0..std::f64::consts::TAU);
+    let b = rng.random_range(0.0..std::f64::consts::PI);
+    let c = rng.random_range(0.0..std::f64::consts::TAU);
+    let (sa, ca) = a.sin_cos();
+    let (sb, cb) = b.sin_cos();
+    let (sc, cc) = c.sin_cos();
+    // Rz(a)·Ry(b)·Rz(c)
+    let rot = |v: Vec3| -> Vec3 {
+        let v1 = Vec3::new(cc * v.x - sc * v.y, sc * v.x + cc * v.y, v.z);
+        let v2 = Vec3::new(cb * v1.x + sb * v1.z, v1.y, -sb * v1.x + cb * v1.z);
+        Vec3::new(ca * v2.x - sa * v2.y, sa * v2.x + ca * v2.y, v2.z)
+    };
+    // centroid-preserving rotation
+    let n = basis.grid_size();
+    let gx = basis.synthesize(&coeffs[0], sphharm::Deriv::None);
+    let gy = basis.synthesize(&coeffs[1], sphharm::Deriv::None);
+    let gz = basis.synthesize(&coeffs[2], sphharm::Deriv::None);
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    let mut cz = 0.0;
+    for i in 0..n {
+        cx += gx[i];
+        cy += gy[i];
+        cz += gz[i];
+    }
+    let center = Vec3::new(cx, cy, cz) / n as f64;
+    let mut rx = vec![0.0; n];
+    let mut ry = vec![0.0; n];
+    let mut rz = vec![0.0; n];
+    for i in 0..n {
+        let p = rot(Vec3::new(gx[i], gy[i], gz[i]) - center) + center;
+        rx[i] = p.x;
+        ry[i] = p.y;
+        rz[i] = p.z;
+    }
+    [basis.analyze(&rx), basis.analyze(&ry), basis.analyze(&rz)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::surface_geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotation_preserves_area_and_volume() {
+        let basis = SphBasis::new(12);
+        let coeffs = biconcave_coeffs(&basis, 1.0, Vec3::new(1.0, 2.0, 3.0));
+        let g0 = surface_geometry(&basis, &coeffs);
+        let mut rng = StdRng::seed_from_u64(5);
+        let rotated = rotated_coeffs(&basis, &coeffs, &mut rng);
+        let g1 = surface_geometry(&basis, &rotated);
+        assert!((g0.area() - g1.area()).abs() / g0.area() < 1e-6);
+        assert!((g0.volume() - g1.volume()).abs() / g0.volume() < 1e-6);
+        assert!((g0.centroid() - g1.centroid()).norm() < 1e-6);
+    }
+
+    #[test]
+    fn bumpy_sphere_reduces_to_sphere_at_zero_amp() {
+        let basis = SphBasis::new(8);
+        let a = bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.0);
+        let b = sphere_coeffs(&basis, 1.0, Vec3::ZERO);
+        for k in 0..3 {
+            for (u, v) in a[k].data.iter().zip(&b[k].data) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Parameter scan for the self-interaction quadrature (run with --ignored).
+use linalg::Vec3;
+use sphharm::SphBasis;
+use vesicle::{sphere_coeffs, SelfInteraction, SelfOpOptions};
+
+#[test]
+#[ignore]
+fn scan() {
+    let p = 12;
+    let a = 1.3;
+    let mu = 0.8;
+    let basis = SphBasis::new(p);
+    let coeffs = sphere_coeffs(&basis, a, Vec3::ZERO);
+    let n = basis.grid_size();
+    let u_ref = Vec3::new(0.3, -1.0, 0.5);
+    let t = u_ref * (3.0 * mu / (2.0 * a));
+    let mut f = vec![0.0; 3 * n];
+    for i in 0..n {
+        f[3 * i] = t.x;
+        f[3 * i + 1] = t.y;
+        f[3 * i + 2] = t.z;
+    }
+    for upsample in [2usize, 3] {
+        for pe in [4usize, 6, 8] {
+            for (br, sr) in [(1.0, 0.5), (1.5, 0.5), (2.0, 0.5), (2.0, 1.0), (3.0, 1.0), (1.0, 0.25)] {
+                let op = SelfInteraction::build(&basis, &coeffs, mu,
+                    SelfOpOptions { upsample, p_extrap: pe, big_r: br, small_r: sr });
+                let u = op.apply(&f);
+                let mut e = 0.0_f64;
+                for i in 0..n {
+                    let got = Vec3::new(u[3*i], u[3*i+1], u[3*i+2]);
+                    e = e.max((got - u_ref).norm());
+                }
+                println!("up={upsample} pe={pe} R={br} r={sr}: err {:.2e}", e / u_ref.norm());
+            }
+        }
+    }
+}

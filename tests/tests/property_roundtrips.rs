@@ -1,0 +1,78 @@
+//! Cross-crate property-based tests on core invariants.
+
+use linalg::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rotated, translated cells keep their area and volume.
+    #[test]
+    fn cell_rigid_motion_invariants(seed in 0u64..1000, dx in -2.0f64..2.0, dz in -2.0f64..2.0) {
+        let basis = sphharm::SphBasis::new(8);
+        let coeffs = vesicle::biconcave_coeffs(&basis, 1.0, Vec3::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let rot = vesicle::rotated_coeffs(&basis, &coeffs, &mut rng);
+        let mut cell = vesicle::Cell::new(&basis, rot, vesicle::CellParams::default());
+        let g0 = cell.geometry(&basis);
+        cell.translate(&basis, Vec3::new(dx, 0.0, dz));
+        let g1 = cell.geometry(&basis);
+        prop_assert!((g0.area() - g1.area()).abs() / g0.area() < 1e-9);
+        prop_assert!((g0.volume() - g1.volume()).abs() / g0.volume() < 1e-9);
+    }
+
+    /// The candidate search never misses an intersecting box pair.
+    #[test]
+    fn candidate_search_complete(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let boxes: Vec<linalg::Aabb> = (0..30)
+            .map(|_| {
+                let c = Vec3::new(
+                    rng.random_range(-2.0..2.0),
+                    rng.random_range(-2.0..2.0),
+                    rng.random_range(-2.0..2.0),
+                );
+                let e = Vec3::new(
+                    rng.random_range(0.05..0.5),
+                    rng.random_range(0.05..0.5),
+                    rng.random_range(0.05..0.5),
+                );
+                linalg::Aabb::new(c - e, c + e)
+            })
+            .collect();
+        let grid = octree::SpatialHash::new(octree::mean_diagonal_spacing(&boxes), Vec3::ZERO);
+        let found: std::collections::HashSet<(u32, u32)> =
+            octree::box_box_candidates_self(&boxes, &grid).into_iter().collect();
+        for i in 0..boxes.len() {
+            for j in i + 1..boxes.len() {
+                if boxes[i].intersects(boxes[j]) {
+                    prop_assert!(found.contains(&(i as u32, j as u32)));
+                }
+            }
+        }
+    }
+
+    /// LCP solutions satisfy the complementarity conditions (Eq. 2.7).
+    #[test]
+    fn lcp_complementarity(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = rng.random_range(1..15usize);
+        let mut b = linalg::Mat::from_fn(m, m, |_, _| rng.random_range(-0.4..0.4));
+        for i in 0..m {
+            b[(i, i)] = m as f64 + 1.0;
+        }
+        let q: Vec<f64> = (0..m).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let res = collision::solve_lcp(m, |x, y| b.matvec_into(x, y), &q, &collision::LcpOptions::default());
+        prop_assert!(res.converged);
+        let mut l = b.matvec(&res.lambda);
+        for i in 0..m {
+            l[i] += q[i];
+            prop_assert!(res.lambda[i] >= -1e-9);
+            prop_assert!(l[i] >= -1e-8);
+            prop_assert!(res.lambda[i] * l[i] < 1e-7);
+        }
+    }
+}
