@@ -10,17 +10,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::hint::black_box;
 
-fn cloud(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
-    (0..n)
-        .map(|_| {
-            Vec3::new(
-                rng.random_range(-1.0..1.0),
-                rng.random_range(-1.0..1.0),
-                rng.random_range(-1.0..1.0),
-            )
-        })
-        .collect()
-}
+use bench::cloud;
 
 fn bench_fmm_vs_direct(c: &mut Criterion) {
     let mut group = c.benchmark_group("nbody_laplace");
@@ -37,17 +27,129 @@ fn bench_fmm_vs_direct(c: &mut Criterion) {
                 black_box(out)
             })
         });
-        group.bench_with_input(BenchmarkId::new("fmm_order4", n), &n, |b, _| {
+        for &order in &[4usize, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fmm_order{order}"), n),
+                &n,
+                |b, _| {
+                    let f = fmm::Fmm::new(
+                        k,
+                        k,
+                        &src,
+                        &src,
+                        fmm::FmmOptions { order, leaf_capacity: 120, max_depth: 10 },
+                    );
+                    b.iter(|| black_box(f.evaluate(&data)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fmm_stokes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbody_stokes");
+    group.sample_size(10);
+    let n = 8000usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let src = cloud(&mut rng, n);
+    let data: Vec<f64> = (0..3 * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let k = StokesSL { mu: 1.0 };
+    for &order in &[4usize, 6] {
+        group.bench_with_input(BenchmarkId::new(format!("fmm_order{order}"), n), &n, |b, _| {
             let f = fmm::Fmm::new(
                 k,
                 k,
                 &src,
                 &src,
-                fmm::FmmOptions { order: 4, leaf_capacity: 120, max_depth: 10 },
+                fmm::FmmOptions { order, leaf_capacity: 120, max_depth: 10 },
             );
             b.iter(|| black_box(f.evaluate(&data)))
         });
     }
+    group.finish();
+}
+
+/// The M2L inner kernel in both formulations: per-interaction dense
+/// matvecs with an offset-map lookup (the seed formulation) vs one
+/// gathered GEMM per translation class (the batched formulation). Uses the
+/// real precomputed operators at order 6.
+fn bench_m2l(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m2l");
+    group.sample_size(20);
+    let ops = fmm::cached_operators(&LaplaceSL, 6);
+    let nd = ops.n_surf; // Laplace: sdim = vdim = 1
+    let class = fmm::ops::m2l_class(2, 1, -1).unwrap();
+    let op_t = ops.m2l_t[class].as_ref().unwrap();
+    let op = op_t.transpose();
+    let batch = 64usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    // gathered source-density block (the arena rows the FMM would gather)
+    let equiv: Vec<f64> = (0..batch * nd).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut lookup = std::collections::HashMap::new();
+    lookup.insert((2i8, 1i8, -1i8), op);
+    group.bench_function("per_interaction_64", |b| {
+        b.iter(|| {
+            let mut check = vec![0.0; batch * nd];
+            let m = lookup.get(&(2i8, 1i8, -1i8)).unwrap();
+            for i in 0..batch {
+                m.matvec_acc(&equiv[i * nd..(i + 1) * nd], 1.25, &mut check[i * nd..(i + 1) * nd]);
+            }
+            black_box(check)
+        })
+    });
+    group.bench_function("batched_gemm_64", |b| {
+        b.iter(|| {
+            let mut check = vec![0.0; batch * nd];
+            linalg::gemm_acc(batch, nd, nd, 1.25, &equiv, op_t.data(), &mut check);
+            black_box(check)
+        })
+    });
+    group.finish();
+}
+
+/// The batched kernel micro-path: scalar `eval_acc` loops vs the
+/// vectorized `eval_block` implementations, per kernel.
+fn bench_eval_block(c: &mut Criterion) {
+    use kernels::Kernel;
+    let mut group = c.benchmark_group("eval_block");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let srcs = cloud(&mut rng, 2000);
+    let trgs = cloud(&mut rng, 64);
+
+    fn scalar_loop<K: Kernel>(k: &K, trgs: &[Vec3], srcs: &[Vec3], data: &[f64]) -> Vec<f64> {
+        let (sd, td) = (k.src_dim(), k.trg_dim());
+        let mut out = vec![0.0; trgs.len() * td];
+        for (i, &t) in trgs.iter().enumerate() {
+            let o = &mut out[i * td..(i + 1) * td];
+            for (j, &s) in srcs.iter().enumerate() {
+                k.eval_acc(t, s, &data[j * sd..(j + 1) * sd], o);
+            }
+        }
+        out
+    }
+
+    macro_rules! bench_kernel {
+        ($name:literal, $k:expr) => {{
+            let k = $k;
+            let data: Vec<f64> =
+                (0..srcs.len() * k.src_dim()).map(|_| rng.random_range(-1.0..1.0)).collect();
+            group.bench_function(concat!($name, "_scalar"), |b| {
+                b.iter(|| black_box(scalar_loop(&k, &trgs, &srcs, &data)))
+            });
+            group.bench_function(concat!($name, "_block"), |b| {
+                b.iter(|| {
+                    let mut out = vec![0.0; trgs.len() * k.trg_dim()];
+                    k.eval_block(&trgs, &srcs, &data, &mut out);
+                    black_box(out)
+                })
+            });
+        }};
+    }
+    bench_kernel!("laplace_sl", LaplaceSL);
+    bench_kernel!("stokes_sl", StokesSL { mu: 1.0 });
+    bench_kernel!("stokes_dl", kernels::StokesDL);
     group.finish();
 }
 
@@ -150,6 +252,9 @@ fn bench_stokes_direct(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fmm_vs_direct,
+    bench_fmm_stokes,
+    bench_m2l,
+    bench_eval_block,
     bench_candidates,
     bench_lcp,
     bench_selfop,

@@ -1,0 +1,165 @@
+//! FMM perf-trajectory bench: times `Fmm::new` (setup) and
+//! `Fmm::evaluate` for the nbody configurations of
+//! `benches/components.rs` (N = 8000, orders 4 and 6, Laplace SL and
+//! Stokes SL/DL), next to the seed engine (`bench::seed_fmm::SeedFmm`)
+//! ported verbatim from the pre-arena implementation, and writes a
+//! machine-readable `BENCH_fmm.json` so the numbers are tracked across
+//! PRs.
+//!
+//! Usage: `cargo run --release -p bench --bin fmm_bench [--quick]`
+//! (`--quick` runs one evaluate repetition instead of three and skips
+//! order 6 — used by `scripts/check.sh` as a smoke test).
+
+use bench::cloud;
+use bench::seed_fmm::SeedFmm;
+use fmm::{Fmm, FmmOptions};
+use kernels::{Kernel, LaplaceSL, StokesDL, StokesEquiv, StokesSL};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct CaseResult {
+    name: String,
+    n: usize,
+    order: usize,
+    setup_s: f64,
+    eval_s: f64,
+    seed_eval_s: f64,
+    speedup: f64,
+    rel_diff: f64,
+}
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+fn run_case<KS: Kernel + Clone, KE: Kernel + Clone>(
+    name: &str,
+    src_kernel: KS,
+    eq_kernel: KE,
+    n: usize,
+    order: usize,
+    reps: usize,
+) -> CaseResult {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts = cloud(&mut rng, n);
+    let data: Vec<f64> =
+        (0..n * src_kernel.src_dim()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let opts = FmmOptions { order, leaf_capacity: 120, max_depth: 10 };
+
+    // warm the process-wide operator cache so setup_s measures tree +
+    // plan + arenas, not the one-time operator build
+    let _ = fmm::cached_operators(&eq_kernel, order);
+
+    let (setup_s, f) = time(1, || {
+        Fmm::new(src_kernel.clone(), eq_kernel.clone(), &pts, &pts, opts)
+    });
+    let (eval_s, new_out) = time(reps, || f.evaluate(&data));
+
+    let seed = SeedFmm::new(src_kernel.clone(), eq_kernel.clone(), &pts, &pts, opts);
+    let (seed_eval_s, seed_out) = time(reps, || seed.evaluate(&data));
+
+    let rd = rel_diff(&new_out, &seed_out);
+    let r = CaseResult {
+        name: name.to_string(),
+        n,
+        order,
+        setup_s,
+        eval_s,
+        seed_eval_s,
+        speedup: seed_eval_s / eval_s,
+        rel_diff: rd,
+    };
+    println!(
+        "{:<26} N={:<6} p={}  setup {:>8.1} ms   eval {:>9.2} ms   seed {:>9.2} ms   speedup {:>5.2}x   agree {:.1e}",
+        r.name,
+        r.n,
+        r.order,
+        r.setup_s * 1e3,
+        r.eval_s * 1e3,
+        r.seed_eval_s * 1e3,
+        r.speedup,
+        r.rel_diff
+    );
+    r
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let n = 8000;
+    let orders: &[usize] = if quick { &[4] } else { &[4, 6] };
+
+    let mut results = Vec::new();
+    for &order in orders {
+        results.push(run_case("laplace_sl", LaplaceSL, LaplaceSL, n, order, reps));
+        results.push(run_case(
+            "stokes_sl",
+            StokesSL { mu: 1.0 },
+            StokesSL { mu: 1.0 },
+            n,
+            order,
+            reps,
+        ));
+        if !quick {
+            results.push(run_case(
+                "stokes_dl",
+                StokesDL,
+                StokesEquiv { mu: 1.0 },
+                n,
+                order,
+                reps,
+            ));
+        }
+    }
+
+    // hand-rolled JSON (no serde in the environment)
+    let mut json = String::from("{\n  \"bench\": \"fmm_evaluate\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"order\": {}, \"setup_s\": {:.6}, \"eval_s\": {:.6}, \"seed_eval_s\": {:.6}, \"speedup\": {:.3}, \"rel_diff_vs_seed\": {:.3e}}}{}\n",
+            r.name,
+            r.n,
+            r.order,
+            r.setup_s,
+            r.eval_s,
+            r.seed_eval_s,
+            r.speedup,
+            r.rel_diff,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    // quick (smoke) runs must not clobber the tracked perf trajectory
+    let path = if quick { "BENCH_fmm_quick.json" } else { "BENCH_fmm.json" };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+
+    let worst = results.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    println!("worst-case speedup vs seed engine: {worst:.2}x");
+    let worst_agree = results.iter().map(|r| r.rel_diff).fold(0.0, f64::max);
+    // The two engines sum in different orders (GEMM blocks vs per-
+    // interaction matvecs), so they agree to roundoff amplified by the
+    // pseudo-inverse conditioning, not to machine epsilon.
+    assert!(
+        worst_agree < 1e-8,
+        "new engine disagrees with seed engine: {worst_agree:.3e}"
+    );
+}

@@ -1,9 +1,26 @@
 //! Shared helpers for the benchmark harnesses that regenerate the paper's
 //! tables and figures (see DESIGN.md's experiment index).
 
+pub mod seed_fmm;
+
 use linalg::Vec3;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Uniform random cloud in `[-1, 1]³` — the shared point sampler of the
+/// N-body benches (`benches/components.rs`, `bin/fmm_bench.rs`).
+pub fn cloud(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
+    use rand::Rng;
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+        })
+        .collect()
+}
 use sim::{cells_from_seeds, fill_seeds, SimConfig, Simulation, Vessel};
 use sphharm::SphBasis;
 use vesicle::CellParams;

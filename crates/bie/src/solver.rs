@@ -218,13 +218,18 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         let sd = self.kernel.src_dim();
         let vd = self.vd;
         let mut src = vec![0.0; self.fine.len() * sd];
-        src.par_chunks_mut(sd).enumerate().for_each(|(j, out)| {
-            self.kernel.pack(
-                &fine_density[j * vd..(j + 1) * vd],
-                self.fine.normals[j],
-                self.fine.weights[j],
-                out,
-            );
+        // batch work items: one dispatch per 256 nodes, not per node
+        const BLK: usize = 256;
+        rayon::par::chunks_mut(&mut src, BLK * sd, |b, out| {
+            for (r, o) in out.chunks_mut(sd).enumerate() {
+                let j = b * BLK + r;
+                self.kernel.pack(
+                    &fine_density[j * vd..(j + 1) * vd],
+                    self.fine.normals[j],
+                    self.fine.weights[j],
+                    o,
+                );
+            }
         });
         src
     }
@@ -279,13 +284,18 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         // 3. extrapolate to the surface (interior limit includes the jump)
         let p1 = self.opts.p_extrap + 1;
-        out.par_chunks_mut(vd).enumerate().for_each(|(l, o)| {
-            for c in 0..vd {
-                let mut acc = 0.0;
-                for i in 0..p1 {
-                    acc += self.extrap_w[i] * vals[(l * p1 + i) * vd + c];
+        // batch work items: one dispatch per 256 surface nodes
+        const BLK: usize = 256;
+        rayon::par::chunks_mut(out, BLK * vd, |b, chunk| {
+            for (r, o) in chunk.chunks_mut(vd).enumerate() {
+                let l = b * BLK + r;
+                for c in 0..vd {
+                    let mut acc = 0.0;
+                    for i in 0..p1 {
+                        acc += self.extrap_w[i] * vals[(l * p1 + i) * vd + c];
+                    }
+                    o[c] = acc;
                 }
-                o[c] = acc;
             }
         });
         // 4. null-space completion N φ = n(x) · (1/|Γ|) ∫ n·φ dS

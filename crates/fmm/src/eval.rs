@@ -1,18 +1,31 @@
 //! The kernel-independent FMM evaluation engine.
 //!
 //! Separates *setup* (octree construction, interaction lists, point
-//! permutations — geometry-dependent) from *evaluation* (upward pass,
-//! M2L/P2L, downward pass, P2P/L2T/M2T — density-dependent). The boundary
-//! solver calls [`Fmm::evaluate`] once per GMRES iteration with a new
-//! density on fixed geometry, exactly the access pattern the paper's
-//! BIE-solve loop has against PVFMM.
+//! permutations, evaluation plan — geometry-dependent) from *evaluation*
+//! (upward pass, M2L/P2L, downward pass, P2P/L2T/M2T — density-dependent).
+//! The boundary solver calls [`Fmm::evaluate`] once per GMRES iteration
+//! with a new density on fixed geometry, exactly the access pattern the
+//! paper's BIE-solve loop has against PVFMM.
+//!
+//! Evaluation is arena-based: all equivalent densities live in flat
+//! level-major `Vec<f64>` buffers allocated once in [`Fmm::new`] and
+//! reused across calls, and every per-node kernel sum goes through the
+//! vectorized [`Kernel::eval_block`] path. The M2L stage — the dominant
+//! far-field cost — is batched level by level: interactions are grouped at
+//! setup into the 316 translation-offset classes, and each class is
+//! dispatched as one dense GEMM over a gathered block of source densities
+//! (`linalg::gemm_acc`) instead of one HashMap lookup + matvec per
+//! interaction. See `crates/fmm/README.md` for the layout and the
+//! before/after numbers.
 
-use crate::ops::{cached_operators, FmmOperators};
+use crate::ops::{cached_operators, m2l_class, FmmOperators};
 use crate::surface::{cube_surface, RAD_INNER, RAD_OUTER};
 use kernels::Kernel;
-use linalg::Vec3;
+use linalg::{gemm_acc, Vec3};
 use octree::{Octree, TreeOptions, NONE};
-use rayon::prelude::*;
+use parking_lot::Mutex;
+use rayon::par;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Tuning parameters of the FMM.
@@ -33,6 +46,121 @@ impl Default for FmmOptions {
     }
 }
 
+/// Pairs-per-block of the batched M2L dispatch: a block's gathered source
+/// densities and check results must fit in L2 alongside one stream of the
+/// translation operator.
+const M2L_BLOCK: usize = 64;
+
+/// One M2L translation-offset class at one level: all same-level V-list
+/// interactions whose source anchor minus target anchor equals the class
+/// offset. Within a class every target appears at most once (the offset
+/// determines the source), which is what makes the scatter of the batched
+/// GEMM result race-free.
+struct M2lGroup {
+    /// Index into [`FmmOperators::m2l_t`].
+    class: u16,
+    /// Level-local check-arena rows of the targets (unique within the
+    /// group), sorted ascending for scatter locality.
+    trg_rows: Vec<u32>,
+    /// Global up-arena slots of the sources, aligned with `trg_rows`.
+    src_slots: Vec<u32>,
+}
+
+/// Per-level portion of the evaluation plan. Node ids in slot order are
+/// `tree.levels[level]` — not duplicated here.
+struct LevelPlan {
+    /// M2L classes with at least one interaction at this level.
+    groups: Vec<M2lGroup>,
+    /// Level-local check rows that receive P2L (X-list) contributions…
+    x_rows: Vec<u32>,
+    /// …and the node ids they belong to, aligned with `x_rows`.
+    x_nodes: Vec<u32>,
+    /// `h_level^{-deg}`: scale of the uc2ue / dc2de pseudo-inverse solves.
+    scale_inv: f64,
+    /// `h_level^{+deg}`: scale of the M2L translation.
+    scale_m2l: f64,
+    /// Per-component equivalent-density multipliers `h^{e_j}` applied at
+    /// L2T/M2T (empty when all scale exponents are zero).
+    dens_scale: Vec<f64>,
+}
+
+/// The geometry-dependent evaluation plan, fully precomputed in
+/// [`Fmm::new`] so that [`Fmm::evaluate`] does no geometry work and no
+/// per-node allocation.
+struct EvalPlan {
+    /// Stacked equivalent-density length per node (`n_surf · sdim`).
+    nd_eq: usize,
+    /// Stacked check-value length per node (`n_surf · vdim`).
+    nd_chk: usize,
+    /// Node id → global arena slot (level-major: all of level 0, then 1…).
+    slot: Vec<u32>,
+    /// First slot of each level; `level_ofs[levels.len()]` = total slots.
+    level_ofs: Vec<usize>,
+    levels: Vec<LevelPlan>,
+    /// Unit-scale auxiliary cube surface (center 0, radius 1). Every
+    /// node's inner (`RAD_INNER · h`) and outer (`RAD_OUTER · h`) surface
+    /// is its affine image, generated into per-worker scratch at use —
+    /// O(n_surf) fma against the kernel sums that consume it, and no
+    /// per-node surface arrays pinned for the Fmm's lifetime.
+    unit_surf: Vec<Vec3>,
+    /// Whether the node's subtree contains any sources (⇒ its upward
+    /// equivalent can be nonzero). Replaces the seed's per-interaction
+    /// zero-scan of the source density.
+    has_src: Vec<bool>,
+    /// Whether the node receives V- or X-list contributions.
+    receives: Vec<bool>,
+    /// Whether the node or any ancestor receives (⇒ its downward
+    /// equivalent can be nonzero).
+    has_dn: Vec<bool>,
+    /// Leaves with at least one target, in `out_ranges` order.
+    leaves: Vec<u32>,
+    /// Disjoint `[start, end)` ranges of the Morton-ordered output buffer,
+    /// one per entry of `leaves`.
+    out_ranges: Vec<(usize, usize)>,
+    /// Maximum node count over levels (sizes the check arena).
+    max_level_len: usize,
+}
+
+/// Flat evaluation arenas, allocated once and reused across
+/// [`Fmm::evaluate`] calls.
+struct Arenas {
+    /// Morton-permuted source data (`n_src · sd`).
+    data: Vec<f64>,
+    /// Upward equivalent densities, `slots · nd_eq`, level-major.
+    up: Vec<f64>,
+    /// Downward equivalent densities, same layout.
+    dn: Vec<f64>,
+    /// Downward check values of the level currently being processed
+    /// (`max_level_len · nd_chk`).
+    check: Vec<f64>,
+    /// Results in Morton target order (`n_trg · td`).
+    out_sorted: Vec<f64>,
+}
+
+/// Per-worker scratch (check values during S2M, gather/result blocks of
+/// the batched M2L, scaled densities at L2T/M2T). Thread-local so the
+/// passes allocate nothing per node in steady state.
+#[derive(Default)]
+struct Scratch {
+    check: Vec<f64>,
+    sblk: Vec<f64>,
+    yblk: Vec<f64>,
+    dens: Vec<f64>,
+    surf: Vec<Vec3>,
+}
+
+/// Writes the affine image `center + unit · radius` of the unit surface
+/// into `out` — identical arithmetic to `cube_surface(p, center, radius)`.
+#[inline]
+fn fill_surface(unit: &[Vec3], center: Vec3, radius: f64, out: &mut Vec<Vec3>) {
+    out.clear();
+    out.extend(unit.iter().map(|&u| center + u * radius));
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 /// A configured FMM over fixed source/target geometry.
 pub struct Fmm<KS: Kernel, KE: Kernel> {
     src_kernel: KS,
@@ -46,10 +174,13 @@ pub struct Fmm<KS: Kernel, KE: Kernel> {
     n_trg: usize,
     sd: usize,
     td: usize,
+    plan: EvalPlan,
+    arenas: Mutex<Arenas>,
 }
 
 impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
-    /// Builds the tree and binds the precomputed operators.
+    /// Builds the tree, binds the precomputed operators, and lays out the
+    /// evaluation plan and arenas.
     ///
     /// `src_kernel` maps the physical source data (forces, density/normal
     /// pairs) to values; `eq_kernel` is the single-layer kernel of the same
@@ -90,6 +221,14 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         let trg_pts: Vec<Vec3> = tree.trg_order.iter().map(|&i| trg[i as usize]).collect();
         let sd = src_kernel.src_dim();
         let td = src_kernel.trg_dim();
+        let plan = build_plan(&tree, &ops);
+        let arenas = Mutex::new(Arenas {
+            data: vec![0.0; src.len() * sd],
+            up: vec![0.0; plan.level_ofs[plan.levels.len()] * plan.nd_eq],
+            dn: vec![0.0; plan.level_ofs[plan.levels.len()] * plan.nd_eq],
+            check: vec![0.0; plan.max_level_len * plan.nd_chk],
+            out_sorted: vec![0.0; trg.len() * td],
+        });
         Fmm {
             src_kernel,
             eq_kernel,
@@ -100,6 +239,8 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
             n_trg: trg.len(),
             sd,
             td,
+            plan,
+            arenas,
         }
     }
 
@@ -108,272 +249,459 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         &self.tree
     }
 
-    /// Applies the storage-scale convention: stored equivalent densities on
-    /// a surface of half-width `h` represent physical strengths
-    /// `stored · h^{e_c}` per component (see
-    /// [`kernels::Kernel::src_scale_exponents`]).
-    fn scaled_density(&self, d: &[f64], h: f64) -> Vec<f64> {
-        let exps = &self.ops.scale_exps;
-        if exps.iter().all(|&e| e == 0) {
-            return d.to_vec();
-        }
-        let dim = self.ops.sdim;
-        let mut out = d.to_vec();
-        for (j, v) in out.iter_mut().enumerate() {
-            let e = exps[j % dim];
-            if e != 0 {
-                *v *= h.powi(e);
-            }
-        }
-        out
-    }
-
     /// Evaluates the potential of `src_data` (original source ordering,
     /// `src_dim` entries per source) at every target; returns values in the
     /// original target ordering (`trg_dim` entries per target).
     pub fn evaluate(&self, src_data: &[f64]) -> Vec<f64> {
         assert_eq!(src_data.len(), self.src_pts.len() * self.sd, "source data length");
-        let nd_eq = self.ops.n_surf * self.ops.sdim;
-        let nd_chk = self.ops.n_surf * self.ops.vdim;
-        let nodes = &self.tree.nodes;
-        let deg = self.ops.deg;
+        let mut guard = self.arenas.lock();
+        let ar = &mut *guard;
 
         // permute source data into Morton order
-        let mut data = vec![0.0; src_data.len()];
         for (pos, &orig) in self.tree.src_order.iter().enumerate() {
             let o = orig as usize * self.sd;
-            data[pos * self.sd..(pos + 1) * self.sd]
+            ar.data[pos * self.sd..(pos + 1) * self.sd]
                 .copy_from_slice(&src_data[o..o + self.sd]);
         }
 
-        // ---------------- upward pass ----------------
-        let mut up_equiv: Vec<Vec<f64>> = vec![Vec::new(); nodes.len()];
-        for level in (0..self.tree.levels.len()).rev() {
-            let level_nodes = &self.tree.levels[level];
-            let results: Vec<(u32, Vec<f64>)> = level_nodes
-                .par_iter()
-                .map(|&ni| {
-                    let node = &nodes[ni as usize];
-                    let h = self.tree.node_half(ni);
-                    let center = self.tree.node_center(ni);
-                    let mut equiv = vec![0.0; nd_eq];
-                    if node.is_leaf {
-                        if node.nsrc() > 0 {
-                            // S2M: sources -> upward check surface -> density
-                            let uc = cube_surface(self.ops.p, center, RAD_OUTER * h);
-                            let mut check = vec![0.0; nd_chk];
-                            let (a, b) = node.src_range;
-                            let pts = &self.src_pts[a as usize..b as usize];
-                            let dat = &data[a as usize * self.sd..b as usize * self.sd];
-                            for (i, &t) in uc.iter().enumerate() {
-                                let o = &mut check[i * self.ops.vdim..(i + 1) * self.ops.vdim];
-                                for (j, &s) in pts.iter().enumerate() {
-                                    self.src_kernel.eval_acc(
-                                        t,
-                                        s,
-                                        &dat[j * self.sd..(j + 1) * self.sd],
-                                        o,
-                                    );
-                                }
-                            }
-                            let scale = h.powf(-deg);
-                            let mut d = self.ops.uc2ue.matvec(&check);
-                            d.iter_mut().for_each(|v| *v *= scale);
-                            equiv = d;
-                        }
-                    } else {
-                        // M2M from children (already computed: deeper level)
-                        for (o, &c) in node.children.iter().enumerate() {
-                            if c != NONE && !up_equiv[c as usize].is_empty() {
-                                self.ops.m2m[o].matvec_acc(&up_equiv[c as usize], 1.0, &mut equiv);
-                            }
-                        }
-                    }
-                    (ni, equiv)
-                })
-                .collect();
-            for (ni, equiv) in results {
-                up_equiv[ni as usize] = equiv;
-            }
+        // pass timers, enabled with FMM_TIMERS=1 (perf diagnostics)
+        let timers = std::env::var_os("FMM_TIMERS").is_some_and(|v| v == "1");
+        let t0 = std::time::Instant::now();
+        self.upward(&ar.data, &mut ar.up);
+        let t1 = std::time::Instant::now();
+        self.downward(&ar.data, &ar.up, &mut ar.dn, &mut ar.check);
+        let t2 = std::time::Instant::now();
+        self.leaf_eval(&ar.data, &ar.up, &ar.dn, &mut ar.out_sorted);
+        if timers {
+            let t3 = std::time::Instant::now();
+            eprintln!(
+                "fmm timers: upward {:.2} ms, downward {:.2} ms, leaves {:.2} ms",
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3,
+                (t3 - t2).as_secs_f64() * 1e3,
+            );
         }
-
-        // ---------------- downward pass ----------------
-        let mut dn_equiv: Vec<Vec<f64>> = vec![Vec::new(); nodes.len()];
-        for level in 0..self.tree.levels.len() {
-            let level_nodes = &self.tree.levels[level];
-            let results: Vec<(u32, Vec<f64>)> = level_nodes
-                .par_iter()
-                .map(|&ni| {
-                    let node = &nodes[ni as usize];
-                    let h = self.tree.node_half(ni);
-                    let center = self.tree.node_center(ni);
-                    let mut check = vec![0.0; nd_chk];
-                    let mut any = false;
-
-                    // M2L from the V list
-                    if !node.v_list.is_empty() {
-                        let (tx, ty, tz) = node.key.anchor();
-                        let kscale = h.powf(deg);
-                        for &v in &node.v_list {
-                            let src_equiv = &up_equiv[v as usize];
-                            if src_equiv.is_empty() || src_equiv.iter().all(|&x| x == 0.0) {
-                                continue;
-                            }
-                            let (sx, sy, sz) = nodes[v as usize].key.anchor();
-                            let off = (
-                                (sx as i64 - tx as i64) as i8,
-                                (sy as i64 - ty as i64) as i8,
-                                (sz as i64 - tz as i64) as i8,
-                            );
-                            let m = self
-                                .ops
-                                .m2l
-                                .get(&off)
-                                .expect("V-list offset outside precomputed M2L set");
-                            m.matvec_acc(src_equiv, kscale, &mut check);
-                            any = true;
-                        }
-                    }
-
-                    // P2L from the X list (direct source evaluation at the
-                    // downward check surface)
-                    if !node.x_list.is_empty() {
-                        let dc = cube_surface(self.ops.p, center, RAD_INNER * h);
-                        for &x in &node.x_list {
-                            let xn = &nodes[x as usize];
-                            let (a, b) = xn.src_range;
-                            if a == b {
-                                continue;
-                            }
-                            let pts = &self.src_pts[a as usize..b as usize];
-                            let dat = &data[a as usize * self.sd..b as usize * self.sd];
-                            for (i, &t) in dc.iter().enumerate() {
-                                let o = &mut check[i * self.ops.vdim..(i + 1) * self.ops.vdim];
-                                for (j, &s) in pts.iter().enumerate() {
-                                    self.src_kernel.eval_acc(
-                                        t,
-                                        s,
-                                        &dat[j * self.sd..(j + 1) * self.sd],
-                                        o,
-                                    );
-                                }
-                            }
-                            any = true;
-                        }
-                    }
-
-                    let mut equiv = if any {
-                        let scale = h.powf(-deg);
-                        let mut d = self.ops.dc2de.matvec(&check);
-                        d.iter_mut().for_each(|v| *v *= scale);
-                        d
-                    } else {
-                        Vec::new()
-                    };
-
-                    // L2L from the parent
-                    if node.parent != NONE {
-                        let pd = &dn_equiv[node.parent as usize];
-                        if !pd.is_empty() {
-                            if equiv.is_empty() {
-                                equiv = vec![0.0; nd_eq];
-                            }
-                            let oct = node.key.child_index();
-                            self.ops.l2l[oct].matvec_acc(pd, 1.0, &mut equiv);
-                        }
-                    }
-                    (ni, equiv)
-                })
-                .collect();
-            for (ni, equiv) in results {
-                dn_equiv[ni as usize] = equiv;
-            }
-        }
-
-        // ---------------- leaf evaluation ----------------
-        let leaves = self.tree.leaves();
-        let chunks: Vec<(u32, Vec<f64>)> = leaves
-            .par_iter()
-            .filter(|&&li| nodes[li as usize].ntrg() > 0)
-            .map(|&li| {
-                let node = &nodes[li as usize];
-                let (t0, t1) = node.trg_range;
-                let trgs = &self.trg_pts[t0 as usize..t1 as usize];
-                let mut out = vec![0.0; trgs.len() * self.td];
-
-                // P2P over the U list
-                for &u in &node.u_list {
-                    let un = &nodes[u as usize];
-                    let (a, b) = un.src_range;
-                    if a == b {
-                        continue;
-                    }
-                    let pts = &self.src_pts[a as usize..b as usize];
-                    let dat = &data[a as usize * self.sd..b as usize * self.sd];
-                    for (i, &t) in trgs.iter().enumerate() {
-                        let o = &mut out[i * self.td..(i + 1) * self.td];
-                        for (j, &s) in pts.iter().enumerate() {
-                            self.src_kernel.eval_acc(t, s, &dat[j * self.sd..(j + 1) * self.sd], o);
-                        }
-                    }
-                }
-
-                // L2T: own downward equivalent density
-                let dn = &dn_equiv[li as usize];
-                if !dn.is_empty() {
-                    let h = self.tree.node_half(li);
-                    let center = self.tree.node_center(li);
-                    let de = cube_surface(self.ops.p, center, RAD_OUTER * h);
-                    let dns = self.scaled_density(dn, h);
-                    for (i, &t) in trgs.iter().enumerate() {
-                        let o = &mut out[i * self.td..(i + 1) * self.td];
-                        for (j, &s) in de.iter().enumerate() {
-                            self.eq_kernel.eval_acc(
-                                t,
-                                s,
-                                &dns[j * self.ops.sdim..(j + 1) * self.ops.sdim],
-                                o,
-                            );
-                        }
-                    }
-                }
-
-                // M2T: W-list multipoles evaluated directly
-                for &w in &node.w_list {
-                    let wu = &up_equiv[w as usize];
-                    if wu.is_empty() {
-                        continue;
-                    }
-                    let h = self.tree.node_half(w);
-                    let center = self.tree.node_center(w);
-                    let ue = cube_surface(self.ops.p, center, RAD_INNER * h);
-                    let wus = self.scaled_density(wu, h);
-                    for (i, &t) in trgs.iter().enumerate() {
-                        let o = &mut out[i * self.td..(i + 1) * self.td];
-                        for (j, &s) in ue.iter().enumerate() {
-                            self.eq_kernel.eval_acc(
-                                t,
-                                s,
-                                &wus[j * self.ops.sdim..(j + 1) * self.ops.sdim],
-                                o,
-                            );
-                        }
-                    }
-                }
-                (li, out)
-            })
-            .collect();
 
         // scatter back to the original target order
         let mut out = vec![0.0; self.n_trg * self.td];
-        for (li, vals) in chunks {
-            let (t0, _) = nodes[li as usize].trg_range;
-            for (i, chunk) in vals.chunks(self.td).enumerate() {
-                let orig = self.tree.trg_order[t0 as usize + i] as usize;
-                out[orig * self.td..(orig + 1) * self.td].copy_from_slice(chunk);
-            }
+        for (pos, &orig) in self.tree.trg_order.iter().enumerate() {
+            let o = orig as usize * self.td;
+            out[o..o + self.td]
+                .copy_from_slice(&ar.out_sorted[pos * self.td..(pos + 1) * self.td]);
         }
         out
+    }
+
+    /// Upward pass: S2M at source leaves (via `eval_block` on the
+    /// precomputed check surfaces), M2M up the tree. Writes the level-major
+    /// `up` arena in place, finest level first.
+    fn upward(&self, data: &[f64], up: &mut [f64]) {
+        let plan = &self.plan;
+        let nodes = &self.tree.nodes;
+        let (nd_eq, nd_chk) = (plan.nd_eq, plan.nd_chk);
+        for level in (0..plan.levels.len()).rev() {
+            let lp = &plan.levels[level];
+            let level_nodes = &self.tree.levels[level];
+            let start = plan.level_ofs[level] * nd_eq;
+            let end = plan.level_ofs[level + 1] * nd_eq;
+            let (head, deeper) = up.split_at_mut(end);
+            let cur = &mut head[start..];
+            let deeper = &*deeper;
+            let deeper_base = plan.level_ofs[level + 1];
+            par::chunks_mut(cur, nd_eq, |i, equiv| {
+                let ni = level_nodes[i] as usize;
+                if !plan.has_src[ni] {
+                    equiv.fill(0.0);
+                    return;
+                }
+                let node = &nodes[ni];
+                if node.is_leaf {
+                    // S2M: sources -> upward check surface -> density
+                    let h = self.tree.node_half(level_nodes[i]);
+                    let center = self.tree.node_center(level_nodes[i]);
+                    let (a, b) = (node.src_range.0 as usize, node.src_range.1 as usize);
+                    SCRATCH.with(|s| {
+                        let s = &mut *s.borrow_mut();
+                        fill_surface(&plan.unit_surf, center, RAD_OUTER * h, &mut s.surf);
+                        s.check.resize(nd_chk, 0.0);
+                        let check = &mut s.check[..nd_chk];
+                        check.fill(0.0);
+                        self.src_kernel.eval_block(
+                            &s.surf,
+                            &self.src_pts[a..b],
+                            &data[a * self.sd..b * self.sd],
+                            check,
+                        );
+                        self.ops.uc2ue.matvec_into(check, equiv);
+                    });
+                    for v in equiv.iter_mut() {
+                        *v *= lp.scale_inv;
+                    }
+                } else {
+                    // M2M from children (already computed: deeper level)
+                    equiv.fill(0.0);
+                    for (o, &c) in node.children.iter().enumerate() {
+                        if c != NONE && plan.has_src[c as usize] {
+                            let cs = plan.slot[c as usize] as usize - deeper_base;
+                            self.ops.m2m[o].matvec_acc(
+                                &deeper[cs * nd_eq..(cs + 1) * nd_eq],
+                                1.0,
+                                equiv,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Downward pass, level by level from the root: batched M2L per
+    /// translation-offset class (one GEMM per class), P2L from X lists,
+    /// then the dc2de solve fused with L2L from the parent.
+    fn downward(&self, data: &[f64], up: &[f64], dn: &mut [f64], check: &mut [f64]) {
+        let plan = &self.plan;
+        let nodes = &self.tree.nodes;
+        let (nd_eq, nd_chk) = (plan.nd_eq, plan.nd_chk);
+        for level in 0..plan.levels.len() {
+            let lp = &plan.levels[level];
+            let level_nodes = &self.tree.levels[level];
+            let nlev = level_nodes.len();
+            let check = &mut check[..nlev * nd_chk];
+            check.fill(0.0);
+
+            // M2L: one batched GEMM dispatch per offset class. Within a
+            // class each target row is unique, so blocks scatter race-free.
+            for g in &lp.groups {
+                let a_t = self.ops.m2l_t[g.class as usize]
+                    .as_ref()
+                    .expect("V-list offset outside precomputed M2L set");
+                par::for_each_row_block(check, nd_chk, &g.trg_rows, M2L_BLOCK, |start, view| {
+                    SCRATCH.with(|s| {
+                        let s = &mut *s.borrow_mut();
+                        let b = view.len();
+                        s.sblk.resize(M2L_BLOCK * nd_eq, 0.0);
+                        s.yblk.resize(M2L_BLOCK * nd_chk, 0.0);
+                        // gather source densities as block rows
+                        for r in 0..b {
+                            let ss = g.src_slots[start + r] as usize;
+                            s.sblk[r * nd_eq..(r + 1) * nd_eq]
+                                .copy_from_slice(&up[ss * nd_eq..(ss + 1) * nd_eq]);
+                        }
+                        // Checkᵀ-block = h^{deg} · Equivᵀ-block · Kᵀ
+                        s.yblk[..b * nd_chk].fill(0.0);
+                        gemm_acc(b, nd_chk, nd_eq, lp.scale_m2l, &s.sblk, a_t.data(), &mut s.yblk);
+                        for r in 0..b {
+                            let yrow = &s.yblk[r * nd_chk..(r + 1) * nd_chk];
+                            for (c, y) in view.row(r).iter_mut().zip(yrow) {
+                                *c += y;
+                            }
+                        }
+                    });
+                });
+            }
+
+            // P2L from the X list: direct source evaluation at the
+            // downward check surface
+            par::for_each_row_block(check, nd_chk, &lp.x_rows, 1, |start, view| {
+                let id = lp.x_nodes[start];
+                let ni = id as usize;
+                let h = self.tree.node_half(id);
+                let center = self.tree.node_center(id);
+                let row = view.row(0);
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    fill_surface(&plan.unit_surf, center, RAD_INNER * h, &mut s.surf);
+                    for &x in &nodes[ni].x_list {
+                        let (a, b) = (
+                            nodes[x as usize].src_range.0 as usize,
+                            nodes[x as usize].src_range.1 as usize,
+                        );
+                        if a == b {
+                            continue;
+                        }
+                        self.src_kernel.eval_block(
+                            &s.surf,
+                            &self.src_pts[a..b],
+                            &data[a * self.sd..b * self.sd],
+                            row,
+                        );
+                    }
+                });
+            });
+
+            // dc2de solve + L2L from the parent, writing dn in place
+            let dstart = plan.level_ofs[level] * nd_eq;
+            let (shallower, rest) = dn.split_at_mut(dstart);
+            let cur = &mut rest[..nlev * nd_eq];
+            let check = &*check;
+            par::chunks_mut(cur, nd_eq, |i, equiv| {
+                let ni = level_nodes[i] as usize;
+                if !plan.has_dn[ni] {
+                    equiv.fill(0.0);
+                    return;
+                }
+                if plan.receives[ni] {
+                    self.ops.dc2de.matvec_into(&check[i * nd_chk..(i + 1) * nd_chk], equiv);
+                    for v in equiv.iter_mut() {
+                        *v *= lp.scale_inv;
+                    }
+                } else {
+                    equiv.fill(0.0);
+                }
+                let node = &nodes[ni];
+                if node.parent != NONE && plan.has_dn[node.parent as usize] {
+                    let ps = plan.slot[node.parent as usize] as usize;
+                    let oct = node.key.child_index();
+                    self.ops.l2l[oct].matvec_acc(
+                        &shallower[ps * nd_eq..(ps + 1) * nd_eq],
+                        1.0,
+                        equiv,
+                    );
+                }
+            });
+        }
+    }
+
+    /// Leaf evaluation: P2P over U lists, L2T from the own downward
+    /// equivalent, M2T from W-list multipoles — all through `eval_block`,
+    /// in parallel over leaves (disjoint target ranges).
+    fn leaf_eval(&self, data: &[f64], up: &[f64], dn: &[f64], out_sorted: &mut [f64]) {
+        let plan = &self.plan;
+        let nodes = &self.tree.nodes;
+        let nd_eq = plan.nd_eq;
+        let sdim = self.ops.sdim;
+        out_sorted.fill(0.0);
+        par::for_each_disjoint_range(out_sorted, &plan.out_ranges, |i, out| {
+            let li = plan.leaves[i] as usize;
+            let node = &nodes[li];
+            let (t0, t1) = (node.trg_range.0 as usize, node.trg_range.1 as usize);
+            let trgs = &self.trg_pts[t0..t1];
+
+            // P2P over the U list
+            for &u in &node.u_list {
+                let un = &nodes[u as usize];
+                let (a, b) = (un.src_range.0 as usize, un.src_range.1 as usize);
+                if a == b {
+                    continue;
+                }
+                self.src_kernel.eval_block(
+                    trgs,
+                    &self.src_pts[a..b],
+                    &data[a * self.sd..b * self.sd],
+                    out,
+                );
+            }
+
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                // L2T: own downward equivalent density on the outer surface
+                if plan.has_dn[li] {
+                    let slot = plan.slot[li] as usize;
+                    let lp = &plan.levels[node.key.level as usize];
+                    let h = self.tree.node_half(plan.leaves[i]);
+                    let center = self.tree.node_center(plan.leaves[i]);
+                    fill_surface(&plan.unit_surf, center, RAD_OUTER * h, &mut s.surf);
+                    let row = &dn[slot * nd_eq..(slot + 1) * nd_eq];
+                    let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
+                    self.eq_kernel.eval_block(trgs, &s.surf, dens, out);
+                }
+                // M2T: W-list multipoles evaluated directly at the targets
+                for &w in &node.w_list {
+                    if !plan.has_src[w as usize] {
+                        continue;
+                    }
+                    let slot = plan.slot[w as usize] as usize;
+                    let lp = &plan.levels[nodes[w as usize].key.level as usize];
+                    let h = self.tree.node_half(w);
+                    let center = self.tree.node_center(w);
+                    fill_surface(&plan.unit_surf, center, RAD_INNER * h, &mut s.surf);
+                    let row = &up[slot * nd_eq..(slot + 1) * nd_eq];
+                    let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
+                    self.eq_kernel.eval_block(trgs, &s.surf, dens, out);
+                }
+            });
+        });
+    }
+}
+
+/// Applies the storage-scale convention without allocating: stored
+/// equivalent densities on a surface of half-width `h` represent physical
+/// strengths `stored · h^{e_c}` per component (see
+/// [`kernels::Kernel::src_scale_exponents`]). Returns the row itself when
+/// all exponents are zero.
+fn scaled_density<'a>(
+    row: &'a [f64],
+    dens_scale: &[f64],
+    sdim: usize,
+    scratch: &'a mut Vec<f64>,
+) -> &'a [f64] {
+    if dens_scale.is_empty() {
+        return row;
+    }
+    scratch.resize(row.len(), 0.0);
+    for (j, (dst, src)) in scratch.iter_mut().zip(row).enumerate() {
+        *dst = src * dens_scale[j % sdim];
+    }
+    &scratch[..row.len()]
+}
+
+/// Builds the geometry-dependent evaluation plan: arena slots, per-level
+/// scale tables, auxiliary surfaces, source/receive flags, M2L offset-class
+/// buckets, and leaf output ranges.
+fn build_plan(tree: &Octree, ops: &FmmOperators) -> EvalPlan {
+    let nodes = &tree.nodes;
+    let n_levels = tree.levels.len();
+    let nd_eq = ops.n_surf * ops.sdim;
+    let nd_chk = ops.n_surf * ops.vdim;
+
+    // level-major slot assignment
+    let mut slot = vec![0u32; nodes.len()];
+    let mut level_ofs = Vec::with_capacity(n_levels + 1);
+    level_ofs.push(0usize);
+    let mut next = 0u32;
+    for level_nodes in &tree.levels {
+        for &ni in level_nodes {
+            slot[ni as usize] = next;
+            next += 1;
+        }
+        level_ofs.push(next as usize);
+    }
+    let max_level_len = tree.levels.iter().map(|l| l.len()).max().unwrap_or(0);
+
+    // subtree-has-sources flags, finest level first
+    let mut has_src = vec![false; nodes.len()];
+    for level_nodes in tree.levels.iter().rev() {
+        for &ni in level_nodes {
+            let node = &nodes[ni as usize];
+            has_src[ni as usize] = if node.is_leaf {
+                node.nsrc() > 0
+            } else {
+                node.children.iter().any(|&c| c != NONE && has_src[c as usize])
+            };
+        }
+    }
+
+    // receive flags: V-list sources with multipoles, or X-list sources
+    let mut receives = vec![false; nodes.len()];
+    let mut has_dn = vec![false; nodes.len()];
+    for level_nodes in &tree.levels {
+        for &ni in level_nodes {
+            let node = &nodes[ni as usize];
+            let r = node.v_list.iter().any(|&v| has_src[v as usize])
+                || node.x_list.iter().any(|&x| nodes[x as usize].nsrc() > 0);
+            receives[ni as usize] = r;
+            has_dn[ni as usize] =
+                r || (node.parent != NONE && has_dn[node.parent as usize]);
+        }
+    }
+
+    // per-level plans: scale tables, M2L class buckets, X-list rows
+    let exps = &ops.scale_exps;
+    let scaling = exps.iter().any(|&e| e != 0);
+    let levels: Vec<LevelPlan> = (0..n_levels)
+        .map(|level| {
+            let level_nodes = &tree.levels[level];
+            let h = tree.half / (1u64 << level) as f64;
+            let dens_scale = if scaling {
+                exps.iter().map(|&e| h.powi(e)).collect()
+            } else {
+                Vec::new()
+            };
+
+            // bucket V-list interactions by translation-offset class
+            let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); crate::ops::M2L_CLASSES];
+            for (row, &ni) in level_nodes.iter().enumerate() {
+                let node = &nodes[ni as usize];
+                if node.v_list.is_empty() {
+                    continue;
+                }
+                let (tx, ty, tz) = node.key.anchor();
+                for &v in &node.v_list {
+                    if !has_src[v as usize] {
+                        continue;
+                    }
+                    let (sx, sy, sz) = nodes[v as usize].key.anchor();
+                    let class = m2l_class(
+                        (sx as i64 - tx as i64) as i8,
+                        (sy as i64 - ty as i64) as i8,
+                        (sz as i64 - tz as i64) as i8,
+                    )
+                    .expect("V-list offset outside the [-3,3] cube");
+                    buckets[class].push((row as u32, slot[v as usize]));
+                }
+            }
+            let mut groups = Vec::new();
+            for (class, mut pairs) in buckets.into_iter().enumerate() {
+                if pairs.is_empty() {
+                    continue;
+                }
+                pairs.sort_unstable();
+                groups.push(M2lGroup {
+                    class: class as u16,
+                    trg_rows: pairs.iter().map(|p| p.0).collect(),
+                    src_slots: pairs.iter().map(|p| p.1).collect(),
+                });
+            }
+
+            let mut x_rows = Vec::new();
+            let mut x_nodes = Vec::new();
+            for (row, &ni) in level_nodes.iter().enumerate() {
+                let node = &nodes[ni as usize];
+                if node.x_list.iter().any(|&x| nodes[x as usize].nsrc() > 0) {
+                    x_rows.push(row as u32);
+                    x_nodes.push(ni);
+                }
+            }
+
+            LevelPlan {
+                groups,
+                x_rows,
+                x_nodes,
+                scale_inv: h.powf(-ops.deg),
+                scale_m2l: h.powf(ops.deg),
+                dens_scale,
+            }
+        })
+        .collect();
+
+    // leaves with targets and their (disjoint) Morton-ordered out ranges
+    let td = ops.vdim;
+    let mut leaves = Vec::new();
+    let mut out_ranges = Vec::new();
+    for li in tree.leaves() {
+        let node = &nodes[li as usize];
+        if node.ntrg() > 0 {
+            leaves.push(li);
+            out_ranges
+                .push((node.trg_range.0 as usize * td, node.trg_range.1 as usize * td));
+        }
+    }
+
+    if std::env::var_os("FMM_TIMERS").is_some_and(|v| v == "1") {
+        for (l, lp) in levels.iter().enumerate() {
+            let pairs: usize = lp.groups.iter().map(|g| g.trg_rows.len()).sum();
+            eprintln!(
+                "fmm plan: level {l}: {} nodes, {} m2l groups, {} pairs, {} x-rows",
+                tree.levels[l].len(),
+                lp.groups.len(),
+                pairs,
+                lp.x_rows.len()
+            );
+        }
+    }
+    EvalPlan {
+        nd_eq,
+        nd_chk,
+        slot,
+        level_ofs,
+        levels,
+        unit_surf: cube_surface(ops.p, Vec3::ZERO, 1.0),
+        has_src,
+        receives,
+        has_dn,
+        leaves,
+        out_ranges,
+        max_level_len,
     }
 }
 
@@ -560,6 +888,24 @@ mod tests {
             direct_eval(&k, &src, &data, &trg, &mut exact);
             assert!(rel_err(&approx, &exact) < 1e-3);
         }
+    }
+
+    /// Arena reuse must not leak state between densities: evaluating A,
+    /// then B, then A again must reproduce A's result bit-for-bit.
+    #[test]
+    fn repeated_evaluation_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let src = cloud(&mut rng, 600, 1.0, Vec3::ZERO);
+        let trg = cloud(&mut rng, 250, 1.0, Vec3::ZERO);
+        let k = LaplaceSL;
+        let fmm =
+            Fmm::new(k, k, &src, &trg, FmmOptions { order: 4, leaf_capacity: 40, max_depth: 10 });
+        let da: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let db: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let first = fmm.evaluate(&da);
+        let _ = fmm.evaluate(&db);
+        let again = fmm.evaluate(&da);
+        assert_eq!(first, again);
     }
 
     #[test]

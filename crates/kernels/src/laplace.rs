@@ -33,6 +33,80 @@ pub fn laplace_dl(x: Vec3, y: Vec3, q: f64, n: Vec3) -> f64 {
     -q * r.dot(n) * rinv3 / (4.0 * std::f64::consts::PI)
 }
 
+/// Batched Laplace single layer: `out[i] += Σ_j q_j / (4π |t_i − s_j|)`.
+///
+/// Tiled SoA inner loops with the 1/4π constant hoisted; the lane loop has
+/// a fixed trip count and no branches (the self-interaction guard compiles
+/// to a select), so it autovectorizes.
+pub fn laplace_sl_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], out: &mut [f64]) {
+    use crate::traits::{load_tile, LANES, TILE};
+    debug_assert_eq!(data.len(), srcs.len());
+    debug_assert_eq!(out.len(), trgs.len());
+    let c = 1.0 / (4.0 * std::f64::consts::PI);
+    let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let mut qs = [0.0; TILE];
+    for (tile, qt) in srcs.chunks(TILE).zip(data.chunks(TILE)) {
+        load_tile(tile, &mut xs, &mut ys, &mut zs);
+        qs[..qt.len()].copy_from_slice(qt);
+        qs[qt.len()..].fill(0.0); // zero data ⇒ stale tail lanes contribute 0
+        for (i, &t) in trgs.iter().enumerate() {
+            let mut acc = [0.0f64; LANES];
+            for g in 0..TILE / LANES {
+                let o = g * LANES;
+                for l in 0..LANES {
+                    let dx = t.x - xs[o + l];
+                    let dy = t.y - ys[o + l];
+                    let dz = t.z - zs[o + l];
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                    acc[l] += qs[o + l] * rinv;
+                }
+            }
+            out[i] += c * acc.iter().sum::<f64>();
+        }
+    }
+}
+
+/// Batched Laplace double layer (`[q, nx, ny, nz]` per source), same
+/// convention as [`laplace_dl`].
+pub fn laplace_dl_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], out: &mut [f64]) {
+    use crate::traits::{load_tile, LANES, TILE};
+    debug_assert_eq!(data.len(), srcs.len() * 4);
+    debug_assert_eq!(out.len(), trgs.len());
+    let c = -1.0 / (4.0 * std::f64::consts::PI);
+    let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut qs, mut nxs, mut nys, mut nzs) =
+        ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 4)) {
+        load_tile(tile, &mut xs, &mut ys, &mut zs);
+        let m = tile.len();
+        for l in 0..m {
+            qs[l] = dt[l * 4];
+            nxs[l] = dt[l * 4 + 1];
+            nys[l] = dt[l * 4 + 2];
+            nzs[l] = dt[l * 4 + 3];
+        }
+        qs[m..].fill(0.0); // zero data ⇒ stale tail lanes contribute 0
+        for (i, &t) in trgs.iter().enumerate() {
+            let mut acc = [0.0f64; LANES];
+            for g in 0..TILE / LANES {
+                let o = g * LANES;
+                for l in 0..LANES {
+                    let dx = t.x - xs[o + l];
+                    let dy = t.y - ys[o + l];
+                    let dz = t.z - zs[o + l];
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                    let rinv3 = rinv * rinv * rinv;
+                    let rdotn = dx * nxs[o + l] + dy * nys[o + l] + dz * nzs[o + l];
+                    acc[l] += qs[o + l] * rdotn * rinv3;
+                }
+            }
+            out[i] += c * acc.iter().sum::<f64>();
+        }
+    }
+}
+
 /// Gradient of the Laplace single layer with respect to the target.
 #[inline]
 pub fn laplace_sl_grad(x: Vec3, y: Vec3, q: f64) -> Vec3 {

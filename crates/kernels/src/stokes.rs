@@ -70,6 +70,167 @@ pub fn stresslet(x: Vec3, y: Vec3, phi: Vec3, n: Vec3) -> Vec3 {
     r * (c * r.dot(phi) * r.dot(n) * rinv5)
 }
 
+/// Batched Stokeslet: `out[3i..3i+3] += Σ_j S(t_i, s_j) f_j`.
+///
+/// Tiled SoA inner loops; the `1/(8πμ)` constant is hoisted and applied
+/// once per target, and the self-interaction guard compiles to a select,
+/// so the lane loop autovectorizes.
+pub fn stokeslet_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], mu: f64, out: &mut [f64]) {
+    use crate::traits::{load_tile, LANES, TILE};
+    debug_assert_eq!(data.len(), srcs.len() * 3);
+    debug_assert_eq!(out.len(), trgs.len() * 3);
+    let c = 1.0 / (8.0 * std::f64::consts::PI * mu);
+    let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut fxs, mut fys, mut fzs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 3)) {
+        load_tile(tile, &mut xs, &mut ys, &mut zs);
+        let m = tile.len();
+        for l in 0..m {
+            fxs[l] = dt[l * 3];
+            fys[l] = dt[l * 3 + 1];
+            fzs[l] = dt[l * 3 + 2];
+        }
+        // zero data ⇒ stale tail lanes contribute 0
+        fxs[m..].fill(0.0);
+        fys[m..].fill(0.0);
+        fzs[m..].fill(0.0);
+        for (i, &t) in trgs.iter().enumerate() {
+            let mut ax = [0.0f64; LANES];
+            let mut ay = [0.0f64; LANES];
+            let mut az = [0.0f64; LANES];
+            for g in 0..TILE / LANES {
+                let o = g * LANES;
+                for l in 0..LANES {
+                    let rx = t.x - xs[o + l];
+                    let ry = t.y - ys[o + l];
+                    let rz = t.z - zs[o + l];
+                    let r2 = rx * rx + ry * ry + rz * rz;
+                    let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                    let rinv2 = rinv * rinv;
+                    let fdotr = fxs[o + l] * rx + fys[o + l] * ry + fzs[o + l] * rz;
+                    let s = fdotr * rinv2 * rinv;
+                    ax[l] += fxs[o + l] * rinv + rx * s;
+                    ay[l] += fys[o + l] * rinv + ry * s;
+                    az[l] += fzs[o + l] * rinv + rz * s;
+                }
+            }
+            out[i * 3] += c * ax.iter().sum::<f64>();
+            out[i * 3 + 1] += c * ay.iter().sum::<f64>();
+            out[i * 3 + 2] += c * az.iter().sum::<f64>();
+        }
+    }
+}
+
+/// Batched stresslet (`[φx, φy, φz, nx, ny, nz]` per source), same
+/// convention as [`stresslet`].
+pub fn stresslet_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], out: &mut [f64]) {
+    use crate::traits::{load_tile, LANES, TILE};
+    debug_assert_eq!(data.len(), srcs.len() * 6);
+    debug_assert_eq!(out.len(), trgs.len() * 3);
+    let c = -3.0 / (4.0 * std::f64::consts::PI);
+    let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut pxs, mut pys, mut pzs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut nxs, mut nys, mut nzs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 6)) {
+        load_tile(tile, &mut xs, &mut ys, &mut zs);
+        let m = tile.len();
+        for l in 0..m {
+            pxs[l] = dt[l * 6];
+            pys[l] = dt[l * 6 + 1];
+            pzs[l] = dt[l * 6 + 2];
+            nxs[l] = dt[l * 6 + 3];
+            nys[l] = dt[l * 6 + 4];
+            nzs[l] = dt[l * 6 + 5];
+        }
+        // zero data ⇒ stale tail lanes contribute 0
+        pxs[m..].fill(0.0);
+        pys[m..].fill(0.0);
+        pzs[m..].fill(0.0);
+        for (i, &t) in trgs.iter().enumerate() {
+            let mut ax = [0.0f64; LANES];
+            let mut ay = [0.0f64; LANES];
+            let mut az = [0.0f64; LANES];
+            for g in 0..TILE / LANES {
+                let o = g * LANES;
+                for l in 0..LANES {
+                    let rx = t.x - xs[o + l];
+                    let ry = t.y - ys[o + l];
+                    let rz = t.z - zs[o + l];
+                    let r2 = rx * rx + ry * ry + rz * rz;
+                    let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                    let rinv2 = rinv * rinv;
+                    let rinv5 = rinv2 * rinv2 * rinv;
+                    let rdotp = rx * pxs[o + l] + ry * pys[o + l] + rz * pzs[o + l];
+                    let rdotn = rx * nxs[o + l] + ry * nys[o + l] + rz * nzs[o + l];
+                    let s = rdotp * rdotn * rinv5;
+                    ax[l] += rx * s;
+                    ay[l] += ry * s;
+                    az[l] += rz * s;
+                }
+            }
+            out[i * 3] += c * ax.iter().sum::<f64>();
+            out[i * 3 + 1] += c * ay.iter().sum::<f64>();
+            out[i * 3 + 2] += c * az.iter().sum::<f64>();
+        }
+    }
+}
+
+/// Batched augmented Stokes equivalent kernel (`[fx, fy, fz, q]` per
+/// source): Stokeslet plus a potential point source, the equivalent-density
+/// basis of the Stokes double-layer FMM.
+pub fn stokes_equiv_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], mu: f64, out: &mut [f64]) {
+    use crate::traits::{load_tile, LANES, TILE};
+    debug_assert_eq!(data.len(), srcs.len() * 4);
+    debug_assert_eq!(out.len(), trgs.len() * 3);
+    let cs = 1.0 / (8.0 * std::f64::consts::PI * mu);
+    let cq = 1.0 / (4.0 * std::f64::consts::PI);
+    let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut fxs, mut fys, mut fzs, mut qs) =
+        ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 4)) {
+        load_tile(tile, &mut xs, &mut ys, &mut zs);
+        let m = tile.len();
+        for l in 0..m {
+            // fold the 1/8πμ and 1/4π constants into the tile data so the
+            // inner loop applies no per-target scaling
+            fxs[l] = cs * dt[l * 4];
+            fys[l] = cs * dt[l * 4 + 1];
+            fzs[l] = cs * dt[l * 4 + 2];
+            qs[l] = cq * dt[l * 4 + 3];
+        }
+        // zero data ⇒ stale tail lanes contribute 0
+        fxs[m..].fill(0.0);
+        fys[m..].fill(0.0);
+        fzs[m..].fill(0.0);
+        qs[m..].fill(0.0);
+        for (i, &t) in trgs.iter().enumerate() {
+            let mut ax = [0.0f64; LANES];
+            let mut ay = [0.0f64; LANES];
+            let mut az = [0.0f64; LANES];
+            for g in 0..TILE / LANES {
+                let o = g * LANES;
+                for l in 0..LANES {
+                    let rx = t.x - xs[o + l];
+                    let ry = t.y - ys[o + l];
+                    let rz = t.z - zs[o + l];
+                    let r2 = rx * rx + ry * ry + rz * rz;
+                    let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                    let rinv2 = rinv * rinv;
+                    let rinv3 = rinv2 * rinv;
+                    let fdotr = fxs[o + l] * rx + fys[o + l] * ry + fzs[o + l] * rz;
+                    let s = fdotr * rinv3 + qs[o + l] * rinv3;
+                    ax[l] += fxs[o + l] * rinv + rx * s;
+                    ay[l] += fys[o + l] * rinv + ry * s;
+                    az[l] += fzs[o + l] * rinv + rz * s;
+                }
+            }
+            out[i * 3] += ax.iter().sum::<f64>();
+            out[i * 3 + 1] += ay.iter().sum::<f64>();
+            out[i * 3 + 2] += az.iter().sum::<f64>();
+        }
+    }
+}
+
 /// Pressure kernel associated with the Stokeslet:
 /// `p(x) = (1/4π) r·f / |r|³`.
 #[inline]

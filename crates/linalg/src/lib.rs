@@ -26,7 +26,7 @@ pub use interp::{
     barycentric_weights, checkpoint_extrapolation_weights, lagrange_basis_at, tensor_interp_matrix,
     Interp1d,
 };
-pub use mat::{axpy, dot, norm2, norm_inf, Mat};
+pub use mat::{axpy, dot, gemm_acc, norm2, norm_inf, Mat};
 pub use quad::{clenshaw_curtis, gauss_legendre, legendre_and_derivative, periodic_trapezoid, Rule1d};
 pub use solve::{Lu, Qr};
 pub use svd::Svd;

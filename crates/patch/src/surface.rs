@@ -166,7 +166,7 @@ impl BoundarySurface {
         self.patches
             .par_iter()
             .map(|p| p.bounding_box(8))
-            .reduce(|| Aabb::EMPTY, Aabb::union)
+            .fold(Aabb::EMPTY, Aabb::union)
     }
 
     /// Per-patch bounding boxes sampled with `n × n` points.

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`: the macro/group/bencher API the
+//! benches use, backed by a simple median-of-samples wall-clock harness.
+//!
+//! Run with `cargo bench` (optionally `cargo bench --bench X -- substring`
+//! to filter benchmarks by name). Each benchmark is warmed up, then timed
+//! for `sample_size` samples; the median, minimum, and mean are printed.
+//! Target time per benchmark is bounded so full sweeps stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Formats a duration with an appropriate unit.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Top-level harness state: name filter from the command line.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- foo` passes "foo"; ignore flags (e.g. --bench)
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = name.to_string();
+        run_benchmark(&full, self.filter.as_deref(), 20, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.text);
+        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warmup: one call, plus enough to estimate per-iteration cost
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        // inner iteration count so one sample is >= ~1 ms for cheap payloads
+        let inner = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000)
+                as usize
+        } else {
+            1
+        };
+        // bound total measurement time to ~3 s
+        let budget = Duration::from_secs(3);
+        let mut spent = Duration::ZERO;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            self.samples.push(dt / inner as u32);
+            spent += dt;
+            if spent > budget && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    full_name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !full_name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_name:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{full_name:<50} median {:>12}   min {:>12}   mean {:>12}   ({} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean),
+        b.samples.len()
+    );
+}
+
+/// Re-export for benches that import it from criterion.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for `rand` (0.9-style API surface).
+//!
+//! Provides exactly what the code base uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::random_range` over half-open
+//! ranges of floats and integers. The generator is SplitMix64 — not the
+//! crates.io StdRng stream, which is irrelevant here because every use
+//! feeds both sides of a comparison from the same stream.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{rngs::StdRng, Rng, SeedableRng};
+}
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        #[inline]
+        pub(crate) fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // one warmup step decorrelates small consecutive seeds
+        let mut rng = rngs::StdRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let u = rng.next_f64() as $t;
+                range.start + (range.end - range.start) * u
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Subset of `rand::Rng`.
+pub trait Rng {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+    /// Uniform f64 in [0, 1) (`rng.random::<f64>()` equivalent).
+    fn random_f64(&mut self) -> f64;
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+    #[inline]
+    fn random_f64(&mut self) -> f64 {
+        self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.random_range(-2.5f64..7.5);
+            assert_eq!(x, b.random_range(-2.5f64..7.5));
+            assert!((-2.5..7.5).contains(&x));
+            let n = a.random_range(3usize..17);
+            assert_eq!(n, b.random_range(3usize..17));
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rngs::StdRng::seed_from_u64(1);
+        let mut b = rngs::StdRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.random_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.random_range(0.0..1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

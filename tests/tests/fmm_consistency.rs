@@ -26,6 +26,77 @@ fn make(force_fmm: bool) -> Simulation {
     Simulation::new(basis, cells, None, config)
 }
 
+/// FMM vs direct summation for the Stokes double layer — the kernel the
+/// boundary solver iterates — at orders 4 and 6: order 4 must reach ~3
+/// digits, order 6 ~4+ digits and strictly better than order 4.
+#[test]
+fn stokes_double_layer_fmm_accuracy_orders_4_and_6() {
+    use kernels::{direct_eval, StokesDL, StokesEquiv};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 1200usize;
+    let src: Vec<Vec3> = (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+        })
+        .collect();
+    let trg: Vec<Vec3> = (0..500)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * 6);
+    for _ in 0..n {
+        for _ in 0..3 {
+            data.push(rng.random_range(-1.0..1.0));
+        }
+        let nrm = Vec3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        )
+        .normalized();
+        data.extend_from_slice(&[nrm.x, nrm.y, nrm.z]);
+    }
+    let sk = StokesDL;
+    let ek = StokesEquiv { mu: 1.0 };
+    let mut exact = vec![0.0; trg.len() * 3];
+    direct_eval(&sk, &src, &data, &trg, &mut exact);
+    let den: f64 = exact.iter().map(|v| v * v).sum::<f64>().sqrt();
+
+    let mut errs = Vec::new();
+    for order in [4usize, 6] {
+        let approx = fmm::fmm_evaluate(
+            &sk,
+            &ek,
+            &src,
+            &data,
+            &trg,
+            fmm::FmmOptions { order, leaf_capacity: 60, max_depth: 10 },
+        );
+        let num: f64 = approx
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        errs.push(num / den);
+    }
+    assert!(errs[0] < 5e-3, "order 4 relative error {}", errs[0]);
+    assert!(errs[1] < 1e-4, "order 6 relative error {}", errs[1]);
+    assert!(errs[1] < errs[0] * 0.5, "order 6 must beat order 4: {errs:?}");
+}
+
 #[test]
 fn direct_and_fmm_dynamics_agree() {
     let mut direct = make(false);
