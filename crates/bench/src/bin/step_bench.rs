@@ -1,0 +1,104 @@
+//! Full-step perf-trajectory bench: times `sim::Simulation::step` end to
+//! end (self-interaction → BIE/GMRES → FMM → collision resolution) for
+//! registry scenarios and writes a machine-readable `BENCH_step.json` with
+//! the per-stage COL / BIE-solve / BIE-FMM / Other-FMM / Other split, so
+//! full-pipeline performance is tracked across PRs alongside the
+//! FMM-only `BENCH_fmm.json`.
+//!
+//! Scenario settings mirror `scenarios/step_bench.toml` (scaled down from
+//! the paper's production sizes so the bench finishes in ~a minute).
+//!
+//! Usage: `cargo run --release -p bench --bin step_bench [--quick]`
+//! (`--quick` runs fewer steps on the free-space case only and writes
+//! `BENCH_step_quick.json` so smoke runs never clobber the trajectory.)
+
+use driver::Doc;
+use sim::StepTimers;
+use std::fmt::Write as _;
+
+struct CaseResult {
+    name: String,
+    cells: usize,
+    dofs: usize,
+    steps: usize,
+    timers: StepTimers,
+}
+
+fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
+    let mut built = driver::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
+    let mut timers = StepTimers::default();
+    // one untimed warm-up step so process-wide operator caches (upsample
+    // matrices, FMM operators) don't pollute the first measured step
+    built.sim.step();
+    for _ in 0..steps {
+        let t = built.sim.step();
+        if built.recycle {
+            built.sim.recycle_cells();
+        }
+        timers.accumulate(&t);
+    }
+    let r = CaseResult {
+        name: name.to_string(),
+        cells: built.sim.cells.len(),
+        dofs: built.sim.dofs(),
+        steps,
+        timers,
+    };
+    let t = &r.timers;
+    let n = steps as f64;
+    println!(
+        "{:<18} {:>3} cells {:>7} dofs  {:>2} steps  per-step: COL {:>7.3}s  BIE-solve {:>7.3}s  BIE-FMM {:>7.3}s  Other-FMM {:>7.3}s  Other {:>7.3}s  total {:>7.3}s",
+        r.name, r.cells, r.dofs, r.steps,
+        t.col / n, t.bie_solve / n, t.bie_fmm / n, t.other_fmm / n, t.other / n, t.total() / n,
+    );
+    r
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // the scaled-down scenario settings live in scenarios/step_bench.toml
+    // (compiled in, so the bench and an interactive driver run of the same
+    // config file can never drift apart)
+    let cfg = Doc::parse(include_str!("../../../../scenarios/step_bench.toml"))
+        .expect("scenarios/step_bench.toml must parse");
+
+    let mut results = Vec::new();
+    if quick {
+        results.push(run_case("shear_pair", &cfg, 2));
+    } else {
+        results.push(run_case("shear_pair", &cfg, 5));
+        results.push(run_case("sedimentation", &cfg, 2));
+        results.push(run_case("poiseuille_train", &cfg, 2));
+    }
+
+    // hand-rolled JSON (no serde in the environment)
+    let mut json = String::from("{\n  \"bench\": \"simulation_step\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let t = &r.timers;
+        let n = r.steps as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
+            r.name,
+            r.cells,
+            r.dofs,
+            r.steps,
+            t.col / n,
+            t.bie_solve / n,
+            t.bie_fmm / n,
+            t.other_fmm / n,
+            t.other / n,
+            t.total() / n,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = if quick {
+        "BENCH_step_quick.json"
+    } else {
+        "BENCH_step.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -8,7 +8,7 @@
 //!    interference measure `V` of each connected contact (one per touching
 //!    object pair) is assembled together with its position gradient.
 //!
-//! Interference measure (DESIGN.md substitution): where [17]/[25] compute
+//! Interference measure (DESIGN.md substitution): where \[17\]/\[25\] compute
 //! exact piecewise-linear space-time interference volumes, we use
 //! `V_k = −Σ_pairs (δ − dist)₊ · a_v` accumulated over the vertex–triangle
 //! pairs of contact `k`, with `a_v` the vertex area weight and `δ` the

@@ -9,10 +9,12 @@
 //! - [`detect`]: space-time bounding boxes + Morton-hash candidate search
 //!   and the per-object-pair interference measure `V` with gradients
 //!   (see DESIGN.md for the documented simplification of the space-time
-//!   volume of [17]/[25]);
+//!   volume of \[17\]/\[25\]);
 //! - [`lcp`]: minimum-map Newton over GMRES;
 //! - [`ncp`]: the outer re-linearization loop with the sparse hash-map
 //!   coupling matrix `B` and the object mobilities supplied by the caller.
+
+#![warn(missing_docs)]
 
 pub mod detect;
 pub mod lcp;

@@ -5,7 +5,7 @@
 //! come from the upsampled lat–long grid (2,112 points at the paper's
 //! resolution), vessel-patch meshes from the 22² equispaced grid.
 
-use linalg::{Aabb, Vec3};
+use linalg::{Aabb, ByteReader, ByteWriter, CodecError, Vec3};
 
 /// A triangle mesh with per-vertex area weights (used to weight the
 /// interference measure).
@@ -56,6 +56,46 @@ impl TriMesh {
     pub fn space_time_box(&self, end_verts: &[Vec3], margin: f64) -> Aabb {
         let b = Aabb::from_points(self.verts.iter().chain(end_verts.iter()).copied());
         b.inflated(margin)
+    }
+
+    /// Serializes the mesh (vertices, connectivity, area weights)
+    /// bit-exactly — the checkpoint system hashes these bytes to verify a
+    /// rebuilt domain matches the one a checkpoint was captured from.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.verts.len());
+        for v in &self.verts {
+            w.put_vec3(*v);
+        }
+        w.put_usize(self.tris.len());
+        for t in &self.tris {
+            w.put_u32(t[0]);
+            w.put_u32(t[1]);
+            w.put_u32(t[2]);
+        }
+        w.put_f64_slice(&self.vert_area);
+    }
+
+    /// Reconstructs a mesh from bytes written by [`TriMesh::write_state`].
+    pub fn read_state(r: &mut ByteReader) -> Result<TriMesh, CodecError> {
+        let nv = r.get_usize()?;
+        let mut verts = Vec::with_capacity(nv.min(r.remaining() / 24));
+        for _ in 0..nv {
+            verts.push(r.get_vec3()?);
+        }
+        let nt = r.get_usize()?;
+        let mut tris = Vec::with_capacity(nt.min(r.remaining() / 12));
+        for _ in 0..nt {
+            let t = [r.get_u32()?, r.get_u32()?, r.get_u32()?];
+            if t.iter().any(|&i| i as usize >= verts.len()) {
+                return Err(CodecError(format!("triangle index out of range: {t:?}")));
+            }
+            tris.push(t);
+        }
+        let vert_area = r.get_f64_vec()?;
+        if vert_area.len() != verts.len() {
+            return Err(CodecError("vertex-area length mismatch".into()));
+        }
+        Ok(TriMesh { verts, tris, vert_area })
     }
 }
 
@@ -265,5 +305,33 @@ mod tests {
         assert!(b.contains(Vec3::new(0.5, 0.5, 0.0)));
         assert!(b.contains(Vec3::new(0.5, 0.5, 2.0)));
         assert!(b.contains(Vec3::new(-0.05, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn mesh_state_round_trips_bit_exactly() {
+        let grid: Vec<Vec3> = (0..12)
+            .map(|i| Vec3::new((i % 4) as f64 * 0.3, (i / 4) as f64 * 0.7, (i as f64).sin()))
+            .collect();
+        let mesh = triangulate_latlon(&grid, 3, 4, Vec3::new(0.5, 0.5, 2.0), Vec3::new(0.5, 0.5, -2.0));
+        let mut w = linalg::ByteWriter::new();
+        mesh.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = linalg::ByteReader::new(&bytes);
+        let back = TriMesh::read_state(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.tris, mesh.tris);
+        for (a, b) in back.verts.iter().zip(&mesh.verts) {
+            assert_eq!((a.x.to_bits(), a.y.to_bits(), a.z.to_bits()), (b.x.to_bits(), b.y.to_bits(), b.z.to_bits()));
+        }
+        let a: Vec<u64> = back.vert_area.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = mesh.vert_area.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+
+        // corrupt a triangle index beyond the vertex count → rejected
+        let mut bad = bytes.clone();
+        // first triangle starts right after the vertex block
+        let tri_off = 8 + mesh.verts.len() * 24 + 8;
+        bad[tri_off..tri_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(TriMesh::read_state(&mut linalg::ByteReader::new(&bad)).is_err());
     }
 }

@@ -1,0 +1,32 @@
+//! # driver — the scenario-driven simulation harness
+//!
+//! Everything needed to run end-to-end `sim::Simulation` workloads from
+//! declarative configs:
+//!
+//! - [`toml`]: a hand-rolled parser for the TOML subset scenario files use
+//!   (the environment is offline, so no external parser crates);
+//! - [`scenario`]: the registry of named scenario builders (shear pair,
+//!   sedimentation, vessel flow, dense fill, Poiseuille cell train, random
+//!   suspension) shared by `examples/`, `sim-driver`, and `step_bench`;
+//! - [`mod@run`]: the stepping loop with per-stage timer aggregation, CSV
+//!   trajectory output, and periodic binary checkpoints (restartable
+//!   bit-identically via `sim::checkpoint`).
+//!
+//! The `sim-driver` binary is the CLI front end:
+//!
+//! ```text
+//! cargo run --release -p driver -- list
+//! cargo run --release -p driver -- shear_pair --steps 20
+//! cargo run --release -p driver -- vessel_flow --config scenarios/vessel_flow.toml
+//! cargo run --release -p driver -- shear_pair --restart target/driver/shear_pair/shear_pair_final.ckpt --steps 10
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod scenario;
+pub mod toml;
+
+pub use run::{final_checkpoint_path, run, RunOptions, RunReport, StepRow};
+pub use scenario::{build, registry, Built, ScenarioSpec};
+pub use toml::{Doc, Value};

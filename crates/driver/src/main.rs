@@ -1,0 +1,194 @@
+//! `sim-driver` — run named scenarios end-to-end with checkpoint/restart.
+//!
+//! ```text
+//! sim-driver list
+//! sim-driver <scenario> [--config FILE] [--steps N] [--checkpoint-every K]
+//!            [--out DIR | --no-output] [--restart CKPT] [--quiet]
+//!            [--set key=value ...]
+//! ```
+//!
+//! `--set` writes into the scenario's config section, overriding the file;
+//! e.g. `sim-driver shear_pair --set order=8 --set dt=0.01`.
+
+use driver::{final_checkpoint_path, run, Doc, RunOptions};
+use sim::Checkpoint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scenario: String,
+    config: Option<PathBuf>,
+    steps: usize,
+    checkpoint_every: usize,
+    out_dir: Option<PathBuf>,
+    no_output: bool,
+    restart: Option<PathBuf>,
+    quiet: bool,
+    sets: Vec<String>,
+    help: bool,
+}
+
+fn usage() -> String {
+    let mut u = String::from(
+        "usage: sim-driver <scenario|list> [--config FILE] [--steps N] \
+         [--checkpoint-every K] [--out DIR | --no-output] [--restart CKPT] \
+         [--quiet] [--set key=value ...]\n\nscenarios:\n",
+    );
+    for s in driver::registry() {
+        u.push_str(&format!("  {:<18} {}\n", s.name, s.summary));
+    }
+    u
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scenario: String::new(),
+        config: None,
+        steps: 10,
+        checkpoint_every: 0,
+        out_dir: None,
+        no_output: false,
+        restart: None,
+        quiet: false,
+        sets: Vec::new(),
+        help: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
+            "--no-output" => args.no_output = true,
+            "--restart" => args.restart = Some(PathBuf::from(value("--restart")?)),
+            "--quiet" => args.quiet = true,
+            "--set" => args.sets.push(value("--set")?),
+            "--help" | "-h" => args.help = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()))
+            }
+            other => {
+                if !args.scenario.is_empty() {
+                    return Err(format!(
+                        "two scenarios given: {} and {other}",
+                        args.scenario
+                    ));
+                }
+                args.scenario = other.to_string();
+            }
+        }
+    }
+    if args.scenario.is_empty() && !args.help {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn main_inner() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.help || args.scenario == "list" {
+        print!("{}", usage());
+        return Ok(());
+    }
+
+    // config: file, then --set overrides into the scenario's section
+    let mut cfg = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            Doc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Doc::default(),
+    };
+    for s in &args.sets {
+        let (key, value) = driver::toml::parse_override(s)?;
+        cfg.set(&args.scenario, &key, value);
+    }
+
+    let mut built = driver::build(&args.scenario, &cfg)?;
+
+    if let Some(ckpt_path) = &args.restart {
+        let ckpt =
+            Checkpoint::load(ckpt_path).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        if ckpt.scenario != args.scenario {
+            return Err(format!(
+                "checkpoint is from scenario `{}`, not `{}`",
+                ckpt.scenario, args.scenario
+            ));
+        }
+        ckpt.restore_into(&mut built.sim)
+            .map_err(|e| e.to_string())?;
+        if !args.sets.is_empty() {
+            eprintln!(
+                "warning: --restart restores the checkpoint's configuration; \
+                 --set overrides of evolving-state parameters (dt, shear_rate, ...) \
+                 are ignored for the restored run"
+            );
+        }
+        if !args.quiet {
+            println!(
+                "restarted from {} at step {}",
+                ckpt_path.display(),
+                built.sim.steps
+            );
+        }
+    }
+
+    let out_dir = if args.no_output {
+        None
+    } else {
+        Some(
+            args.out_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("target/driver").join(&args.scenario)),
+        )
+    };
+    let opts = RunOptions {
+        scenario: args.scenario.clone(),
+        steps: args.steps,
+        checkpoint_every: args.checkpoint_every,
+        out_dir: out_dir.clone(),
+        quiet: args.quiet,
+    };
+    let report = run(&mut built.sim, built.recycle, &opts).map_err(|e| e.to_string())?;
+
+    if !args.quiet {
+        println!("\n{}", report.stage_table());
+        if let Some(dir) = &out_dir {
+            println!(
+                "wrote per-step CSV and {} checkpoint(s) under {}; resume with:\n  sim-driver {} --restart {} --steps N",
+                report.checkpoints.len(),
+                dir.display(),
+                args.scenario,
+                final_checkpoint_path(dir, &args.scenario).display(),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match main_inner() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

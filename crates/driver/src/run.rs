@@ -1,0 +1,236 @@
+//! The scenario run loop: stepping, per-stage timer aggregation, CSV
+//! trajectory output, and periodic checkpointing.
+
+use sim::{Checkpoint, Simulation, StepStats, StepTimers};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Controls for [`run`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Scenario name stored in checkpoints (so a restart can rebuild it).
+    pub scenario: String,
+    /// Number of steps to take (on restart: *additional* steps).
+    pub steps: usize,
+    /// Write a checkpoint every `k` steps (0 = only the final one).
+    pub checkpoint_every: usize,
+    /// Directory for checkpoints and CSV output; `None` disables all
+    /// file output.
+    pub out_dir: Option<PathBuf>,
+    /// Suppress the per-step progress lines.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scenario: String::new(),
+            steps: 10,
+            checkpoint_every: 0,
+            out_dir: None,
+            quiet: false,
+        }
+    }
+}
+
+/// One step's record.
+#[derive(Clone, Copy, Debug)]
+pub struct StepRow {
+    /// Step index (1-based, global across restarts).
+    pub step: usize,
+    /// Component timers for this step.
+    pub timers: StepTimers,
+    /// Solver/contact diagnostics.
+    pub stats: StepStats,
+    /// Cells recycled outlet → inlet after this step.
+    pub recycled: usize,
+}
+
+/// What a run produced.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Component timers summed over the executed steps.
+    pub timers: StepTimers,
+    /// Per-step records.
+    pub rows: Vec<StepRow>,
+    /// Checkpoints written, in order; the last one is the final state.
+    pub checkpoints: Vec<PathBuf>,
+}
+
+impl RunReport {
+    /// Renders the per-stage aggregate the paper's Figs. 4–6 tabulate.
+    pub fn stage_table(&self) -> String {
+        let t = &self.timers;
+        let n = self.rows.len().max(1) as f64;
+        let mut out = String::from("stage        total(s)  per-step(s)\n");
+        for (name, v) in [
+            ("COL", t.col),
+            ("BIE-solve", t.bie_solve),
+            ("BIE-FMM", t.bie_fmm),
+            ("Other-FMM", t.other_fmm),
+            ("Other", t.other),
+        ] {
+            out.push_str(&format!("{name:<11} {v:>9.3}  {:>11.4}\n", v / n));
+        }
+        out.push_str(&format!(
+            "{:<11} {:>9.3}  {:>11.4}\n",
+            "TOTAL",
+            t.total(),
+            t.total() / n
+        ));
+        out
+    }
+
+    /// Renders the per-step rows as CSV (matching the columns the example
+    /// binaries used to hand-roll).
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::from(CSV_HEADER);
+        for r in &self.rows {
+            csv.push_str(&r.csv_line());
+        }
+        csv
+    }
+}
+
+/// Column header of the per-step CSV.
+const CSV_HEADER: &str =
+    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled\n";
+
+impl StepRow {
+    /// One CSV line (newline-terminated) for this row.
+    fn csv_line(&self) -> String {
+        let t = self.timers;
+        format!(
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+            self.step,
+            t.col,
+            t.bie_solve,
+            t.bie_fmm,
+            t.other_fmm,
+            t.other,
+            t.total(),
+            self.stats.bie_iterations,
+            self.stats.contacts,
+            self.stats.ncp_iters,
+            self.recycled,
+        )
+    }
+}
+
+fn checkpoint_path(dir: &Path, scenario: &str, step: usize) -> PathBuf {
+    dir.join(format!("{scenario}_step{step:06}.ckpt"))
+}
+
+/// Path of the final-state checkpoint a run writes.
+pub fn final_checkpoint_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{scenario}_final.ckpt"))
+}
+
+/// Steps `sim` for `opts.steps` steps, recycling outlet cells when
+/// `recycle` is set, checkpointing on the configured cadence, and writing
+/// `trajectory.csv` plus a final checkpoint into `opts.out_dir`.
+pub fn run(sim: &mut Simulation, recycle: bool, opts: &RunOptions) -> io::Result<RunReport> {
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // continuation runs (restarts) get their own CSV instead of
+    // overwriting the earlier portion of the trajectory; rows are appended
+    // as they happen so a killed run keeps everything up to its last step
+    let start_step = sim.steps;
+    let csv_name = if start_step == 0 {
+        "trajectory.csv".to_string()
+    } else {
+        format!("trajectory_from_{:06}.csv", start_step + 1)
+    };
+    let mut csv_file = match &opts.out_dir {
+        Some(dir) => {
+            let mut f = std::fs::File::create(dir.join(&csv_name))?;
+            std::io::Write::write_all(&mut f, CSV_HEADER.as_bytes())?;
+            Some(f)
+        }
+        None => None,
+    };
+    let mut report = RunReport::default();
+    if !opts.quiet {
+        println!(
+            "{}: {} cells, {} dofs, dt = {}, {} steps",
+            opts.scenario,
+            sim.cells.len(),
+            sim.dofs(),
+            sim.config.dt,
+            opts.steps
+        );
+        println!("step  total(s)  COL(s)  BIE(s)  gmres  contacts  recycled");
+    }
+    for _ in 0..opts.steps {
+        let t = sim.step();
+        let recycled = if recycle { sim.recycle_cells() } else { 0 };
+        let row = StepRow {
+            step: sim.steps,
+            timers: t,
+            stats: sim.last_stats,
+            recycled,
+        };
+        report.timers.accumulate(&t);
+        if !opts.quiet {
+            println!(
+                "{:>4}  {:>8.3}  {:>6.3}  {:>6.3}  {:>5}  {:>8}  {:>8}",
+                row.step,
+                t.total(),
+                t.col,
+                t.bie_solve + t.bie_fmm,
+                row.stats.bie_iterations,
+                row.stats.contacts,
+                recycled
+            );
+        }
+        if let Some(f) = &mut csv_file {
+            std::io::Write::write_all(f, row.csv_line().as_bytes())?;
+        }
+        report.rows.push(row);
+        if let Some(dir) = &opts.out_dir {
+            if opts.checkpoint_every > 0 && sim.steps.is_multiple_of(opts.checkpoint_every) {
+                let path = checkpoint_path(dir, &opts.scenario, sim.steps);
+                Checkpoint::write(sim, &opts.scenario, &path)?;
+                report.checkpoints.push(path);
+            }
+        }
+    }
+    if let Some(dir) = &opts.out_dir {
+        let path = final_checkpoint_path(dir, &opts.scenario);
+        Checkpoint::write(sim, &opts.scenario, &path)?;
+        report.checkpoints.push(path);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_table_and_csv_render() {
+        let mut report = RunReport::default();
+        let t = StepTimers {
+            col: 0.5,
+            bie_solve: 0.25,
+            ..Default::default()
+        };
+        report.timers.accumulate(&t);
+        report.rows.push(StepRow {
+            step: 1,
+            timers: t,
+            stats: StepStats {
+                bie_iterations: 12,
+                contacts: 3,
+                ..Default::default()
+            },
+            recycled: 1,
+        });
+        let table = report.stage_table();
+        assert!(table.contains("COL") && table.contains("0.500"), "{table}");
+        let csv = report.to_csv();
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains(",12,3,"), "{csv}");
+    }
+}

@@ -1,0 +1,496 @@
+//! The scenario registry: every runnable workload, in one place.
+//!
+//! A scenario is a named builder from a declarative config ([`Doc`]) to a
+//! ready-to-step [`Simulation`]. The `examples/` binaries, the `sim-driver`
+//! CLI, and the `step_bench` perf harness all construct domains through
+//! this registry, so a scenario definition lives exactly once.
+//!
+//! Builders are deterministic: all randomness comes from seeded RNGs whose
+//! seeds are config keys, which is what lets a checkpoint restart rebuild
+//! the identical domain (verified via [`sim::vessel_digest`]).
+//!
+//! Every scenario reads its keys from the config section named after it
+//! (e.g. `[shear_pair]`); unknown scenarios list the registry in the error.
+
+use crate::toml::Doc;
+use linalg::{GmresOptions, Vec3};
+use patch::{capsule_tube, modulated_torus, Serpentine, StraightLine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::{cells_from_seeds, fill_seeds, SimConfig, Simulation, Vessel};
+use sphharm::SphBasis;
+use vesicle::{biconcave_coeffs, rotated_coeffs, Cell, CellParams};
+
+/// A registered scenario.
+pub struct ScenarioSpec {
+    /// Registry name (also the config section the builder reads).
+    pub name: &'static str,
+    /// One-line description for `sim-driver list`.
+    pub summary: &'static str,
+    /// Builder from config to a ready simulation.
+    pub build: fn(&Doc) -> Result<Built, String>,
+}
+
+/// A built scenario: the simulation plus its per-step policy.
+pub struct Built {
+    /// The ready-to-step simulation.
+    pub sim: Simulation,
+    /// Whether the run loop should recycle outlet cells into the inlet
+    /// after each step (§5.1 — vessel-flow style scenarios).
+    pub recycle: bool,
+}
+
+/// All registered scenarios.
+pub fn registry() -> &'static [ScenarioSpec] {
+    &[
+        ScenarioSpec {
+            name: "shear_pair",
+            summary: "two RBCs overtaking in linear shear, free space (Fig. 10)",
+            build: build_shear_pair,
+        },
+        ScenarioSpec {
+            name: "sedimentation",
+            summary: "cells settling under gravity in a closed vertical capsule (Fig. 7)",
+            build: build_sedimentation,
+        },
+        ScenarioSpec {
+            name: "vessel_flow",
+            summary:
+                "confined flow through a serpentine vessel with inlet/outlet + recycling (Fig. 1)",
+            build: build_vessel_flow,
+        },
+        ScenarioSpec {
+            name: "dense_fill",
+            summary: "dense RBC suspension filling a modulated torus, walls only (Fig. 8)",
+            build: build_dense_fill,
+        },
+        ScenarioSpec {
+            name: "poiseuille_train",
+            summary: "a train of cells advected by Poiseuille inflow in a straight tube",
+            build: build_poiseuille_train,
+        },
+        ScenarioSpec {
+            name: "random_suspension",
+            summary:
+                "randomly oriented cells on a jittered lattice in background shear, free space",
+            build: build_random_suspension,
+        },
+    ]
+}
+
+/// Looks up and builds a scenario by name.
+pub fn build(name: &str, cfg: &Doc) -> Result<Built, String> {
+    let spec = registry().iter().find(|s| s.name == name).ok_or_else(|| {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        format!("unknown scenario `{name}`; available: {}", names.join(", "))
+    })?;
+    (spec.build)(cfg)
+}
+
+/// Shared config plumbing: `SimConfig` from the scenario's section with
+/// per-scenario defaults for `dt` and `collision_delta`.
+fn sim_config(cfg: &Doc, sec: &str, dt: f64, collision_delta: f64) -> SimConfig {
+    let gravity = match cfg.get(sec, "gravity") {
+        Some(crate::toml::Value::Array(v)) if v.len() == 3 => Vec3::new(
+            v[0].as_f64().unwrap_or(0.0),
+            v[1].as_f64().unwrap_or(0.0),
+            v[2].as_f64().unwrap_or(0.0),
+        ),
+        _ => Vec3::ZERO,
+    };
+    SimConfig {
+        dt: cfg.f64_or(sec, "dt", dt),
+        collision_delta: cfg.f64_or(sec, "collision_delta", collision_delta),
+        shear_rate: cfg.f64_or(sec, "shear_rate", 0.0),
+        gravity,
+        disable_collisions: cfg.bool_or(sec, "disable_collisions", false),
+        ..Default::default()
+    }
+}
+
+fn cell_params(cfg: &Doc, sec: &str, kappa_b: f64, k_area: f64) -> CellParams {
+    CellParams {
+        kappa_b: cfg.f64_or(sec, "kappa_b", kappa_b),
+        k_area: cfg.f64_or(sec, "k_area", k_area),
+        ..Default::default()
+    }
+}
+
+fn bie_options(cfg: &Doc, sec: &str) -> bie::BieOptions {
+    bie::BieOptions {
+        use_fmm: Some(cfg.bool_or(sec, "bie_fmm", false)),
+        gmres: GmresOptions {
+            tol: cfg.f64_or(sec, "bie_tol", 1e-5),
+            max_iters: cfg.usize_or(sec, "bie_max_iters", 30),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Two cells offset in z inside the linear shear `u = [γ̇ z, 0, 0]`; the
+/// upper cell overtakes the lower one with contact handling keeping them
+/// apart (ported from `examples/src/shear_pair.rs`).
+fn build_shear_pair(cfg: &Doc) -> Result<Built, String> {
+    let sec = "shear_pair";
+    let p = cfg.usize_or(sec, "order", 12);
+    let basis = SphBasis::new(p);
+    let params = cell_params(cfg, sec, 0.02, 2.0);
+    let sep = cfg.f64_or(sec, "separation_x", 1.4);
+    let off = cfg.f64_or(sec, "offset_z", 0.25);
+    let radius = cfg.f64_or(sec, "cell_radius", 1.0);
+    let cells = vec![
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, radius, Vec3::new(-sep, 0.0, off)),
+            params,
+        ),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, radius, Vec3::new(sep, 0.0, -off)),
+            params,
+        ),
+    ];
+    let mut config = sim_config(cfg, sec, 0.02, 0.05);
+    config.shear_rate = cfg.f64_or(sec, "shear_rate", 1.0);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, None, config),
+        recycle: false,
+    })
+}
+
+/// A closed vertical capsule filled with cells settling under gravity
+/// (ported from `examples/src/sedimentation.rs`).
+fn build_sedimentation(cfg: &Doc) -> Result<Built, String> {
+    let sec = "sedimentation";
+    let length = cfg.f64_or(sec, "tube_length", 6.0);
+    let radius = cfg.f64_or(sec, "tube_radius", 1.6);
+    let line = StraightLine {
+        a: Vec3::ZERO,
+        b: Vec3::new(0.0, 0.0, length),
+    };
+    let surface = capsule_tube(
+        &line,
+        radius,
+        cfg.usize_or(sec, "tube_segments", 3),
+        cfg.usize_or(sec, "patch_order", 8),
+    );
+    let vessel = Vessel::new(
+        surface.clone(),
+        1.0,
+        bie_options(cfg, sec),
+        0.0,
+        cfg.usize_or(sec, "col_m", 10),
+    );
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
+    let seeds = fill_seeds(
+        &surface,
+        cfg.f64_or(sec, "fill_h", 0.95),
+        cfg.f64_or(sec, "fill_margin", 0.95),
+    );
+    if seeds.is_empty() {
+        return Err("sedimentation: vessel too small for any cells (raise fill_h)".into());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.usize_or(sec, "seed", 7) as u64);
+    let params = cell_params(cfg, sec, 0.01, 1.0);
+    let cells = cells_from_seeds(&basis, &seeds, params, &mut rng);
+
+    let mut config = sim_config(cfg, sec, 0.02, 0.06);
+    if cfg.get(sec, "gravity").is_none() {
+        config.gravity = Vec3::new(0.0, 0.0, cfg.f64_or(sec, "gravity_z", -4.0));
+    }
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle: false,
+    })
+}
+
+/// Serpentine vessel with parabolic inflow/outflow, cell recycling active —
+/// the headline confined-flow setup (ported from
+/// `examples/src/vessel_flow.rs`).
+fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
+    let sec = "vessel_flow";
+    let c = Serpentine {
+        length: cfg.f64_or(sec, "length", 8.0),
+        amp: cfg.f64_or(sec, "amp", 0.7),
+        windings: cfg.f64_or(sec, "windings", 1.0),
+    };
+    let surface = capsule_tube(
+        &c,
+        cfg.f64_or(sec, "tube_radius", 1.1),
+        cfg.usize_or(sec, "tube_segments", 5),
+        cfg.usize_or(sec, "patch_order", 8),
+    );
+    let peak = cfg.f64_or(sec, "peak_speed", 1.0);
+    let vessel = Vessel::new(
+        surface.clone(),
+        1.0,
+        bie_options(cfg, sec),
+        peak,
+        cfg.usize_or(sec, "col_m", 10),
+    );
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
+    let seeds = fill_seeds(
+        &surface,
+        cfg.f64_or(sec, "fill_h", 1.1),
+        cfg.f64_or(sec, "fill_margin", 0.9),
+    );
+    if seeds.is_empty() {
+        return Err("vessel_flow: no cells fit (raise fill_h)".into());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.usize_or(sec, "seed", 11) as u64);
+    let cells = cells_from_seeds(&basis, &seeds, cell_params(cfg, sec, 0.01, 1.0), &mut rng);
+
+    let config = sim_config(cfg, sec, 0.01, 0.05);
+    let recycle = cfg.bool_or(sec, "recycle", true);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle,
+    })
+}
+
+/// A modulated torus (stenosed loop) densely packed with cells — the
+/// vessel-filling stress test of Fig. 8 turned into a steppable run
+/// (ported from `examples/src/fill_vessel.rs`; the torus has no ports, so
+/// the flow is driven purely by gravity / cell interactions).
+fn build_dense_fill(cfg: &Doc) -> Result<Built, String> {
+    let sec = "dense_fill";
+    let surface = modulated_torus(
+        cfg.f64_or(sec, "big_r", 4.0),
+        cfg.f64_or(sec, "small_r", 1.0),
+        cfg.f64_or(sec, "amp", 0.25),
+        cfg.usize_or(sec, "lobes", 4) as u32,
+        cfg.usize_or(sec, "nu", 16),
+        cfg.usize_or(sec, "nv", 6),
+        cfg.usize_or(sec, "patch_order", 8),
+    );
+    let vessel = Vessel::new(
+        surface.clone(),
+        1.0,
+        bie_options(cfg, sec),
+        0.0,
+        cfg.usize_or(sec, "col_m", 10),
+    );
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
+    let seeds = fill_seeds(
+        &surface,
+        cfg.f64_or(sec, "fill_h", 0.7),
+        cfg.f64_or(sec, "fill_margin", 0.95),
+    );
+    if seeds.is_empty() {
+        return Err("dense_fill: no cells fit (raise fill_h)".into());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.usize_or(sec, "seed", 3) as u64);
+    let cells = cells_from_seeds(&basis, &seeds, cell_params(cfg, sec, 0.01, 1.0), &mut rng);
+
+    let mut config = sim_config(cfg, sec, 0.01, 0.05);
+    if cfg.get(sec, "gravity").is_none() {
+        config.gravity = Vec3::new(0.0, 0.0, cfg.f64_or(sec, "gravity_z", -1.0));
+    }
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle: false,
+    })
+}
+
+/// A single-file train of biconcave cells in a straight tube, advected by
+/// parabolic (Poiseuille) inflow — the axisymmetric margination baseline.
+fn build_poiseuille_train(cfg: &Doc) -> Result<Built, String> {
+    let sec = "poiseuille_train";
+    let length = cfg.f64_or(sec, "tube_length", 8.0);
+    let tube_r = cfg.f64_or(sec, "tube_radius", 1.2);
+    let line = StraightLine {
+        a: Vec3::ZERO,
+        b: Vec3::new(length, 0.0, 0.0),
+    };
+    let surface = capsule_tube(
+        &line,
+        tube_r,
+        cfg.usize_or(sec, "tube_segments", 4),
+        cfg.usize_or(sec, "patch_order", 8),
+    );
+    let peak = cfg.f64_or(sec, "peak_speed", 1.5);
+    let vessel = Vessel::new(
+        surface,
+        1.0,
+        bie_options(cfg, sec),
+        peak,
+        cfg.usize_or(sec, "col_m", 10),
+    );
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
+    let n_cells = cfg.usize_or(sec, "n_cells", 4);
+    if n_cells == 0 {
+        return Err("poiseuille_train: n_cells must be ≥ 1".into());
+    }
+    let cell_r = cfg.f64_or(sec, "cell_radius", 0.5);
+    if cell_r >= tube_r {
+        return Err(format!(
+            "poiseuille_train: cell_radius {cell_r} does not fit tube_radius {tube_r}"
+        ));
+    }
+    let spacing = cfg.f64_or(sec, "spacing", 1.5);
+    let span = spacing * (n_cells - 1) as f64 + 2.0 * cell_r;
+    if span > length {
+        return Err(format!(
+            "poiseuille_train: train span {span:.2} (n_cells·spacing + cell) exceeds tube_length {length}"
+        ));
+    }
+    let offset = cfg.f64_or(sec, "radial_offset", 0.0);
+    if offset.abs() + cell_r >= tube_r {
+        return Err(format!(
+            "poiseuille_train: radial_offset {offset} pushes cells into the wall"
+        ));
+    }
+    let params = cell_params(cfg, sec, 0.01, 1.0);
+    // train centered in the tube, marching along +x
+    let x0 = 0.5 * (length - spacing * (n_cells.saturating_sub(1)) as f64);
+    let cells: Vec<Cell> = (0..n_cells)
+        .map(|i| {
+            let center = Vec3::new(x0 + spacing * i as f64, 0.0, offset);
+            Cell::new(&basis, biconcave_coeffs(&basis, cell_r, center), params)
+        })
+        .collect();
+
+    let config = sim_config(cfg, sec, 0.01, 0.05);
+    let recycle = cfg.bool_or(sec, "recycle", true);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle,
+    })
+}
+
+/// Randomly oriented cells on a jittered cubic lattice in free space,
+/// sheared by the background flow — the unconfined dense-suspension
+/// rheology workload.
+fn build_random_suspension(cfg: &Doc) -> Result<Built, String> {
+    let sec = "random_suspension";
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
+    let n_side = cfg.usize_or(sec, "n_side", 2);
+    if n_side == 0 {
+        return Err("random_suspension: n_side must be ≥ 1".into());
+    }
+    let spacing = cfg.f64_or(sec, "spacing", 2.6);
+    let jitter = cfg.f64_or(sec, "jitter", 0.25);
+    if jitter < 0.0 {
+        return Err(format!(
+            "random_suspension: jitter must be ≥ 0, got {jitter}"
+        ));
+    }
+    let cell_r = cfg.f64_or(sec, "cell_radius", 1.0);
+    if jitter * 2.0 + 2.0 * cell_r > spacing {
+        return Err(format!(
+            "random_suspension: spacing {spacing} too small for cell_radius {cell_r} + jitter {jitter}"
+        ));
+    }
+    let params = cell_params(cfg, sec, 0.02, 1.0);
+    let mut rng = StdRng::seed_from_u64(cfg.usize_or(sec, "seed", 13) as u64);
+    let half = 0.5 * spacing * (n_side - 1) as f64;
+    let mut cells = Vec::with_capacity(n_side * n_side * n_side);
+    for k in 0..n_side {
+        for j in 0..n_side {
+            for i in 0..n_side {
+                let lattice = Vec3::new(
+                    i as f64 * spacing - half,
+                    j as f64 * spacing - half,
+                    k as f64 * spacing - half,
+                );
+                // jitter = 0 is a valid perfect-lattice run; the shim's
+                // random_range rejects empty ranges
+                let wob = if jitter > 0.0 {
+                    Vec3::new(
+                        rng.random_range(-jitter..jitter),
+                        rng.random_range(-jitter..jitter),
+                        rng.random_range(-jitter..jitter),
+                    )
+                } else {
+                    Vec3::ZERO
+                };
+                let coeffs = biconcave_coeffs(&basis, cell_r, lattice + wob);
+                let rot = rotated_coeffs(&basis, &coeffs, &mut rng);
+                cells.push(Cell::new(&basis, rot, params));
+            }
+        }
+    }
+    let mut config = sim_config(cfg, sec, 0.01, 0.05);
+    config.shear_rate = cfg.f64_or(sec, "shear_rate", 0.5);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, None, config),
+        recycle: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_buildable_cheaply() {
+        let mut names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate scenario names");
+        assert!(n >= 6, "registry shrank to {n} scenarios");
+    }
+
+    #[test]
+    fn unknown_scenario_lists_registry() {
+        let e = build("warp_drive", &Doc::default()).err().unwrap();
+        assert!(
+            e.contains("shear_pair") && e.contains("poiseuille_train"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn shear_pair_builds_with_overrides() {
+        let mut cfg = Doc::default();
+        cfg.set("shear_pair", "order", crate::toml::Value::Int(6));
+        cfg.set("shear_pair", "shear_rate", crate::toml::Value::Float(2.0));
+        let built = build("shear_pair", &cfg).unwrap();
+        assert_eq!(built.sim.basis.p, 6);
+        assert_eq!(built.sim.cells.len(), 2);
+        assert_eq!(built.sim.config.shear_rate, 2.0);
+        assert!(!built.recycle);
+        assert!(built.sim.vessel.is_none());
+    }
+
+    #[test]
+    fn free_space_builders_are_deterministic() {
+        let mut cfg = Doc::default();
+        cfg.set("random_suspension", "order", crate::toml::Value::Int(6));
+        cfg.set("random_suspension", "n_side", crate::toml::Value::Int(2));
+        let a = build("random_suspension", &cfg).unwrap();
+        let b = build("random_suspension", &cfg).unwrap();
+        assert_eq!(a.sim.cells.len(), 8);
+        for (ca, cb) in a.sim.cells.iter().zip(&b.sim.cells) {
+            for c in 0..3 {
+                let x: Vec<u64> = ca.coeffs[c].data.iter().map(|v| v.to_bits()).collect();
+                let y: Vec<u64> = cb.coeffs[c].data.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(x, y, "rebuild differs");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let mut cfg = Doc::default();
+        cfg.set(
+            "poiseuille_train",
+            "cell_radius",
+            crate::toml::Value::Float(5.0),
+        );
+        assert!(build("poiseuille_train", &cfg).is_err());
+        let mut cfg = Doc::default();
+        cfg.set(
+            "random_suspension",
+            "spacing",
+            crate::toml::Value::Float(1.0),
+        );
+        assert!(build("random_suspension", &cfg).is_err());
+    }
+}

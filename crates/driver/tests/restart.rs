@@ -1,0 +1,129 @@
+//! Checkpoint/restart acceptance test: a shear-pair run interrupted at
+//! step 3 and restarted from its checkpoint must reproduce the
+//! uninterrupted 5-step trajectory **bit-identically**.
+
+use driver::{Doc, Value};
+use sim::{Checkpoint, Simulation};
+
+fn small_shear_pair_cfg() -> Doc {
+    let mut cfg = Doc::default();
+    // keep the test fast: low order, two cells
+    cfg.set("shear_pair", "order", Value::Int(8));
+    cfg.set("shear_pair", "dt", Value::Float(0.02));
+    cfg
+}
+
+fn coeff_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for cell in &sim.cells {
+        for c in 0..3 {
+            bits.extend(cell.coeffs[c].data.iter().map(|v| v.to_bits()));
+        }
+        bits.extend(cell.ref_w.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn restart_reproduces_uninterrupted_run_bit_identically() {
+    let cfg = small_shear_pair_cfg();
+
+    // uninterrupted reference: 5 steps
+    let mut reference = driver::build("shear_pair", &cfg).unwrap().sim;
+    for _ in 0..5 {
+        reference.step();
+    }
+    let ref_bits = coeff_bits(&reference);
+
+    // interrupted run: 3 steps, checkpoint through an actual file
+    let mut first = driver::build("shear_pair", &cfg).unwrap().sim;
+    for _ in 0..3 {
+        first.step();
+    }
+    let dir = std::env::temp_dir().join(format!("driver_restart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shear_pair.ckpt");
+    Checkpoint::write(&first, "shear_pair", &path).unwrap();
+
+    // fresh process-equivalent: rebuild the scenario, restore, continue
+    let loaded = Checkpoint::load(&path).unwrap();
+    assert_eq!(loaded.scenario, "shear_pair");
+    assert_eq!(loaded.steps, 3);
+    let mut resumed = driver::build("shear_pair", &cfg).unwrap().sim;
+    loaded.restore_into(&mut resumed).unwrap();
+    for _ in 0..2 {
+        resumed.step();
+    }
+
+    assert_eq!(resumed.steps, 5);
+    let resumed_bits = coeff_bits(&resumed);
+    assert_eq!(ref_bits.len(), resumed_bits.len());
+    let diffs = ref_bits
+        .iter()
+        .zip(&resumed_bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        diffs,
+        0,
+        "{diffs}/{} coefficient words differ after restart",
+        ref_bits.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_against_wrong_scenario_fails() {
+    let cfg = small_shear_pair_cfg();
+    let sim = driver::build("shear_pair", &cfg).unwrap().sim;
+    let ckpt = Checkpoint::capture(&sim, "shear_pair");
+
+    // a free-space scenario with a different basis order must be rejected
+    let mut cfg6 = Doc::default();
+    cfg6.set("shear_pair", "order", Value::Int(6));
+    let mut other = driver::build("shear_pair", &cfg6).unwrap().sim;
+    assert!(ckpt.restore_into(&mut other).is_err());
+}
+
+#[test]
+fn run_loop_checkpoints_on_cadence_and_restarts() {
+    let cfg = small_shear_pair_cfg();
+    let dir = std::env::temp_dir().join(format!("driver_cadence_{}", std::process::id()));
+
+    let mut built = driver::build("shear_pair", &cfg).unwrap();
+    let opts = driver::RunOptions {
+        scenario: "shear_pair".into(),
+        steps: 4,
+        checkpoint_every: 2,
+        out_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    let report = driver::run(&mut built.sim, built.recycle, &opts).unwrap();
+    // cadence checkpoints at steps 2 and 4, plus the final one
+    assert_eq!(report.checkpoints.len(), 3, "{:?}", report.checkpoints);
+    assert!(dir.join("trajectory.csv").exists());
+    assert_eq!(report.rows.len(), 4);
+    assert!(report.timers.total() > 0.0);
+
+    // the mid-run checkpoint resumes to the same state as the full run
+    let mid = Checkpoint::load(&report.checkpoints[0]).unwrap();
+    assert_eq!(mid.steps, 2);
+    let mut resumed = driver::build("shear_pair", &cfg).unwrap().sim;
+    mid.restore_into(&mut resumed).unwrap();
+    resumed.step();
+    resumed.step();
+    let full_bits: Vec<u64> = built.sim.cells[0].coeffs[0]
+        .data
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let res_bits: Vec<u64> = resumed.cells[0].coeffs[0]
+        .data
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(full_bits, res_bits);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

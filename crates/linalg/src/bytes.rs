@@ -1,0 +1,251 @@
+//! Minimal binary (de)serialization substrate for checkpoint files.
+//!
+//! The environment is offline, so instead of serde the simulation state is
+//! persisted through this hand-rolled little-endian codec. Every crate that
+//! owns persistent state (`vesicle` cells, `collision` meshes, `sim`
+//! checkpoints) writes through [`ByteWriter`] and reads through
+//! [`ByteReader`]; floats round-trip bit-exactly (`f64::to_le_bytes`), which
+//! is what makes checkpoint/restart reproduce trajectories bit-identically.
+
+use crate::vec3::Vec3;
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64` (platform-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` bit-exactly.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a [`Vec3`] as three `f64`s.
+    pub fn put_vec3(&mut self, v: Vec3) {
+        self.put_f64(v.x);
+        self.put_f64(v.y);
+        self.put_f64(v.z);
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Error type for [`ByteReader`]: truncated or malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sequential reader over a byte slice produced by [`ByteWriter`].
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (written as `u64`).
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError(format!("usize overflow: {v}")))
+    }
+
+    /// Reads an `f64` bit-exactly.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `bool`.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a [`Vec3`].
+    pub fn get_vec3(&mut self) -> Result<Vec3, CodecError> {
+        Ok(Vec3::new(self.get_f64()?, self.get_f64()?, self.get_f64()?))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_usize()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(CodecError(format!("truncated f64 vec of len {n}")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, CodecError> {
+        let n = self.get_usize()?;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|e| CodecError(format!("invalid utf-8: {e}")))
+    }
+}
+
+/// FNV-1a 64-bit hash of a byte slice — the deterministic digest used to
+/// cross-check that a rebuilt domain matches the one a checkpoint was
+/// captured from.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdeadbeef);
+        w.put_u64(1 << 60);
+        w.put_usize(544);
+        w.put_f64(-0.0);
+        w.put_f64(f64::MIN_POSITIVE);
+        w.put_bool(true);
+        w.put_vec3(Vec3::new(1.0, -2.5, 3e-300));
+        w.put_f64_slice(&[0.1, 0.2, 0.3]);
+        w.put_str("shear_pair");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.get_u64().unwrap(), 1 << 60);
+        assert_eq!(r.get_usize().unwrap(), 544);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert!(r.get_bool().unwrap());
+        let v = r.get_vec3().unwrap();
+        assert_eq!((v.x, v.y, v.z), (1.0, -2.5, 3e-300));
+        assert_eq!(r.get_f64_vec().unwrap(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(r.get_string().unwrap(), "shear_pair");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..4]);
+        assert!(r.get_u64().is_err());
+        // a bogus huge length prefix must not allocate
+        let mut w = ByteWriter::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_f64_vec().is_err());
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -7,12 +7,15 @@
 //! - [`Vec3`]/[`Aabb`]: geometric primitives used by every crate above;
 //! - [`Mat`], [`Lu`], [`Qr`], [`Svd`]: dense matrices and factorizations for
 //!   patch fitting, Newton systems, and the FMM equivalent-density solves;
-//! - [`gmres`]: restarted matrix-free GMRES (the boundary-solver and LCP
+//! - [`mod@gmres`]: restarted matrix-free GMRES (the boundary-solver and LCP
 //!   iterations of the paper both run on it);
 //! - [`quad`]: Clenshaw–Curtis and Gauss–Legendre rules;
 //! - [`interp`]: barycentric interpolation, tensor-product upsampling, and
-//!   the check-point extrapolation weights of §3.1.
+//!   the check-point extrapolation weights of §3.1;
+//! - [`bytes`]: the little-endian binary codec the checkpoint/restart
+//!   system serializes state through (offline stand-in for serde).
 
+pub mod bytes;
 pub mod gmres;
 pub mod interp;
 pub mod mat;
@@ -21,6 +24,7 @@ pub mod solve;
 pub mod svd;
 pub mod vec3;
 
+pub use bytes::{fnv1a64, ByteReader, ByteWriter, CodecError};
 pub use gmres::{gmres, FnOperator, GmresOptions, GmresResult, LinearOperator};
 pub use interp::{
     barycentric_weights, checkpoint_extrapolation_weights, lagrange_basis_at, tensor_interp_matrix,

@@ -1,0 +1,370 @@
+//! Binary checkpoint/restart for long simulation runs.
+//!
+//! A checkpoint captures everything the time stepper evolves — the cells
+//! (via the bit-exact [`vesicle::state`] hooks), the step counter, the
+//! configuration, and the accumulated component timers. The static domain
+//! (vessel geometry, boundary solver, collision meshes) is *not* stored;
+//! the scenario that created the run rebuilds it deterministically, and a
+//! FNV digest of the vessel's collision meshes and boundary condition
+//! (serialized through the [`collision`] mesh hooks) is stored so a restart
+//! against a drifted domain fails loudly instead of silently diverging.
+//!
+//! Because every float round-trips bit-exactly and stepping is
+//! deterministic, a restarted run reproduces the uninterrupted trajectory
+//! bit-identically (covered by the `driver` crate's restart test).
+
+use crate::domain::Vessel;
+use crate::stepper::{SimConfig, Simulation};
+use crate::timers::StepTimers;
+use linalg::{fnv1a64, ByteReader, ByteWriter, CodecError};
+use sphharm::SphBasis;
+use std::io;
+use std::path::Path;
+use vesicle::{Cell, StepOptions};
+
+/// File magic: "RBCCKPT" + format version.
+const MAGIC: &[u8; 8] = b"RBCCKPT1";
+
+/// A captured simulation state, decoupled from the live [`Simulation`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Scenario tag (free-form; the driver stores the registry name so a
+    /// restart can rebuild the same domain).
+    pub scenario: String,
+    /// Steps taken when the checkpoint was captured.
+    pub steps: usize,
+    /// Spherical-harmonic order of the cell basis.
+    pub basis_p: usize,
+    /// The configuration the run was using.
+    pub config: SimConfig,
+    /// Accumulated component timers (informational; wall times are not
+    /// part of the trajectory).
+    pub timers: StepTimers,
+    /// Digest of the vessel state (0 for free-space runs).
+    pub vessel_digest: u64,
+    /// The evolving cell state.
+    pub cells: Vec<Cell>,
+}
+
+/// Deterministic digest of the static vessel state: collision meshes,
+/// boundary condition, port layout, and the boundary-solver options —
+/// anything that changes the trajectory without being part of the evolving
+/// cell state must hash in here, or a drifted restart diverges silently.
+pub fn vessel_digest(vessel: &Vessel) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_usize(vessel.meshes.len());
+    for m in &vessel.meshes {
+        m.write_state(&mut w);
+    }
+    w.put_f64_slice(&vessel.bc);
+    w.put_usize(vessel.ports.len());
+    for p in &vessel.ports {
+        w.put_u32(p.id);
+        w.put_bool(p.is_inlet);
+        w.put_vec3(p.center);
+        w.put_vec3(p.inward);
+        w.put_f64(p.radius);
+    }
+    w.put_f64(vessel.volume);
+    w.put_f64(vessel.mu);
+    let o = &vessel.solver.opts;
+    w.put_u32(o.eta);
+    w.put_usize(o.qf);
+    w.put_usize(o.p_extrap);
+    match o.check {
+        bie::CheckSpec::Linear { big_r, small_r } => {
+            w.put_u8(0);
+            w.put_f64(big_r);
+            w.put_f64(small_r);
+        }
+        bie::CheckSpec::Sqrt { big_r, ratio } => {
+            w.put_u8(1);
+            w.put_f64(big_r);
+            w.put_f64(ratio);
+        }
+    }
+    w.put_f64(o.near_factor);
+    w.put_u8(match o.use_fmm {
+        None => 2,
+        Some(false) => 0,
+        Some(true) => 1,
+    });
+    w.put_usize(o.fmm.order);
+    w.put_usize(o.fmm.leaf_capacity);
+    w.put_u32(o.fmm.max_depth);
+    w.put_f64(o.gmres.tol);
+    w.put_f64(o.gmres.atol);
+    w.put_usize(o.gmres.max_iters);
+    w.put_usize(o.gmres.restart);
+    fnv1a64(w.bytes())
+}
+
+fn write_config(w: &mut ByteWriter, c: &SimConfig) {
+    w.put_f64(c.dt);
+    w.put_f64(c.collision_delta);
+    w.put_usize(c.col_upsample);
+    w.put_f64(c.shear_rate);
+    w.put_vec3(c.gravity);
+    w.put_f64(c.fmm_pair_threshold);
+    w.put_usize(c.fmm.order);
+    w.put_usize(c.fmm.leaf_capacity);
+    w.put_u32(c.fmm.max_depth);
+    w.put_f64(c.step.dt);
+    w.put_f64(c.step.gmres.tol);
+    w.put_f64(c.step.gmres.atol);
+    w.put_usize(c.step.gmres.max_iters);
+    w.put_usize(c.step.gmres.restart);
+    w.put_bool(c.disable_collisions);
+}
+
+fn read_config(r: &mut ByteReader) -> Result<SimConfig, CodecError> {
+    Ok(SimConfig {
+        dt: r.get_f64()?,
+        collision_delta: r.get_f64()?,
+        col_upsample: r.get_usize()?,
+        shear_rate: r.get_f64()?,
+        gravity: r.get_vec3()?,
+        fmm_pair_threshold: r.get_f64()?,
+        fmm: fmm::FmmOptions {
+            order: r.get_usize()?,
+            leaf_capacity: r.get_usize()?,
+            max_depth: r.get_u32()?,
+        },
+        step: StepOptions {
+            dt: r.get_f64()?,
+            gmres: linalg::GmresOptions {
+                tol: r.get_f64()?,
+                atol: r.get_f64()?,
+                max_iters: r.get_usize()?,
+                restart: r.get_usize()?,
+            },
+        },
+        disable_collisions: r.get_bool()?,
+    })
+}
+
+impl Checkpoint {
+    /// Captures the evolving state of `sim` under the given scenario tag.
+    pub fn capture(sim: &Simulation, scenario: &str) -> Checkpoint {
+        Checkpoint {
+            scenario: scenario.to_string(),
+            steps: sim.steps,
+            basis_p: sim.basis.p,
+            config: sim.config,
+            timers: sim.timers,
+            vessel_digest: sim.vessel.as_ref().map(vessel_digest).unwrap_or(0),
+            cells: sim.cells.clone(),
+        }
+    }
+
+    /// Serializes to bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for &b in MAGIC {
+            w.put_u8(b);
+        }
+        w.put_str(&self.scenario);
+        w.put_usize(self.steps);
+        w.put_usize(self.basis_p);
+        write_config(&mut w, &self.config);
+        w.put_f64(self.timers.col);
+        w.put_f64(self.timers.bie_solve);
+        w.put_f64(self.timers.bie_fmm);
+        w.put_f64(self.timers.other_fmm);
+        w.put_f64(self.timers.other);
+        w.put_u64(self.vessel_digest);
+        w.put_usize(self.cells.len());
+        for c in &self.cells {
+            c.write_state(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes from bytes written by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        for &b in MAGIC {
+            if r.get_u8()? != b {
+                return Err(CodecError("not a checkpoint file (bad magic)".into()));
+            }
+        }
+        let scenario = r.get_string()?;
+        let steps = r.get_usize()?;
+        let basis_p = r.get_usize()?;
+        let config = read_config(&mut r)?;
+        let timers = StepTimers {
+            col: r.get_f64()?,
+            bie_solve: r.get_f64()?,
+            bie_fmm: r.get_f64()?,
+            other_fmm: r.get_f64()?,
+            other: r.get_f64()?,
+        };
+        let vessel_digest = r.get_u64()?;
+        let n_cells = r.get_usize()?;
+        let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
+        for _ in 0..n_cells {
+            cells.push(Cell::read_state(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError(format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(Checkpoint {
+            scenario,
+            steps,
+            basis_p,
+            config,
+            timers,
+            vessel_digest,
+            cells,
+        })
+    }
+
+    /// Writes the checkpoint to `path` (atomically: temp file + rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a checkpoint from `path`.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Restores the captured state into a freshly built simulation of the
+    /// same scenario: replaces cells, config, step counter, and timers.
+    ///
+    /// Fails if the basis order or the vessel digest disagrees — that means
+    /// the scenario was rebuilt differently from the checkpointed run and a
+    /// bit-identical continuation is impossible.
+    pub fn restore_into(&self, sim: &mut Simulation) -> Result<(), CodecError> {
+        if sim.basis.p != self.basis_p {
+            return Err(CodecError(format!(
+                "basis order mismatch: checkpoint p={}, simulation p={}",
+                self.basis_p, sim.basis.p
+            )));
+        }
+        let digest = sim.vessel.as_ref().map(vessel_digest).unwrap_or(0);
+        if digest != self.vessel_digest {
+            return Err(CodecError(format!(
+                "vessel digest mismatch: checkpoint {:#018x}, rebuilt domain {digest:#018x}",
+                self.vessel_digest
+            )));
+        }
+        sim.cells = self.cells.clone();
+        sim.config = self.config;
+        sim.steps = self.steps;
+        sim.timers = self.timers;
+        sim.last_stats = Default::default();
+        Ok(())
+    }
+
+    /// Convenience: capture-and-save in one call.
+    pub fn write(sim: &Simulation, scenario: &str, path: &Path) -> io::Result<()> {
+        Checkpoint::capture(sim, scenario).save(path)
+    }
+}
+
+/// Builds a [`Simulation`] directly from a checkpoint for **free-space**
+/// scenarios (no vessel). Vessel runs must rebuild the domain through their
+/// scenario and use [`Checkpoint::restore_into`].
+pub fn simulation_from_checkpoint(ckpt: &Checkpoint) -> Result<Simulation, CodecError> {
+    if ckpt.vessel_digest != 0 {
+        return Err(CodecError(
+            "checkpoint has a vessel; rebuild the domain via its scenario".into(),
+        ));
+    }
+    let mut sim = Simulation::new(SphBasis::new(ckpt.basis_p), Vec::new(), None, ckpt.config);
+    ckpt.restore_into(&mut sim)?;
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Vec3;
+    use vesicle::{biconcave_coeffs, CellParams};
+
+    fn two_cell_sim() -> Simulation {
+        let basis = SphBasis::new(6);
+        let params = CellParams {
+            kappa_b: 0.02,
+            ..Default::default()
+        };
+        let cells = vec![
+            Cell::new(
+                &basis,
+                biconcave_coeffs(&basis, 1.0, Vec3::new(-1.3, 0.0, 0.2)),
+                params,
+            ),
+            Cell::new(
+                &basis,
+                biconcave_coeffs(&basis, 1.0, Vec3::new(1.3, 0.0, -0.2)),
+                params,
+            ),
+        ];
+        let config = SimConfig {
+            dt: 0.015,
+            shear_rate: 0.8,
+            ..Default::default()
+        };
+        Simulation::new(basis, cells, None, config)
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip() {
+        let mut sim = two_cell_sim();
+        sim.steps = 17;
+        sim.timers.col = 1.25;
+        let ckpt = Checkpoint::capture(&sim, "shear_pair");
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.scenario, "shear_pair");
+        assert_eq!(back.steps, 17);
+        assert_eq!(back.basis_p, 6);
+        assert_eq!(back.config.dt, 0.015);
+        assert_eq!(back.config.shear_rate, 0.8);
+        assert_eq!(back.timers.col, 1.25);
+        assert_eq!(back.cells.len(), 2);
+        for (a, b) in back.cells.iter().zip(&sim.cells) {
+            for c in 0..3 {
+                assert_eq!(a.coeffs[c].data, b.coeffs[c].data);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_replaces_evolving_state() {
+        let mut sim = two_cell_sim();
+        let ckpt = Checkpoint::capture(&sim, "shear_pair");
+        // drift the live sim
+        sim.cells[0].translate(&sim.basis, Vec3::new(9.0, 0.0, 0.0));
+        sim.steps = 99;
+        ckpt.restore_into(&mut sim).unwrap();
+        assert_eq!(sim.steps, ckpt.steps);
+        let c = sim.cells[0].geometry(&sim.basis).centroid();
+        assert!((c.x - (-1.3)).abs() < 1e-8, "centroid not restored: {c:?}");
+
+        let rebuilt = simulation_from_checkpoint(&ckpt).unwrap();
+        assert_eq!(rebuilt.cells.len(), 2);
+        assert_eq!(rebuilt.config.dt, sim.config.dt);
+    }
+
+    #[test]
+    fn basis_mismatch_rejected() {
+        let sim = two_cell_sim();
+        let ckpt = Checkpoint::capture(&sim, "x");
+        let mut other = Simulation::new(SphBasis::new(8), Vec::new(), None, SimConfig::default());
+        assert!(ckpt.restore_into(&mut other).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let sim = two_cell_sim();
+        let mut bytes = Checkpoint::capture(&sim, "x").to_bytes();
+        bytes[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+}

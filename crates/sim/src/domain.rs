@@ -34,13 +34,22 @@ pub struct Vessel {
     pub ports: Vec<Port>,
     /// Interior volume of the vessel (from the divergence theorem).
     pub volume: f64,
+    /// Fluid viscosity μ the boundary solver was built with (recorded so
+    /// the checkpoint digest covers it).
+    pub mu: f64,
 }
 
 impl Vessel {
     /// Builds the vessel state: boundary solver, parabolic port boundary
     /// conditions scaled so the net flux is zero (§5.1), and collision
     /// meshes with `col_m × col_m` samples per patch (paper: 22).
-    pub fn new(surface: BoundarySurface, mu: f64, opts: BieOptions, peak_speed: f64, col_m: usize) -> Vessel {
+    pub fn new(
+        surface: BoundarySurface,
+        mu: f64,
+        opts: BieOptions,
+        peak_speed: f64,
+        col_m: usize,
+    ) -> Vessel {
         let solver = DoubleLayerSolver::new(surface, StokesDL, StokesEquiv { mu }, opts);
         let quad = &solver.quad;
         let surface = &solver.surface;
@@ -81,7 +90,13 @@ impl Vessel {
             // outward cap normal points out of the fluid; inward = −n
             let inward = -normal.normalized();
             let radius = (area / std::f64::consts::PI).sqrt();
-            ports.push(Port { id: pid, is_inlet, center, inward, radius });
+            ports.push(Port {
+                id: pid,
+                is_inlet,
+                center,
+                inward,
+                radius,
+            });
         }
 
         // parabolic boundary condition on ports, zero on walls; outlet
@@ -116,7 +131,10 @@ impl Vessel {
             // rescale outlet velocities for exact discrete zero net flux
             let scale = -influx / outflux;
             for l in 0..quad.len() {
-                if matches!(surface.kinds[quad.patch_of[l] as usize], PatchKind::Outlet(_)) {
+                if matches!(
+                    surface.kinds[quad.patch_of[l] as usize],
+                    PatchKind::Outlet(_)
+                ) {
                     bc[l * 3] *= scale;
                     bc[l * 3 + 1] *= scale;
                     bc[l * 3 + 2] *= scale;
@@ -138,7 +156,14 @@ impl Vessel {
         }
         volume /= 3.0;
 
-        Vessel { solver, bc, meshes, ports, volume }
+        Vessel {
+            solver,
+            bc,
+            meshes,
+            ports,
+            volume,
+            mu,
+        }
     }
 }
 
@@ -162,9 +187,15 @@ mod tests {
     use patch::{capsule_tube, StraightLine};
 
     fn tube_vessel() -> Vessel {
-        let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(6.0, 0.0, 0.0) };
+        let line = StraightLine {
+            a: Vec3::ZERO,
+            b: Vec3::new(6.0, 0.0, 0.0),
+        };
         let s = capsule_tube(&line, 1.0, 3, 8);
-        let opts = BieOptions { use_fmm: Some(false), ..Default::default() };
+        let opts = BieOptions {
+            use_fmm: Some(false),
+            ..Default::default()
+        };
         Vessel::new(s, 1.0, opts, 1.0, 8)
     }
 
@@ -193,7 +224,10 @@ mod tests {
         assert!(flux.abs() < 1e-12, "net flux {flux}");
         // walls are no-slip
         for l in 0..quad.len() {
-            if matches!(v.solver.surface.kinds[quad.patch_of[l] as usize], PatchKind::Wall) {
+            if matches!(
+                v.solver.surface.kinds[quad.patch_of[l] as usize],
+                PatchKind::Wall
+            ) {
                 assert_eq!(v.bc[l * 3], 0.0);
             }
         }
@@ -204,6 +238,10 @@ mod tests {
         let v = tube_vessel();
         // capsule: cylinder π r² L + sphere 4/3 π r³
         let exact = std::f64::consts::PI * 6.0 + 4.0 / 3.0 * std::f64::consts::PI;
-        assert!((v.volume - exact).abs() / exact < 1e-2, "{} vs {exact}", v.volume);
+        assert!(
+            (v.volume - exact).abs() / exact < 1e-2,
+            "{} vs {exact}",
+            v.volume
+        );
     }
 }

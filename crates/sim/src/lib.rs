@@ -9,13 +9,18 @@
 //! - [`stepper`]: the time-step algorithm of §2.2;
 //! - [`domain`]: vessel state, inlet/outlet ports, boundary conditions;
 //! - [`fill`]: the vessel-filling procedure of §5.1;
-//! - [`timers`]: component timers.
+//! - [`timers`]: component timers;
+//! - [`checkpoint`]: bit-exact checkpoint/restart for long runs.
 
+#![warn(missing_docs)]
+
+pub mod checkpoint;
 pub mod domain;
 pub mod fill;
 pub mod stepper;
 pub mod timers;
 
+pub use checkpoint::{simulation_from_checkpoint, vessel_digest, Checkpoint};
 pub use domain::{Port, Vessel};
 pub use fill::{cells_from_seeds, fill_seeds, Seed};
 pub use stepper::{SimConfig, Simulation, StepStats};

@@ -3,7 +3,7 @@
 //!
 //! Membranes are inextensible with no in-plane shear rigidity; bending
 //! follows the Canham–Helfrich model (§2.1). Two documented substitutions
-//! (DESIGN.md): the exact Lagrange-multiplier tension solve of [48] is
+//! (DESIGN.md): the exact Lagrange-multiplier tension solve of \[48\] is
 //! replaced by a stiff area-dilation penalty `σ = k_a (J − 1)` against the
 //! reference metric (conserves area to `O(1/k_a)`), and the self-interaction
 //! quadrature uses the check-point scheme of `selfop`.
@@ -284,7 +284,7 @@ pub fn implicit_step(
 /// One step of a two-stage spectral-deferred-correction-style corrector
 /// (the §5.3 extension: "spectral deferred correction (SDC) can be
 /// incorporated into the algorithm exactly as in the 2D version described
-/// in [24]"): a backward-Euler predictor followed by one correction sweep
+/// in \[24\]"): a backward-Euler predictor followed by one correction sweep
 /// against the trapezoidal quadrature of the Picard integral, lifting the
 /// update to second order in Δt.
 ///

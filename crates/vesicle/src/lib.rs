@@ -6,14 +6,19 @@
 //! - [`shape`]: sphere and biconcave (Evans–Fung) reference shapes, random
 //!   orientations for the vessel-filling procedure;
 //! - [`selfop`]: precomputed singular self-interaction quadrature for the
-//!   single-layer potential (the [28]-style precomputed operator);
+//!   single-layer potential (the \[28\]-style precomputed operator);
 //! - [`cell`]: Canham–Helfrich bending + area-penalty tension and the
-//!   locally-implicit backward-Euler step (Eq. 2.12).
+//!   locally-implicit backward-Euler step (Eq. 2.12);
+//! - [`state`]: bit-exact cell (de)serialization hooks for the
+//!   checkpoint/restart system (`sim::checkpoint`).
+
+#![warn(missing_docs)]
 
 pub mod cell;
 pub mod geometry;
 pub mod selfop;
 pub mod shape;
+pub mod state;
 
 pub use cell::{implicit_step, sdc2_step, weighted_div_grad, Cell, CellParams, StepOptions};
 pub use geometry::{surface_geometry, SurfaceGeometry};

@@ -2,12 +2,12 @@
 //! cell surface.
 //!
 //! The paper evaluates `S_i f_i` on `γ_i` with the spectral rotation
-//! quadrature of [14, 48] and the precomputed-operator variant of [28]. We
+//! quadrature of \[14, 48\] and the precomputed-operator variant of \[28\]. We
 //! substitute the unified check-point scheme already used for the vessel
 //! boundary (§3.1) — the QBX-style evaluation both build on: upsample the
 //! density to the 2×-refined grid, evaluate the (now smooth) potential at
 //! check points along the outward normal, and extrapolate back to the
-//! surface. Like [28], the composed linear operator is precomputed per cell
+//! surface. Like \[28\], the composed linear operator is precomputed per cell
 //! per time step, so the many applications inside the implicit solve and
 //! the LCP assembly are dense matvecs (MKL-style BLAS work in the paper).
 

@@ -1,15 +1,15 @@
-//! Vessel filling (Figs. 1 and 8 setup): generate a complex vessel, fill
-//! it with nearly-touching RBCs of varied sizes, report the volume
-//! fraction, and export VTK for visualization.
+//! Vessel filling (Figs. 1 and 8 setup): build a densely filled vessel via
+//! the scenario registry, report the volume fraction, and export VTK for
+//! visualization.
+//!
+//! The domain comes from `driver::scenario`: `dense_fill` (stenosed torus)
+//! by default, or the serpentine `vessel_flow` fill with
+//! `-- --network weak`.
 //!
 //! Run with: `cargo run --release -p rbcflow-examples --bin fill_vessel [-- --network weak]`
 
-use patch::{capsule_tube, export_surface_vtk, modulated_torus, Serpentine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::{cells_from_seeds, fill_seeds};
-use sphharm::SphBasis;
-use vesicle::CellParams;
+use driver::{Doc, Value};
+use patch::export_surface_vtk;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,41 +17,59 @@ fn main() {
     let out = std::path::Path::new("target/fill_vessel");
     std::fs::create_dir_all(out).unwrap();
 
-    // strong-scaling style vessel: stenosed loop; weak-scaling style:
-    // serpentine channel (both closed, arbitrary refinement by .refined())
-    let surface = if weak {
-        let c = Serpentine { length: 10.0, amp: 1.2, windings: 1.5 };
-        capsule_tube(&c, 1.2, 8, 8)
+    let (scenario, cfg) = if weak {
+        let mut cfg = Doc::default();
+        cfg.set("vessel_flow", "length", Value::Float(10.0));
+        cfg.set("vessel_flow", "amp", Value::Float(1.2));
+        cfg.set("vessel_flow", "windings", Value::Float(1.5));
+        cfg.set("vessel_flow", "tube_radius", Value::Float(1.2));
+        cfg.set("vessel_flow", "tube_segments", Value::Int(8));
+        cfg.set("vessel_flow", "fill_h", Value::Float(0.7));
+        cfg.set("vessel_flow", "fill_margin", Value::Float(0.95));
+        ("vessel_flow", cfg)
     } else {
-        modulated_torus(4.0, 1.0, 0.25, 4, 16, 6, 8)
+        ("dense_fill", Doc::default())
     };
-    println!("vessel: {} patches", surface.num_patches());
-    export_surface_vtk(&out.join("vessel.vtk"), &surface, 8).unwrap();
-
-    let seeds = fill_seeds(&surface, 0.7, 0.95);
-    let basis = SphBasis::new(8);
-    let mut rng = StdRng::seed_from_u64(3);
-    let cells = cells_from_seeds(&basis, &seeds, CellParams::default(), &mut rng);
+    let sim = driver::build(scenario, &cfg)
+        .expect("registry scenario")
+        .sim;
+    let vessel = sim.vessel.as_ref().unwrap();
+    println!("vessel: {} patches", vessel.solver.surface.num_patches());
+    export_surface_vtk(&out.join("vessel.vtk"), &vessel.solver.surface, 8).unwrap();
 
     // report statistics like the Fig. 1 / Fig. 8 captions
-    let cell_vol: f64 = cells.iter().map(|c| c.geometry(&basis).volume()).sum();
-    let quad = surface.quadrature();
-    let mut vessel_vol = 0.0;
-    for l in 0..quad.len() {
-        vessel_vol += quad.points[l].dot(quad.normals[l]) * quad.weights[l];
-    }
-    vessel_vol /= 3.0;
-    let radii: Vec<f64> = seeds.iter().map(|s| s.radius).collect();
+    let vols: Vec<f64> = sim
+        .cells
+        .iter()
+        .map(|c| c.geometry(&sim.basis).volume())
+        .collect();
+    let cell_vol: f64 = vols.iter().sum();
+    // effective radius (3V/4π)^(1/3) per cell
+    let radii: Vec<f64> = vols
+        .iter()
+        .map(|v| (3.0 * v / (4.0 * std::f64::consts::PI)).cbrt())
+        .collect();
     let rmin = radii.iter().cloned().fold(f64::INFINITY, f64::min);
     let rmax = radii.iter().cloned().fold(0.0_f64, f64::max);
-    println!("{} RBCs, volume fraction {:.1}%", cells.len(), 100.0 * cell_vol / vessel_vol);
-    println!("cell radii: {:.3} .. {:.3} (paper: r0 < r < 2 r0)", rmin, rmax);
+    println!(
+        "{} RBCs, volume fraction {:.1}%",
+        sim.cells.len(),
+        100.0 * cell_vol / vessel.volume
+    );
+    println!(
+        "effective cell radii: {:.3} .. {:.3} (paper: r0 < r < 2 r0)",
+        rmin, rmax
+    );
 
     // export cell point clouds
     let mut pts = Vec::new();
-    for c in &cells {
-        pts.extend(c.positions(&basis));
+    for c in &sim.cells {
+        pts.extend(c.positions(&sim.basis));
     }
     patch::write_vtk_points(&out.join("cells.vtk"), &pts, None).unwrap();
-    println!("wrote {} and {}", out.join("vessel.vtk").display(), out.join("cells.vtk").display());
+    println!(
+        "wrote {} and {}",
+        out.join("vessel.vtk").display(),
+        out.join("cells.vtk").display()
+    );
 }

@@ -1,21 +1,14 @@
 //! High-volume-fraction sedimentation under gravity — the Fig. 7 scenario.
 //!
-//! Fills a capsule-shaped capsule (container) with RBCs at high volume
-//! fraction, applies a gravitational body force, and reports the global
-//! volume fraction plus the local fraction in the lower half of the domain
-//! as cells settle and pack (paper: 47% initial → ~55% local).
-//!
-//! Scaled down by default (fewer, coarser cells); pass `--cells N` to grow.
+//! The domain (vertical capsule container filled with RBCs) comes from the
+//! scenario registry (`driver::scenario`, `sedimentation`); this binary
+//! adds the Fig.-7-style reporting: global volume fraction plus the local
+//! fraction in the lower half of the domain as cells settle and pack
+//! (paper: 47% initial → ~55% local).
 //!
 //! Run with: `cargo run --release -p rbcflow-examples --bin sedimentation`
 
-use linalg::Vec3;
-use patch::{capsule_tube, StraightLine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::{cells_from_seeds, fill_seeds, SimConfig, Simulation, Vessel};
-use sphharm::SphBasis;
-use vesicle::CellParams;
+use driver::Doc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,27 +19,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
 
-    // vertical capsule container
-    let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(0.0, 0.0, 6.0) };
-    let surface = capsule_tube(&line, 1.6, 3, 8);
-    let bie = bie::BieOptions { use_fmm: Some(false), gmres: linalg::GmresOptions { tol: 1e-5, max_iters: 30, ..Default::default() }, ..Default::default() };
-    let vessel = Vessel::new(surface.clone(), 1.0, bie, 0.0, 10);
-
-    let p = 8;
-    let basis = SphBasis::new(p);
-    let seeds = fill_seeds(&surface, 0.95, 0.95);
-    let mut rng = StdRng::seed_from_u64(7);
-    let params = CellParams { kappa_b: 0.01, k_area: 1.0, ..Default::default() };
-    let cells = cells_from_seeds(&basis, &seeds, params, &mut rng);
-    println!("filled {} cells", cells.len());
-
-    let config = SimConfig {
-        dt: 0.02,
-        gravity: Vec3::new(0.0, 0.0, -4.0),
-        collision_delta: 0.06,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(basis, cells, Some(vessel), config);
+    let mut sim = driver::build("sedimentation", &Doc::default())
+        .expect("registry scenario")
+        .sim;
+    println!("filled {} cells", sim.cells.len());
     let vf0 = sim.volume_fraction();
     println!("initial volume fraction: {:.1}%", 100.0 * vf0);
 

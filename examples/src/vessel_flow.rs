@@ -3,15 +3,12 @@
 //! through a closed tube by parabolic inflow/outflow, with the boundary
 //! integral solve, contact handling, and cell recycling all active.
 //!
+//! The domain comes from the scenario registry (`driver::scenario`,
+//! `vessel_flow`); this binary adds the verbose per-step timing report.
+//!
 //! Run with: `cargo run --release -p rbcflow-examples --bin vessel_flow`
 
-use linalg::GmresOptions;
-use patch::{capsule_tube, Serpentine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sim::{cells_from_seeds, fill_seeds, SimConfig, Simulation, Vessel};
-use sphharm::SphBasis;
-use vesicle::CellParams;
+use driver::Doc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,35 +19,32 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
 
-    let c = Serpentine { length: 8.0, amp: 0.7, windings: 1.0 };
-    let surface = capsule_tube(&c, 1.1, 5, 8);
-    let bie = bie::BieOptions {
-        use_fmm: Some(false),
-        gmres: GmresOptions { tol: 1e-5, max_iters: 30, ..Default::default() },
-        ..Default::default()
-    };
-    let vessel = Vessel::new(surface.clone(), 1.0, bie, 1.0, 10);
+    let built = driver::build("vessel_flow", &Doc::default()).expect("registry scenario");
+    let mut sim = built.sim;
+    {
+        let vessel = sim.vessel.as_ref().unwrap();
+        println!(
+            "vessel: {} patches, {} ports, volume {:.2}",
+            vessel.solver.surface.num_patches(),
+            vessel.ports.len(),
+            vessel.volume
+        );
+    }
+    println!("{} cells filled", sim.cells.len());
     println!(
-        "vessel: {} patches, {} ports, volume {:.2}",
-        surface.num_patches(),
-        vessel.ports.len(),
-        vessel.volume
+        "volume fraction {:.1}%, dofs {}",
+        100.0 * sim.volume_fraction(),
+        sim.dofs()
     );
-
-    let basis = SphBasis::new(8);
-    let seeds = fill_seeds(&surface, 1.1, 0.9);
-    let mut rng = StdRng::seed_from_u64(11);
-    let cells = cells_from_seeds(&basis, &seeds, CellParams::default(), &mut rng);
-    println!("{} cells filled", cells.len());
-
-    let config = SimConfig { dt: 0.01, collision_delta: 0.05, ..Default::default() };
-    let mut sim = Simulation::new(basis, cells, Some(vessel), config);
-    println!("volume fraction {:.1}%, dofs {}", 100.0 * sim.volume_fraction(), sim.dofs());
 
     println!("step  GMRES-iters  contacts  recycled  COL(s)  BIE-solve(s)  BIE-FMM(s)");
     for s in 0..steps {
         let t = sim.step();
-        let recycled = sim.recycle_cells();
+        let recycled = if built.recycle {
+            sim.recycle_cells()
+        } else {
+            0
+        };
         println!(
             "{:>4}  {:>11}  {:>8}  {:>8}  {:>6.2}  {:>12.2}  {:>8.2}",
             s + 1,

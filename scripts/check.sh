@@ -24,6 +24,11 @@ fi
 echo "== cargo build --release"
 cargo build --release --workspace
 
+echo "== cargo doc (warning-free gate, library crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p linalg -p kernels -p octree -p sphharm -p patch -p collision \
+    -p fmm -p vesicle -p bie -p forest -p sim -p bench -p driver
+
 if [ "${CHECK_FAST:-0}" != "1" ]; then
     echo "== cargo test -q"
     cargo test -q --release --workspace
@@ -31,5 +36,14 @@ fi
 
 echo "== fmm smoke bench (order 4, ~2 s)"
 cargo run --release -p bench --bin fmm_bench -- --quick
+
+echo "== driver smoke run (shear_pair, 2 steps + checkpoint restart)"
+SMOKE_OUT=target/driver/check-smoke
+rm -rf "$SMOKE_OUT"
+cargo run --release -q -p driver -- shear_pair --steps 2 --set order=8 \
+    --out "$SMOKE_OUT" --quiet
+cargo run --release -q -p driver -- shear_pair --steps 1 --set order=8 \
+    --out "$SMOKE_OUT" --quiet \
+    --restart "$SMOKE_OUT/shear_pair_final.ckpt"
 
 echo "ALL CHECKS PASSED"
