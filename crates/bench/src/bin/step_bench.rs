@@ -22,18 +22,38 @@ struct CaseResult {
     dofs: usize,
     steps: usize,
     timers: StepTimers,
+    /// Boundary-solve GMRES iterations of the untimed warm-up step — the
+    /// cold-start count (`None` for free-space scenarios).
+    bie_iters_cold: Option<usize>,
+    /// Boundary-solve GMRES iterations per measured step (empty for
+    /// free-space scenarios). The warm-up step primes the warm start, so
+    /// these are *steady-state* (warm) counts; compare against
+    /// `bie_iters_cold` for the warm-start win.
+    bie_iters: Vec<usize>,
 }
 
 fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
     let mut built = driver::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
     let mut timers = StepTimers::default();
+    let mut bie_iters = Vec::with_capacity(steps);
     // one untimed warm-up step so process-wide operator caches (upsample
-    // matrices, FMM operators) don't pollute the first measured step
+    // matrices, FMM operators) don't pollute the first measured step.
+    // NOTE: the warm-up also primes the boundary-solve warm start, so the
+    // measured steps reflect steady-state (warm) GMRES iteration counts;
+    // its own count is the cold baseline.
     built.sim.step();
+    let bie_iters_cold = built
+        .sim
+        .vessel
+        .is_some()
+        .then(|| built.sim.last_stats.bie_iterations);
     for _ in 0..steps {
         let t = built.sim.step();
         if built.recycle {
             built.sim.recycle_cells();
+        }
+        if built.sim.vessel.is_some() {
+            bie_iters.push(built.sim.last_stats.bie_iterations);
         }
         timers.accumulate(&t);
     }
@@ -43,13 +63,17 @@ fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         dofs: built.sim.dofs(),
         steps,
         timers,
+        bie_iters_cold,
+        bie_iters,
     };
     let t = &r.timers;
     let n = steps as f64;
     println!(
-        "{:<18} {:>3} cells {:>7} dofs  {:>2} steps  per-step: COL {:>7.3}s  BIE-solve {:>7.3}s  BIE-FMM {:>7.3}s  Other-FMM {:>7.3}s  Other {:>7.3}s  total {:>7.3}s",
+        "{:<18} {:>3} cells {:>7} dofs  {:>2} steps  per-step: COL {:>7.3}s  BIE-solve {:>7.3}s  BIE-FMM {:>7.3}s  Other-FMM {:>7.3}s  Other {:>7.3}s  total {:>7.3}s  bie_iters cold {} warm {:?}",
         r.name, r.cells, r.dofs, r.steps,
         t.col / n, t.bie_solve / n, t.bie_fmm / n, t.other_fmm / n, t.other / n, t.total() / n,
+        r.bie_iters_cold.map_or(0, |v| v),
+        r.bie_iters,
     );
     r
 }
@@ -77,13 +101,19 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         let t = &r.timers;
         let n = r.steps as f64;
+        let iters: Vec<String> = r.bie_iters.iter().map(|v| v.to_string()).collect();
+        let cold = r
+            .bie_iters_cold
+            .map_or("null".to_string(), |v| v.to_string());
         let _ = writeln!(
             json,
-            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
             r.name,
             r.cells,
             r.dofs,
             r.steps,
+            cold,
+            iters.join(", "),
             t.col / n,
             t.bie_solve / n,
             t.bie_fmm / n,

@@ -115,11 +115,34 @@ impl FineDiscretization {
     /// Upsamples a density with `vd` components per coarse node
     /// (patch-major, `q²` nodes per patch) to the fine nodes, in parallel
     /// over patches.
-    pub fn upsample_density(&self, coarse: &[f64], vd: usize, num_patches: usize, q: usize) -> Vec<f64> {
+    pub fn upsample_density(
+        &self,
+        coarse: &[f64],
+        vd: usize,
+        num_patches: usize,
+        q: usize,
+    ) -> Vec<f64> {
+        let mut fine = Vec::new();
+        self.upsample_density_into(coarse, vd, num_patches, q, &mut fine);
+        fine
+    }
+
+    /// Like [`FineDiscretization::upsample_density`], but writes into a
+    /// caller-owned buffer (resized as needed) so the GMRES matvec can
+    /// recycle its scratch allocations across iterations.
+    pub fn upsample_density_into(
+        &self,
+        coarse: &[f64],
+        vd: usize,
+        num_patches: usize,
+        q: usize,
+        fine: &mut Vec<f64>,
+    ) {
         let nc = q * q;
         assert_eq!(coarse.len(), num_patches * nc * vd, "coarse density length");
         let nf = self.per_patch;
-        let mut fine = vec![0.0; num_patches * nf * vd];
+        fine.clear();
+        fine.resize(num_patches * nf * vd, 0.0);
         fine.par_chunks_mut(nf * vd)
             .enumerate()
             .for_each(|(pi, chunk)| {
@@ -136,7 +159,6 @@ impl FineDiscretization {
                     }
                 }
             });
-        fine
     }
 }
 
@@ -153,7 +175,10 @@ mod tests {
         let area: f64 = fine.weights.iter().sum();
         let coarse_area = s.quadrature().total_area();
         // both approximate the same polynomial surface's area
-        assert!((area - coarse_area).abs() / coarse_area < 1e-4, "{area} vs {coarse_area}");
+        assert!(
+            (area - coarse_area).abs() / coarse_area < 1e-4,
+            "{area} vs {coarse_area}"
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@
 
 pub mod closest;
 pub mod fine;
+pub mod precond;
 pub mod solver;
 
 pub use closest::{closest_points, ClosestHit};
 pub use fine::FineDiscretization;
+pub use precond::CoarseGridPrecond;
 pub use solver::{BieOptions, CheckSpec, DoubleLayerSolver, LayerKernel};

@@ -1,0 +1,494 @@
+//! Coarse-grid (two-level) preconditioner for the Nyström boundary solve —
+//! **experimental, off by default** (`BieOptions::precond`).
+//!
+//! ## Summary of what was tried and measured
+//!
+//! The natural preconditioner family for this solver was explored in
+//! depth; the measurements (sphere/capsule geometries, Laplace and Stokes
+//! kernels) are worth recording because they explain the default:
+//!
+//! 1. **Per-patch block-Jacobi** (assemble each patch's self-block of
+//!    `A = 1/2 I + D (+ N)` — `E · K_pp · W · U`, the extrapolated
+//!    same-patch interaction — and LU-invert it): the check-point
+//!    quadrature *damps* the highest-frequency densities a patch can
+//!    represent (their layer potential decays away within the check-point
+//!    distance `R ~ 0.15 L̂`), so the self-blocks have singular values
+//!    sliding continuously from `σ_max` down to `~10⁻⁴ σ_max` with no
+//!    gap. The exact inverse amplifies the damped modes by `~10⁴` and
+//!    GMRES stalls three orders of magnitude above the tolerance.
+//!    Clamped-SVD and truncated-subspace block inverses fail the same
+//!    way, because Clenshaw–Curtis nodes cluster at patch *edges*: the
+//!    mid-frequency modes couple to neighboring patches as strongly as to
+//!    their own patch, so no purely local inverse helps.
+//! 2. **Global coarse-grid correction** (this module): discretize the
+//!    same operator on a coarser `q_c ≈ q/2` per-patch grid (density at
+//!    `q_c`, integration kept at full order), assemble the dense coarse
+//!    operator patch-pair by patch-pair, solve it in Tikhonov-regularized
+//!    normal-equations form, and apply `M⁻¹ = I + P (A_c⁻¹ − I) R` with
+//!    interpolation `P` and weighted-projection restriction `R`
+//!    (`R P = I`, near-annihilation of aliased high frequencies). The
+//!    assembled coarse operator is verified accurate (Gauss identity to
+//!    ~1–2%, smooth-mode inversion to ~5%), yet preconditioned GMRES
+//!    still converges *slower* than plain GMRES: the dense spectrum of
+//!    the discrete operator itself decays continuously (half of all
+//!    singular values sit below `0.1 σ_max` at production orders), so any
+//!    correction leaks error into the band of half-resolved modes where
+//!    `A M⁻¹` is far from the identity.
+//!
+//! The plain iteration converges quickly precisely because a smooth
+//! right-hand side never excites the damped band — and the warm start
+//! carried by `sim::stepper` (previous step's density) compounds that.
+//! The machinery here is kept for experimentation on geometries with a
+//! cleaner spectral gap (enable per scenario with `bie_precond = true`);
+//! the unit tests pin the assembly's correctness.
+
+use crate::fine::FineDiscretization;
+use crate::solver::{CheckSpec, LayerKernel};
+use linalg::{checkpoint_extrapolation_weights, LinearOperator, Lu, Mat};
+use patch::{patch_interp_matrix, BoundarySurface};
+
+/// Relative Tikhonov regularization of the coarse solve: `λ = REG · σ_max`.
+/// Directions the coarse quadrature resolves better than `REG · σ_max` are
+/// inverted almost exactly; the damped tail is amplified at most `1/(2λ)`.
+const REG: f64 = 0.05;
+
+/// Hard cap on the coarse-space dimension: the dense normal matrix and its
+/// LU are O(n³); beyond this the per-patch coarse order `q_c` shrinks
+/// (large patch counts still get a useful global coarse space from 2×2
+/// nodes per patch).
+const MAX_COARSE_DIM: usize = 2304;
+
+/// Two-level coarse-grid preconditioner for [`crate::DoubleLayerSolver`].
+pub struct CoarseGridPrecond {
+    /// Unknowns per patch on the fine (solver) grid: `q² · value_dim`.
+    block: usize,
+    /// Unknowns per patch on the coarse grid: `q_c² · value_dim`.
+    low: usize,
+    /// Number of patches.
+    num_patches: usize,
+    /// Coarse→fine interpolation per patch (vd-interleaved, shared).
+    pv: Mat,
+    /// Fine→coarse restriction per patch (vd-interleaved, shared).
+    rv: Mat,
+    /// Transpose of the dense coarse operator (for the normal-equations
+    /// right-hand side `A_cᵀ r`).
+    at: Mat,
+    /// LU factor of the regularized normal matrix `A_cᵀ A_c + λ² I`;
+    /// `None` disables the correction (singular factorization — not
+    /// observed in practice).
+    coarse_lu: Option<Lu>,
+}
+
+impl CoarseGridPrecond {
+    /// Discretizes the boundary operator on the `q_c = ⌈q/2⌉` coarse grid
+    /// of `surface`, assembles the dense coarse operator (including the
+    /// null-space completion when `null_space` is set), and factors it.
+    ///
+    /// `check` and `p_extrap` must match the solver's options so the
+    /// coarse operator discretizes the same interior-limit scheme.
+    pub fn build<K: LayerKernel>(
+        kernel: &K,
+        surface: &BoundarySurface,
+        check: CheckSpec,
+        p_extrap: usize,
+        null_space: bool,
+    ) -> CoarseGridPrecond {
+        let (a_low, pv, rv, block, low, num_patches) =
+            assemble_coarse(kernel, surface, check, p_extrap, null_space);
+
+        // Tikhonov-regularized coarse solve. The coarse operator has its
+        // own damped-frequency tail (σ down to ~10⁻² σ_max); an exact LU
+        // inverse would re-create at the coarse level the amplification
+        // problem the two-level design avoids at the fine level. The
+        // normal-equations form `(A_cᵀ A_c + λ² I)⁻¹ A_cᵀ` with
+        // `λ = REG · σ_max` inverts the resolved directions to within
+        // `λ²/σ²` and bounds the amplification of the tail by `1/(2λ)`.
+        let n_low = a_low.rows();
+        let at = a_low.transpose();
+        let mut ata = Mat::zeros(n_low, n_low);
+        linalg::gemm_acc(
+            n_low,
+            n_low,
+            n_low,
+            1.0,
+            at.data(),
+            a_low.data(),
+            ata.data_mut(),
+        );
+        // σ_max² via power iteration on the (symmetric) normal matrix
+        let mut v = vec![1.0 / (n_low as f64).sqrt(); n_low];
+        let mut w = vec![0.0; n_low];
+        let mut sigma2 = 1.0;
+        for _ in 0..16 {
+            ata.matvec_into(&v, &mut w);
+            sigma2 = linalg::norm2(&w);
+            if sigma2 == 0.0 {
+                break;
+            }
+            for (vi, wi) in v.iter_mut().zip(&w) {
+                *vi = wi / sigma2;
+            }
+        }
+        let lambda2 = REG * REG * sigma2;
+        for i in 0..n_low {
+            ata[(i, i)] += lambda2;
+        }
+        CoarseGridPrecond {
+            block,
+            low,
+            num_patches,
+            pv,
+            rv,
+            at,
+            coarse_lu: Lu::new(&ata),
+        }
+    }
+
+    /// Dimension of the coarse space.
+    pub fn coarse_dim(&self) -> usize {
+        self.low * self.num_patches
+    }
+}
+
+/// Assembles the dense coarse operator and the transfer matrices; split
+/// from [`CoarseGridPrecond::build`] so tests can inspect the raw matrix.
+#[allow(clippy::type_complexity)]
+fn assemble_coarse<K: LayerKernel>(
+    kernel: &K,
+    surface: &BoundarySurface,
+    check: CheckSpec,
+    p_extrap: usize,
+    null_space: bool,
+) -> (Mat, Mat, Mat, usize, usize, usize) {
+    let vd = kernel.value_dim();
+    let sd = kernel.src_dim();
+    let q = surface.q;
+    let num_patches = surface.num_patches();
+    let mut qc = q.div_ceil(2).max(2);
+    while qc > 2 && num_patches * qc * qc * vd > MAX_COARSE_DIM {
+        qc -= 1;
+    }
+    let block = q * q * vd;
+    let nlow = qc * qc; // coarse nodes per patch
+    let low = nlow * vd;
+    let n_low = num_patches * low;
+
+    // coarse discretization of the same surface: the *density* lives on
+    // the q_c grid, but the integration (fine nodes) keeps the full
+    // order q — the check points sit at R ~ 0.15 L̂ from the surface,
+    // and a q_c-order rule cannot resolve the near-singular integrand
+    // there (measured: the assembled coarse operator turns garbage)
+    let surface_c = BoundarySurface {
+        q: qc,
+        patches: surface.patches.clone(),
+        kinds: surface.kinds.clone(),
+    };
+    let quad_c = surface_c.quadrature();
+    let fine_c = FineDiscretization::build(&surface_c, 1, q);
+    let nf = fine_c.per_patch;
+    let p1 = p_extrap + 1;
+    let mut check_pts = Vec::with_capacity(quad_c.len() * p1);
+    for l in 0..quad_c.len() {
+        let l_hat = quad_c.patch_size(quad_c.patch_of[l] as usize);
+        let (big_r, r) = check.distances(l_hat);
+        for i in 0..p1 {
+            let t = big_r + i as f64 * r;
+            check_pts.push(quad_c.points[l] - quad_c.normals[l] * t);
+        }
+    }
+    let (r0, rr) = check.distances(1.0);
+    let extrap_w = checkpoint_extrapolation_weights(r0, rr, p_extrap, 0.0);
+
+    // transfer operators between the q and q_c tensor grids (u fastest,
+    // matching the patch-major node ordering of `SurfaceQuad`)
+    let grid = |n: usize| -> Vec<(f64, f64)> {
+        let nodes = linalg::clenshaw_curtis(n).nodes;
+        let mut g = Vec::with_capacity(n * n);
+        for &v in &nodes {
+            for &u in &nodes {
+                g.push((u, v));
+            }
+        }
+        g
+    };
+    let p_mat = patch_interp_matrix(qc, &grid(q)); // (q² × q_c²)
+                                                   // Restriction as the weighted least-squares projection
+                                                   // `R = (Pᵀ W P)⁻¹ Pᵀ W` (parameter-space Clenshaw–Curtis weights).
+                                                   // Point-sampling the residual at the coarse nodes instead would alias
+                                                   // high-frequency fine-grid content onto the coarse grid at O(1) and the
+                                                   // correction would inject spurious smooth modes (measured: GMRES
+                                                   // stalls). The projection keeps `R P = I` while nearly annihilating
+                                                   // oscillatory modes.
+    let wq = {
+        let w1 = linalg::clenshaw_curtis(q).weights;
+        let mut w = Vec::with_capacity(q * q);
+        for &wv in &w1 {
+            for &wu in &w1 {
+                w.push(wu * wv);
+            }
+        }
+        w
+    };
+    let mut ptw = Mat::zeros(qc * qc, q * q); // Pᵀ W
+    for r in 0..qc * qc {
+        for c in 0..q * q {
+            ptw[(r, c)] = p_mat[(c, r)] * wq[c];
+        }
+    }
+    let ptwp = ptw.matmul(&p_mat);
+    let r_mat = Lu::new(&ptwp)
+        .map(|lu| lu.solve_mat(&ptw))
+        .unwrap_or_else(|| patch_interp_matrix(q, &grid(qc)));
+    let pv = interleave(&p_mat, vd);
+    let rv = interleave(&r_mat, vd);
+
+    // assemble the dense coarse operator row-strip by target patch
+    let uu = interleave(&fine_c.upsample, vd); // (nf·vd × nlow·vd)
+    let strips: Vec<Mat> = rayon::par::map_indexed(num_patches, |pt| {
+        let mut strip = Mat::zeros(low, n_low);
+        let mut c_pair = Mat::zeros(low, nf * vd);
+        let mut unit = vec![0.0; vd];
+        let mut src = vec![0.0; sd];
+        let mut val = vec![0.0; vd];
+        for ps in 0..num_patches {
+            // C[(l·vd+c),(j·vd+d)]: extrapolated kernel action of a
+            // unit fine density component d (source patch ps) on coarse
+            // node l (target patch pt)
+            c_pair.data_mut().fill(0.0);
+            for j in 0..nf {
+                let jg = ps * nf + j;
+                for d in 0..vd {
+                    unit[d] = 1.0;
+                    kernel.pack(&unit, fine_c.normals[jg], fine_c.weights[jg], &mut src);
+                    unit[d] = 0.0;
+                    for l in 0..nlow {
+                        let lg = pt * nlow + l;
+                        let col = j * vd + d;
+                        for (i, &ew) in extrap_w.iter().enumerate() {
+                            for v in val.iter_mut() {
+                                *v = 0.0;
+                            }
+                            kernel.eval_acc(
+                                check_pts[lg * p1 + i],
+                                fine_c.points[jg],
+                                &src,
+                                &mut val,
+                            );
+                            for (c, &vc) in val.iter().enumerate() {
+                                c_pair[(l * vd + c, col)] += ew * vc;
+                            }
+                        }
+                    }
+                }
+            }
+            let b_pair = c_pair.matmul(&uu);
+            for r in 0..low {
+                strip.row_mut(r)[ps * low..(ps + 1) * low].copy_from_slice(b_pair.row(r));
+            }
+        }
+        strip
+    });
+    let mut a_low = Mat::zeros(n_low, n_low);
+    for (pt, strip) in strips.iter().enumerate() {
+        for r in 0..low {
+            a_low.row_mut(pt * low + r).copy_from_slice(strip.row(r));
+        }
+    }
+
+    // global null-space completion at the coarse nodes, mirroring the
+    // solver's matvec: A += n ⊗ (w n) / |Γ|
+    if null_space && vd == 3 {
+        let inv_area = 1.0 / quad_c.total_area();
+        for l in 0..quad_c.len() {
+            let nl = quad_c.normals[l];
+            for m in 0..quad_c.len() {
+                let wn = quad_c.normals[m] * (quad_c.weights[m] * inv_area);
+                for (c, nlc) in [nl.x, nl.y, nl.z].iter().enumerate() {
+                    a_low[(l * vd + c, m * vd)] += nlc * wn.x;
+                    a_low[(l * vd + c, m * vd + 1)] += nlc * wn.y;
+                    a_low[(l * vd + c, m * vd + 2)] += nlc * wn.z;
+                }
+            }
+        }
+    }
+
+    (a_low, pv, rv, block, low, num_patches)
+}
+
+/// Kronecker-interleaves a scalar (node × node) matrix with `I_vd` so it
+/// acts on `vd`-component nodal vectors: `out[(i·vd+c),(j·vd+c)] = m[(i,j)]`.
+fn interleave(m: &Mat, vd: usize) -> Mat {
+    let mut out = Mat::zeros(m.rows() * vd, m.cols() * vd);
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            let v = m[(i, j)];
+            if v != 0.0 {
+                for c in 0..vd {
+                    out[(i * vd + c, j * vd + c)] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+impl LinearOperator for CoarseGridPrecond {
+    fn dim(&self) -> usize {
+        self.block * self.num_patches
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let Some(lu) = &self.coarse_lu else {
+            y.copy_from_slice(x);
+            return;
+        };
+        // restrict: r = R x (patch-blocked)
+        let mut r = vec![0.0; self.coarse_dim()];
+        for p in 0..self.num_patches {
+            self.rv.matvec_into(
+                &x[p * self.block..(p + 1) * self.block],
+                &mut r[p * self.low..(p + 1) * self.low],
+            );
+        }
+        // regularized coarse correction: c = (A_cᵀA_c + λ²)⁻¹ A_cᵀ r − r
+        let rhs = self.at.matvec(&r);
+        let mut corr = lu.solve(&rhs);
+        for (c, ri) in corr.iter_mut().zip(&r) {
+            *c -= ri;
+        }
+        // prolong: y = x + P c
+        y.copy_from_slice(x);
+        for p in 0..self.num_patches {
+            let yb = &mut y[p * self.block..(p + 1) * self.block];
+            self.pv
+                .matvec_acc(&corr[p * self.low..(p + 1) * self.low], 1.0, yb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{BieOptions, DoubleLayerSolver};
+    use kernels::LaplaceDL;
+    use linalg::{norm2, Vec3};
+    use patch::cube_sphere;
+
+    /// The assembled coarse operator must satisfy the Gauss identity: a
+    /// constant density maps to itself (eigenvalue 1 of `1/2 I + D` on the
+    /// interior limit).
+    #[test]
+    fn coarse_operator_constant_density() {
+        // sub=1 keeps the whole check-point family inside the sphere
+        // (at sub=0 the far check points exit through the far surface)
+        let s = cube_sphere(1.0, Vec3::ZERO, 1, 6);
+        let (a_low, _pv, _rv, _block, low, np) = assemble_coarse(
+            &LaplaceDL,
+            &s,
+            crate::solver::CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
+            8,
+            false,
+        );
+        let n = low * np;
+        let ones = vec![1.0; n];
+        let out = a_low.matvec(&ones);
+        for (l, v) in out.iter().enumerate() {
+            // coarse-scheme discretization error (worst at the corner
+            // nodes of the q_c grid); M only preconditions, so the test
+            // pins "assembly is sane", not solver-grade accuracy
+            assert!((v - 1.0).abs() < 8e-2, "coarse node {l}: {v}");
+        }
+    }
+
+    /// Same Gauss identity for the Stokes double layer: a constant vector
+    /// density maps to itself.
+    #[test]
+    fn coarse_operator_constant_density_stokes() {
+        use kernels::StokesDL;
+        let s = cube_sphere(1.0, linalg::Vec3::ZERO, 1, 8);
+        let (a_low, _pv, _rv, _block, low, np) = assemble_coarse(
+            &StokesDL,
+            &s,
+            crate::solver::CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
+            8,
+            false,
+        );
+        let n = low * np;
+        let mut c = vec![0.0; n];
+        for k in 0..n / 3 {
+            c[k * 3] = 1.0;
+            c[k * 3 + 1] = -0.5;
+            c[k * 3 + 2] = 2.0;
+        }
+        let out = a_low.matvec(&c);
+        // the Stokes double-layer kernel is harder on the cheap coarse
+        // quadrature than Laplace: corner dofs of the q_c grid reach ~25%
+        // pointwise error, so pin the aggregate instead — an RMS bound
+        // still catches assembly-level breakage (sign/layout/weight bugs
+        // put *every* dof off by ~100%)
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (v, e) in out.iter().zip(&c) {
+            num += (v - e) * (v - e);
+            den += e * e;
+        }
+        let rms = (num / den).sqrt();
+        assert!(rms < 0.08, "coarse Stokes operator RMS error {rms}");
+    }
+
+    /// On a smooth density the preconditioner must act as an approximate
+    /// inverse of the whole operator: `M⁻¹ A φ ≈ φ`, much closer than
+    /// `A φ` itself is.
+    #[test]
+    fn coarse_correction_inverts_smooth_modes() {
+        let opts = BieOptions {
+            eta: 1,
+            use_fmm: Some(false),
+            null_space: false,
+            precond: true,
+            ..Default::default()
+        };
+        let s = cube_sphere(1.0, Vec3::ZERO, 1, 6);
+        let solver = DoubleLayerSolver::new(s, LaplaceDL, kernels::LaplaceSL, opts);
+        let m = solver.precond().expect("preconditioner built");
+        let n = solver.dim();
+        // a globally smooth density: linear function of position
+        let phi: Vec<f64> = solver
+            .quad
+            .points
+            .iter()
+            .map(|p| 1.0 + 0.7 * p.x - 0.4 * p.z)
+            .collect();
+        assert_eq!(phi.len(), n);
+        let mut aphi = vec![0.0; n];
+        solver.apply(&phi, &mut aphi);
+        let mut maphi = vec![0.0; n];
+        m.apply(&aphi, &mut maphi);
+        let scale = norm2(&phi);
+        let err_pre: f64 = phi
+            .iter()
+            .zip(&maphi)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let err_raw: f64 = phi
+            .iter()
+            .zip(&aphi)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err_pre < 0.15 * scale,
+            "coarse correction too weak: err {err_pre} vs scale {scale}"
+        );
+        assert!(
+            err_pre < 0.7 * err_raw,
+            "M⁻¹A no better than A: {err_pre} vs {err_raw}"
+        );
+    }
+}

@@ -12,9 +12,11 @@
 
 use crate::closest::{closest_points, ClosestHit};
 use crate::fine::FineDiscretization;
+use crate::precond::CoarseGridPrecond;
 use fmm::{Fmm, FmmOptions};
 use kernels::{direct_eval, Kernel, LaplaceDL, StokesDL};
-use linalg::{gmres, GmresOptions, GmresResult, Interp1d, LinearOperator, Vec3};
+use linalg::{gmres, gmres_right, GmresOptions, GmresResult, Interp1d, LinearOperator, Vec3};
+use parking_lot::Mutex;
 use patch::{BoundarySurface, SurfaceQuad};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,6 +113,12 @@ pub struct BieOptions {
     /// Include the rank-completing operator `N` (required for the interior
     /// Stokes problem; not needed for Laplace).
     pub null_space: bool,
+    /// Build the coarse-grid correction preconditioner at setup and run
+    /// GMRES right-preconditioned with it. Off by default: on the
+    /// production discretization it does not beat plain GMRES (see the
+    /// measurements in [`crate::precond`]); the warm start carried by the
+    /// time stepper is what cuts per-step iterations.
+    pub precond: bool,
 }
 
 impl Default for BieOptions {
@@ -119,14 +127,35 @@ impl Default for BieOptions {
             eta: 1,
             qf: 0,
             p_extrap: 8,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             near_factor: 1.0,
             use_fmm: None,
             fmm: FmmOptions::default(),
-            gmres: GmresOptions { tol: 1e-8, atol: 1e-12, max_iters: 100, restart: 60 },
+            gmres: GmresOptions {
+                tol: 1e-8,
+                atol: 1e-12,
+                max_iters: 100,
+                restart: 60,
+                stall_ratio: 0.0,
+            },
             null_space: true,
+            precond: false,
         }
     }
+}
+
+/// Scratch buffers recycled across GMRES matvecs ([`DoubleLayerSolver::apply`]
+/// is called dozens of times per solve; reallocating the fine density, the
+/// packed source data, and the check-point values every application showed
+/// up in the BIE-solve timer).
+#[derive(Default)]
+struct ApplyScratch {
+    fine: Vec<f64>,
+    src: Vec<f64>,
+    vals: Vec<f64>,
 }
 
 /// The Nyström double-layer solver on a fixed boundary surface.
@@ -150,6 +179,11 @@ pub struct DoubleLayerSolver<K: LayerKernel, KE: Kernel + Clone + Sync> {
     /// FMM with fixed geometry (fine sources → check targets), reused every
     /// GMRES iteration; `None` when running direct summation.
     solve_fmm: Option<Fmm<K, KE>>,
+    /// Coarse-grid correction preconditioner (assembled and LU-factored
+    /// once at setup); `None` when `opts.precond` is off.
+    precond: Option<CoarseGridPrecond>,
+    /// Matvec scratch recycled across GMRES iterations.
+    scratch: Mutex<ApplyScratch>,
     /// Nanoseconds spent in far-field summation (FMM or direct) — the
     /// paper's "BIE-FMM" timer category; reset with [`Self::take_fmm_nanos`].
     fmm_nanos: AtomicU64,
@@ -182,7 +216,24 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         let pairwise = fine.len() as f64 * check_pts.len() as f64;
         let use_fmm = opts.use_fmm.unwrap_or(pairwise > 4.0e8);
         let solve_fmm = if use_fmm {
-            Some(Fmm::new(kernel.clone(), eq_kernel.clone(), &fine.points, &check_pts, opts.fmm))
+            Some(Fmm::new(
+                kernel.clone(),
+                eq_kernel.clone(),
+                &fine.points,
+                &check_pts,
+                opts.fmm,
+            ))
+        } else {
+            None
+        };
+        let precond = if opts.precond {
+            Some(CoarseGridPrecond::build(
+                &kernel,
+                &surface,
+                opts.check,
+                opts.p_extrap,
+                opts.null_space && vd == 3,
+            ))
         } else {
             None
         };
@@ -198,8 +249,15 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
             check_pts,
             extrap_w,
             solve_fmm,
+            precond,
+            scratch: Mutex::new(ApplyScratch::default()),
             fmm_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// The coarse-grid preconditioner, when one was built.
+    pub fn precond(&self) -> Option<&CoarseGridPrecond> {
+        self.precond.as_ref()
     }
 
     /// Returns and resets the accumulated far-field summation time
@@ -215,12 +273,20 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
 
     /// Packs an upsampled density into kernel source data.
     fn pack_sources(&self, fine_density: &[f64]) -> Vec<f64> {
+        let mut src = Vec::new();
+        self.pack_sources_into(fine_density, &mut src);
+        src
+    }
+
+    /// [`Self::pack_sources`] into a recycled caller buffer.
+    fn pack_sources_into(&self, fine_density: &[f64], src: &mut Vec<f64>) {
         let sd = self.kernel.src_dim();
         let vd = self.vd;
-        let mut src = vec![0.0; self.fine.len() * sd];
+        src.clear();
+        src.resize(self.fine.len() * sd, 0.0);
         // batch work items: one dispatch per 256 nodes, not per node
         const BLK: usize = 256;
-        rayon::par::chunks_mut(&mut src, BLK * sd, |b, out| {
+        rayon::par::chunks_mut(src, BLK * sd, |b, out| {
             for (r, o) in out.chunks_mut(sd).enumerate() {
                 let j = b * BLK + r;
                 self.kernel.pack(
@@ -231,7 +297,6 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
                 );
             }
         });
-        src
     }
 
     /// Evaluates the layer potential of packed sources at arbitrary
@@ -265,19 +330,38 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         let vd = self.vd;
         let nq = self.quad.len();
         assert_eq!(phi.len(), nq * vd);
+        // scratch recycled across GMRES iterations (apply is serial within
+        // a solve; the lock is uncontended)
+        let mut guard = self.scratch.lock();
+        let scratch = &mut *guard;
         // 1. upsample to the fine grid
-        let fine_density =
-            self.fine
-                .upsample_density(phi, vd, self.surface.num_patches(), self.surface.q);
+        self.fine.upsample_density_into(
+            phi,
+            vd,
+            self.surface.num_patches(),
+            self.surface.q,
+            &mut scratch.fine,
+        );
         // 2. pack and evaluate at all check points
-        let src = self.pack_sources(&fine_density);
+        self.pack_sources_into(&scratch.fine, &mut scratch.src);
         let t0 = std::time::Instant::now();
-        let vals = match &self.solve_fmm {
-            Some(f) => f.evaluate(&src),
+        let fmm_vals;
+        let vals: &[f64] = match &self.solve_fmm {
+            Some(f) => {
+                fmm_vals = f.evaluate(&scratch.src);
+                &fmm_vals
+            }
             None => {
-                let mut v = vec![0.0; self.check_pts.len() * vd];
-                direct_eval(&self.kernel, &self.fine.points, &src, &self.check_pts, &mut v);
-                v
+                scratch.vals.clear();
+                scratch.vals.resize(self.check_pts.len() * vd, 0.0);
+                direct_eval(
+                    &self.kernel,
+                    &self.fine.points,
+                    &scratch.src,
+                    &self.check_pts,
+                    &mut scratch.vals,
+                );
+                &scratch.vals
             }
         };
         self.fmm_nanos
@@ -318,6 +402,29 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         }
     }
 
+    /// Removes the weighted-normal component `c·n`, `c = ∮ n·v dS / ∮ dS`,
+    /// from a nodal vector field — the projection that keeps right-hand
+    /// sides (and warm-start guesses) compatible with the null space of the
+    /// interior Stokes double-layer operator.
+    fn remove_normal_component(&self, v: &mut [f64]) {
+        let nq = self.quad.len();
+        let mut flux = 0.0;
+        let mut nn = 0.0;
+        for m in 0..nq {
+            let n = self.quad.normals[m];
+            let w = self.quad.weights[m];
+            flux += w * (n.x * v[m * 3] + n.y * v[m * 3 + 1] + n.z * v[m * 3 + 2]);
+            nn += w;
+        }
+        let c = flux / nn;
+        for m in 0..nq {
+            let n = self.quad.normals[m];
+            v[m * 3] -= c * n.x;
+            v[m * 3 + 1] -= c * n.y;
+            v[m * 3 + 2] -= c * n.z;
+        }
+    }
+
     /// Solves `A φ = g` for the boundary condition `g` sampled at the
     /// coarse nodes. Returns the density and GMRES statistics.
     ///
@@ -326,28 +433,34 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
     /// incompatible component is removed from `g` first so GMRES does not
     /// stagnate at the quadrature-error floor.
     pub fn solve(&self, g: &[f64]) -> (Vec<f64>, GmresResult) {
+        self.solve_warm(g, None)
+    }
+
+    /// Like [`Self::solve`], but starting GMRES from `warm` (typically the
+    /// previous time step's density) instead of zero. The guess is
+    /// projected back onto the null-space-compatible subspace first — the
+    /// geometry carrying it forward has moved, so its normal component has
+    /// drifted. A guess of the wrong length (e.g. after a re-discretization)
+    /// is ignored.
+    pub fn solve_warm(&self, g: &[f64], warm: Option<&[f64]>) -> (Vec<f64>, GmresResult) {
         let mut rhs = g.to_vec();
         if self.opts.null_space && self.vd == 3 {
-            let nq = self.quad.len();
-            let mut flux = 0.0;
-            let mut nn = 0.0;
-            for m in 0..nq {
-                let n = self.quad.normals[m];
-                let w = self.quad.weights[m];
-                flux += w * (n.x * g[m * 3] + n.y * g[m * 3 + 1] + n.z * g[m * 3 + 2]);
-                nn += w;
-            }
-            let c = flux / nn;
-            for m in 0..nq {
-                let n = self.quad.normals[m];
-                rhs[m * 3] -= c * n.x;
-                rhs[m * 3 + 1] -= c * n.y;
-                rhs[m * 3 + 2] -= c * n.z;
-            }
+            self.remove_normal_component(&mut rhs);
         }
         let mut phi = vec![0.0; self.dim()];
+        if let Some(w) = warm {
+            if w.len() == phi.len() {
+                phi.copy_from_slice(w);
+                if self.opts.null_space && self.vd == 3 {
+                    self.remove_normal_component(&mut phi);
+                }
+            }
+        }
         let op = SolverOperator { solver: self };
-        let res = gmres(&op, &rhs, &mut phi, &self.opts.gmres);
+        let res = match &self.precond {
+            Some(m) => gmres_right(&op, m, &rhs, &mut phi, &self.opts.gmres),
+            None => gmres(&op, &rhs, &mut phi, &self.opts.gmres),
+        };
         (phi, res)
     }
 
@@ -441,7 +554,11 @@ mod tests {
     use kernels::{laplace_sl, stokeslet, StokesEquiv};
     use patch::cube_sphere;
 
-    fn laplace_solver(sub: u32, q: usize, opts: BieOptions) -> DoubleLayerSolver<LaplaceDL, kernels::LaplaceSL> {
+    fn laplace_solver(
+        sub: u32,
+        q: usize,
+        opts: BieOptions,
+    ) -> DoubleLayerSolver<LaplaceDL, kernels::LaplaceSL> {
         let s = cube_sphere(1.0, Vec3::ZERO, sub, q);
         DoubleLayerSolver::new(s, LaplaceDL, kernels::LaplaceSL, opts)
     }
@@ -452,20 +569,35 @@ mod tests {
         let opts = BieOptions {
             eta: 2,
             p_extrap: 8,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             use_fmm: Some(false),
             null_space: false,
-            gmres: GmresOptions { tol: 1e-6, ..Default::default() },
+            gmres: GmresOptions {
+                tol: 1e-6,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let solver = laplace_solver(1, 8, opts);
         let x0 = Vec3::new(2.5, 0.4, -0.3);
-        let g: Vec<f64> = solver.quad.points.iter().map(|&y| laplace_sl(y, x0, 1.0)).collect();
+        let g: Vec<f64> = solver
+            .quad
+            .points
+            .iter()
+            .map(|&y| laplace_sl(y, x0, 1.0))
+            .collect();
         let (phi, res) = solver.solve(&g);
         assert!(res.converged, "GMRES residual {}", res.rel_residual);
         assert!(res.iterations < 30, "iterations {}", res.iterations);
         // far interior points
-        let targets = vec![Vec3::new(0.3, 0.0, 0.0), Vec3::new(-0.2, 0.4, 0.1), Vec3::ZERO];
+        let targets = vec![
+            Vec3::new(0.3, 0.0, 0.0),
+            Vec3::new(-0.2, 0.4, 0.1),
+            Vec3::ZERO,
+        ];
         let u = solver.eval_at(&phi, &targets);
         for (i, &t) in targets.iter().enumerate() {
             let exact = laplace_sl(t, x0, 1.0);
@@ -482,15 +614,26 @@ mod tests {
         let opts = BieOptions {
             eta: 2,
             p_extrap: 8,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             use_fmm: Some(false),
             null_space: false,
-            gmres: GmresOptions { tol: 1e-6, ..Default::default() },
+            gmres: GmresOptions {
+                tol: 1e-6,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let solver = laplace_solver(1, 8, opts);
         let x0 = Vec3::new(2.5, 0.4, -0.3);
-        let g: Vec<f64> = solver.quad.points.iter().map(|&y| laplace_sl(y, x0, 1.0)).collect();
+        let g: Vec<f64> = solver
+            .quad
+            .points
+            .iter()
+            .map(|&y| laplace_sl(y, x0, 1.0))
+            .collect();
         let (phi, _) = solver.solve(&g);
         // points very close to the surface (near-singular regime)
         let dirs = [
@@ -516,13 +659,19 @@ mod tests {
         let opts = BieOptions {
             eta: 2,
             p_extrap: 8,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             use_fmm: Some(false),
             null_space: true,
             // the residual floor of the completed Stokes system sits at the
             // discrete-compatibility level (~1e-5 at this resolution); the
             // paper likewise caps iterations rather than solving to zero
-            gmres: GmresOptions { tol: 5e-5, ..Default::default() },
+            gmres: GmresOptions {
+                tol: 5e-5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let solver = DoubleLayerSolver::new(s, StokesDL, StokesEquiv { mu: 1.0 }, opts);
@@ -550,7 +699,12 @@ mod tests {
 
     #[test]
     fn operator_application_is_linear() {
-        let opts = BieOptions { eta: 1, use_fmm: Some(false), null_space: false, ..Default::default() };
+        let opts = BieOptions {
+            eta: 1,
+            use_fmm: Some(false),
+            null_space: false,
+            ..Default::default()
+        };
         let solver = laplace_solver(0, 6, opts);
         let n = solver.dim();
         let phi1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
@@ -560,7 +714,11 @@ mod tests {
         let mut a12 = vec![0.0; n];
         solver.apply(&phi1, &mut a1);
         solver.apply(&phi2, &mut a2);
-        let sum: Vec<f64> = phi1.iter().zip(&phi2).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let sum: Vec<f64> = phi1
+            .iter()
+            .zip(&phi2)
+            .map(|(a, b)| 2.0 * a - 3.0 * b)
+            .collect();
         solver.apply(&sum, &mut a12);
         for i in 0..n {
             let expect = 2.0 * a1[i] - 3.0 * a2[i];
@@ -574,7 +732,10 @@ mod tests {
         // limit of Dφ is exactly c (jump c/2 + PV value c/2)
         let opts = BieOptions {
             eta: 2,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             use_fmm: Some(false),
             null_space: false,
             ..Default::default()

@@ -26,7 +26,7 @@ impl Default for LcpOptions {
         LcpOptions {
             tol: 1e-10,
             max_newton: 50,
-            gmres: GmresOptions { tol: 1e-10, atol: 1e-14, max_iters: 200, restart: 50 },
+            gmres: GmresOptions { tol: 1e-10, atol: 1e-14, max_iters: 200, restart: 50, stall_ratio: 0.0 },
         }
     }
 }

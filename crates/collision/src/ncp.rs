@@ -99,8 +99,10 @@ pub fn resolve_contacts(
     let nm = meshes.len();
     assert_eq!(end_positions.len(), nm);
     assert_eq!(start_positions.len(), nm);
-    let mut displacements: Vec<Vec<Vec3>> =
-        meshes.iter().map(|m| vec![Vec3::ZERO; m.verts.len()]).collect();
+    let mut displacements: Vec<Vec<Vec3>> = meshes
+        .iter()
+        .map(|m| vec![Vec3::ZERO; m.verts.len()])
+        .collect();
     let mut lambda_total = 0.0;
     let mut initial_contacts = 0;
     let mut resolved = false;
@@ -146,28 +148,40 @@ pub fn resolve_contacts(
                     .collect();
                 involved.sort_unstable();
                 involved.dedup();
-                let grads: Vec<Vec<(u32, Vec3)>> =
-                    involved.iter().map(|&mi| c.gradient(mi, &current)).collect();
+                let grads: Vec<Vec<(u32, Vec3)>> = involved
+                    .iter()
+                    .map(|&mi| c.gradient(mi, &current))
+                    .collect();
                 let disps: Vec<Vec<Vec3>> = involved
                     .iter()
                     .zip(&grads)
                     .map(|(&mi, g)| mobility.apply(mi, g, meshes[mi as usize].verts.len()))
                     .collect();
-                ContactData { meshes: involved, grads, disps }
+                ContactData {
+                    meshes: involved,
+                    grads,
+                    disps,
+                }
             })
             .collect();
 
-        // sparse B in a hash-map keyed by (j, k): nonzero only when two
-        // contacts share a movable mesh
+        // sparse B keyed by (j, k): nonzero only when two contacts share a
+        // movable mesh. Iteration must be in *sorted* mesh order: HashMap
+        // order differs per instance (per-map hasher seeds), and the
+        // floating-point accumulation order below would otherwise make
+        // trajectories differ between bit-identical simulations — breaking
+        // the checkpoint/restart bit-identity guarantee.
         let mut by_mesh: HashMap<u32, Vec<usize>> = HashMap::new();
         for (k, d) in data.iter().enumerate() {
             for &mi in &d.meshes {
                 by_mesh.entry(mi).or_default().push(k);
             }
         }
-        let entries: Vec<((usize, usize), f64)> = by_mesh
+        let mut mesh_groups: Vec<(u32, Vec<usize>)> = by_mesh.into_iter().collect();
+        mesh_groups.sort_unstable_by_key(|e| e.0);
+        let entries: Vec<((usize, usize), f64)> = mesh_groups
             .par_iter()
-            .flat_map_iter(|(&mi, cs)| {
+            .flat_map_iter(|&(mi, ref cs)| {
                 let mut out = Vec::with_capacity(cs.len() * cs.len());
                 for &j in cs {
                     let dj = &data[j];
@@ -190,11 +204,15 @@ pub fn resolve_contacts(
         for (key, v) in entries {
             *b_map.entry(key).or_insert(0.0) += v;
         }
+        // sorted sparse triplets: the matvec accumulation into y[j] must
+        // not depend on HashMap iteration order (see mesh_groups above)
+        let mut b_entries: Vec<((usize, usize), f64)> = b_map.into_iter().collect();
+        b_entries.sort_unstable_by_key(|&(k, _)| k);
 
         let q: Vec<f64> = contacts.iter().map(|c| c.value).collect();
         let apply_b = |x: &[f64], y: &mut [f64]| {
             y.iter_mut().for_each(|v| *v = 0.0);
-            for (&(j, k), &v) in &b_map {
+            for &((j, k), v) in &b_entries {
                 y[j] += v * x[k];
             }
         };
@@ -231,7 +249,13 @@ pub fn resolve_contacts(
             .all(|c| c.value >= -1e-12);
     }
 
-    NcpResult { displacements, lambda_total, initial_contacts, outer_iters: outer, resolved }
+    NcpResult {
+        displacements,
+        lambda_total,
+        initial_contacts,
+        outer_iters: outer,
+        resolved,
+    }
 }
 
 #[cfg(test)]
@@ -257,13 +281,20 @@ mod tests {
         let meshes = vec![a.clone(), b.clone()];
         let start = vec![a.verts.clone(), b.verts.clone()];
         let mut end = start.clone();
-        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false] };
+        let mobility = IdentityMobility {
+            scale: 1.0,
+            rigid: vec![false, false],
+        };
         let opts = NcpOptions {
             detect: DetectOptions { delta: 0.1 },
             ..Default::default()
         };
         let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1], &mobility, &opts);
-        assert!(res.resolved, "not resolved after {} iterations", res.outer_iters);
+        assert!(
+            res.resolved,
+            "not resolved after {} iterations",
+            res.outer_iters
+        );
         assert!(res.initial_contacts == 1);
         // sheets now separated by ≥ δ (within LCP tolerance)
         let zmax_a = end[0].iter().map(|p| p.z).fold(f64::MIN, f64::max);
@@ -286,7 +317,10 @@ mod tests {
         let meshes = vec![wall.clone(), sheet.clone()];
         let start = vec![wall.verts.clone(), sheet.verts.clone()];
         let mut end = start.clone();
-        let mobility = IdentityMobility { scale: 1.0, rigid: vec![true, false] };
+        let mobility = IdentityMobility {
+            scale: 1.0,
+            rigid: vec![true, false],
+        };
         let opts = NcpOptions {
             detect: DetectOptions { delta: 0.1 },
             ..Default::default()
@@ -309,7 +343,10 @@ mod tests {
         let meshes = vec![a.clone(), b.clone()];
         let start = vec![a.verts.clone(), b.verts.clone()];
         let mut end = start.clone();
-        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false] };
+        let mobility = IdentityMobility {
+            scale: 1.0,
+            rigid: vec![false, false],
+        };
         let res = resolve_contacts(
             &meshes,
             &mut end,
@@ -332,7 +369,10 @@ mod tests {
         let meshes = vec![a.clone(), b.clone(), c.clone()];
         let start: Vec<Vec<Vec3>> = meshes.iter().map(|m| m.verts.clone()).collect();
         let mut end = start.clone();
-        let mobility = IdentityMobility { scale: 1.0, rigid: vec![false, false, false] };
+        let mobility = IdentityMobility {
+            scale: 1.0,
+            rigid: vec![false, false, false],
+        };
         let opts = NcpOptions {
             detect: DetectOptions { delta: 0.08 },
             max_outer: 20,

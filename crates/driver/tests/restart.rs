@@ -73,6 +73,106 @@ fn restart_reproduces_uninterrupted_run_bit_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Small sedimentation vessel (5 cells, ~1 s/step in release): exercises
+/// the boundary solve so the warm-start density is populated.
+fn small_vessel_cfg() -> Doc {
+    let mut cfg = Doc::default();
+    let sec = "sedimentation";
+    cfg.set(sec, "tube_segments", Value::Int(1));
+    cfg.set(sec, "patch_order", Value::Int(6));
+    cfg.set(sec, "order", Value::Int(6));
+    cfg.set(sec, "fill_h", Value::Float(1.5));
+    cfg.set(sec, "col_m", Value::Int(6));
+    cfg
+}
+
+#[test]
+fn vessel_warm_start_round_trips_bit_identically() {
+    let cfg = small_vessel_cfg();
+
+    // uninterrupted reference: 3 steps
+    let mut reference = driver::build("sedimentation", &cfg).unwrap().sim;
+    for _ in 0..3 {
+        reference.step();
+    }
+    let ref_bits = coeff_bits(&reference);
+
+    // interrupted: 2 steps, checkpoint through a file
+    let mut first = driver::build("sedimentation", &cfg).unwrap().sim;
+    for _ in 0..2 {
+        first.step();
+    }
+    let warm = first
+        .bie_warm
+        .clone()
+        .expect("vessel step populates bie_warm");
+    let dir = std::env::temp_dir().join(format!("driver_warm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sedimentation.ckpt");
+    Checkpoint::write(&first, "sedimentation", &path).unwrap();
+
+    // the warm-start density round-trips bit-exactly through the file
+    let loaded = Checkpoint::load(&path).unwrap();
+    let loaded_warm = loaded
+        .bie_warm
+        .as_ref()
+        .expect("checkpoint carries bie_warm");
+    assert_eq!(loaded_warm.len(), warm.len());
+    let diffs = warm
+        .iter()
+        .zip(loaded_warm)
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    assert_eq!(diffs, 0, "{diffs}/{} warm-start words differ", warm.len());
+
+    // restored run continues bit-identically (the next step's GMRES starts
+    // from the same warm iterate as the uninterrupted run's)
+    let mut resumed = driver::build("sedimentation", &cfg).unwrap().sim;
+    loaded.restore_into(&mut resumed).unwrap();
+    assert!(resumed.bie_warm.is_some());
+    resumed.step();
+    assert_eq!(resumed.steps, 3);
+    let resumed_bits = coeff_bits(&resumed);
+    let diffs = ref_bits
+        .iter()
+        .zip(&resumed_bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        diffs,
+        0,
+        "{diffs}/{} coefficient words differ after vessel restart",
+        ref_bits.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_version_checkpoint_rejected_with_clear_error() {
+    let cfg = small_shear_pair_cfg();
+    let sim = driver::build("shear_pair", &cfg).unwrap().sim;
+    let mut bytes = Checkpoint::capture(&sim, "shear_pair").to_bytes();
+    // a v1 file differs in the version byte of the magic ("RBCCKPT1")
+    assert_eq!(&bytes[..7], b"RBCCKPT");
+    bytes[7] = b'1';
+    let err = Checkpoint::from_bytes(&bytes).expect_err("v1 must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version 1"),
+        "error should name the unsupported version: {msg}"
+    );
+    assert!(
+        msg.contains("version 2"),
+        "error should name the supported version: {msg}"
+    );
+
+    // garbage magic still reports the generic error
+    bytes[0] = b'X';
+    let err = Checkpoint::from_bytes(&bytes).expect_err("bad magic");
+    assert!(err.to_string().contains("bad magic"), "{err}");
+}
+
 #[test]
 fn restart_against_wrong_scenario_fails() {
     let cfg = small_shear_pair_cfg();

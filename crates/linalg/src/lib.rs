@@ -25,13 +25,15 @@ pub mod svd;
 pub mod vec3;
 
 pub use bytes::{fnv1a64, ByteReader, ByteWriter, CodecError};
-pub use gmres::{gmres, FnOperator, GmresOptions, GmresResult, LinearOperator};
+pub use gmres::{gmres, gmres_right, FnOperator, GmresOptions, GmresResult, LinearOperator};
 pub use interp::{
     barycentric_weights, checkpoint_extrapolation_weights, lagrange_basis_at, tensor_interp_matrix,
     Interp1d,
 };
 pub use mat::{axpy, dot, gemm_acc, norm2, norm_inf, Mat};
-pub use quad::{clenshaw_curtis, gauss_legendre, legendre_and_derivative, periodic_trapezoid, Rule1d};
+pub use quad::{
+    clenshaw_curtis, gauss_legendre, legendre_and_derivative, periodic_trapezoid, Rule1d,
+};
 pub use solve::{Lu, Qr};
 pub use svd::Svd;
 pub use vec3::{Aabb, Vec3};

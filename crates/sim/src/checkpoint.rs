@@ -22,8 +22,11 @@ use std::io;
 use std::path::Path;
 use vesicle::{Cell, StepOptions};
 
-/// File magic: "RBCCKPT" + format version.
-const MAGIC: &[u8; 8] = b"RBCCKPT1";
+/// File magic: "RBCCKPT" + format version. Version history:
+/// 1 — cells + config + timers (PR 2); 2 — adds the boundary-solve
+/// warm-start density (`bie_warm`), needed for bit-identical restarts now
+/// that the GMRES initial guess carries across steps.
+const MAGIC: &[u8; 8] = b"RBCCKPT2";
 
 /// A captured simulation state, decoupled from the live [`Simulation`].
 #[derive(Clone, Debug)]
@@ -44,6 +47,11 @@ pub struct Checkpoint {
     pub vessel_digest: u64,
     /// The evolving cell state.
     pub cells: Vec<Cell>,
+    /// Boundary-solve warm-start density carried between steps (`None`
+    /// before the first vessel step / for free-space runs). Serialized
+    /// bit-exactly so a restarted run's first GMRES solve starts from the
+    /// same iterate as the uninterrupted run.
+    pub bie_warm: Option<Vec<f64>>,
 }
 
 /// Deterministic digest of the static vessel state: collision meshes,
@@ -96,6 +104,8 @@ pub fn vessel_digest(vessel: &Vessel) -> u64 {
     w.put_f64(o.gmres.atol);
     w.put_usize(o.gmres.max_iters);
     w.put_usize(o.gmres.restart);
+    w.put_f64(o.gmres.stall_ratio);
+    w.put_bool(o.precond);
     fnv1a64(w.bytes())
 }
 
@@ -114,6 +124,7 @@ fn write_config(w: &mut ByteWriter, c: &SimConfig) {
     w.put_f64(c.step.gmres.atol);
     w.put_usize(c.step.gmres.max_iters);
     w.put_usize(c.step.gmres.restart);
+    w.put_f64(c.step.gmres.stall_ratio);
     w.put_bool(c.disable_collisions);
 }
 
@@ -137,6 +148,7 @@ fn read_config(r: &mut ByteReader) -> Result<SimConfig, CodecError> {
                 atol: r.get_f64()?,
                 max_iters: r.get_usize()?,
                 restart: r.get_usize()?,
+                stall_ratio: r.get_f64()?,
             },
         },
         disable_collisions: r.get_bool()?,
@@ -154,6 +166,7 @@ impl Checkpoint {
             timers: sim.timers,
             vessel_digest: sim.vessel.as_ref().map(vessel_digest).unwrap_or(0),
             cells: sim.cells.clone(),
+            bie_warm: sim.bie_warm.clone(),
         }
     }
 
@@ -177,16 +190,36 @@ impl Checkpoint {
         for c in &self.cells {
             c.write_state(&mut w);
         }
+        match &self.bie_warm {
+            Some(phi) => {
+                w.put_bool(true);
+                w.put_f64_slice(phi);
+            }
+            None => w.put_bool(false),
+        }
         w.into_bytes()
     }
 
     /// Deserializes from bytes written by [`Checkpoint::to_bytes`].
+    ///
+    /// Rejects files from other format versions with a clear error — a v1
+    /// checkpoint has no warm-start density, so continuing from it could
+    /// not reproduce the original trajectory bit-identically.
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
         let mut r = ByteReader::new(bytes);
-        for &b in MAGIC {
-            if r.get_u8()? != b {
-                return Err(CodecError("not a checkpoint file (bad magic)".into()));
+        let mut magic = [0u8; 8];
+        for b in &mut magic {
+            *b = r.get_u8()?;
+        }
+        if magic != *MAGIC {
+            if magic[..7] == MAGIC[..7] {
+                return Err(CodecError(format!(
+                    "unsupported checkpoint format version {} (this build reads version {}); \
+                     re-run the scenario from the start or convert the checkpoint",
+                    magic[7] as char, MAGIC[7] as char,
+                )));
             }
+            return Err(CodecError("not a checkpoint file (bad magic)".into()));
         }
         let scenario = r.get_string()?;
         let steps = r.get_usize()?;
@@ -205,6 +238,11 @@ impl Checkpoint {
         for _ in 0..n_cells {
             cells.push(Cell::read_state(&mut r)?);
         }
+        let bie_warm = if r.get_bool()? {
+            Some(r.get_f64_vec()?)
+        } else {
+            None
+        };
         if r.remaining() != 0 {
             return Err(CodecError(format!("{} trailing bytes", r.remaining())));
         }
@@ -216,6 +254,7 @@ impl Checkpoint {
             timers,
             vessel_digest,
             cells,
+            bie_warm,
         })
     }
 
@@ -258,6 +297,7 @@ impl Checkpoint {
         sim.steps = self.steps;
         sim.timers = self.timers;
         sim.last_stats = Default::default();
+        sim.bie_warm = self.bie_warm.clone();
         Ok(())
     }
 

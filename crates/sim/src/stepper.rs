@@ -84,6 +84,11 @@ pub struct Simulation {
     pub steps: usize,
     /// Last step's diagnostics.
     pub last_stats: StepStats,
+    /// Boundary density of the previous step's BIE solve, used to
+    /// warm-start the next solve (`None` before the first vessel step).
+    /// Part of the evolving trajectory state: it is serialized by
+    /// [`crate::Checkpoint`] so restarts stay bit-identical.
+    pub bie_warm: Option<Vec<f64>>,
 }
 
 struct CellMobility<'a> {
@@ -149,7 +154,12 @@ impl Mobility for CellMobility<'_> {
 
 impl Simulation {
     /// Creates a simulation.
-    pub fn new(basis: SphBasis, cells: Vec<Cell>, vessel: Option<Vessel>, config: SimConfig) -> Simulation {
+    pub fn new(
+        basis: SphBasis,
+        cells: Vec<Cell>,
+        vessel: Option<Vessel>,
+        config: SimConfig,
+    ) -> Simulation {
         Simulation {
             basis,
             cells,
@@ -158,6 +168,7 @@ impl Simulation {
             timers: StepTimers::default(),
             steps: 0,
             last_stats: StepStats::default(),
+            bie_warm: None,
         }
     }
 
@@ -208,8 +219,11 @@ impl Simulation {
                     f
                 })
                 .collect();
-            let selfops: Vec<SelfInteraction> =
-                self.cells.par_iter().map(|c| c.self_interaction(basis)).collect();
+            let selfops: Vec<SelfInteraction> = self
+                .cells
+                .par_iter()
+                .map(|c| c.self_interaction(basis))
+                .collect();
             (geos, forces, selfops)
         });
         t.other += t_other0;
@@ -234,7 +248,14 @@ impl Simulation {
             let kernel = StokesSL { mu };
             let pairs = (src_pts.len() as f64) * (trg_pts.len() as f64);
             let total = if pairs > self.config.fmm_pair_threshold {
-                fmm_evaluate(&kernel, &StokesEquiv { mu }, &src_pts, &src_f, &trg_pts, self.config.fmm)
+                fmm_evaluate(
+                    &kernel,
+                    &StokesEquiv { mu },
+                    &src_pts,
+                    &src_f,
+                    &trg_pts,
+                    self.config.fmm,
+                )
             } else {
                 let mut out = vec![0.0; trg_pts.len() * 3];
                 kernels::direct_eval(&kernel, &src_pts, &src_f, &trg_pts, &mut out);
@@ -267,7 +288,11 @@ impl Simulation {
 
         // --- boundary solve for u_Γ (BIE-solve / BIE-FMM) ---
         if let Some(vessel) = &self.vessel {
-            let (bie_iters, t_bie) = timed(|| {
+            // warm start from the previous step's density (the boundary
+            // data changes little between steps, so the previous solution
+            // is a much better initial iterate than zero)
+            let warm = self.bie_warm.take();
+            let ((bie_iters, phi_next), t_bie) = timed(|| {
                 let quad = &vessel.solver.quad;
                 // u_fr on Γ from all cells (this far-field sum is charged to
                 // BIE-FMM below through the solver's own accounting for the
@@ -302,7 +327,7 @@ impl Simulation {
                 }
                 // g − u_fr
                 let rhs: Vec<f64> = vessel.bc.iter().zip(&u_fr).map(|(g, u)| g - u).collect();
-                let (phi, res) = vessel.solver.solve(&rhs);
+                let (phi, res) = vessel.solver.solve_warm(&rhs, warm.as_deref());
                 // u_Γ at all cell points
                 if nc > 0 {
                     let mut trg = Vec::with_capacity(nc * n);
@@ -317,8 +342,9 @@ impl Simulation {
                         }
                     }
                 }
-                res.iterations
+                (res.iterations, phi)
             });
+            self.bie_warm = Some(phi_next);
             stats.bie_iterations = bie_iters;
             let fmm_part = vessel.solver.take_fmm_nanos();
             t.bie_fmm += fmm_part;
@@ -366,7 +392,10 @@ impl Simulation {
                 .par_iter()
                 .enumerate()
                 .map(|(ci, cell)| {
-                    let opts = StepOptions { dt, ..self.config.step };
+                    let opts = StepOptions {
+                        dt,
+                        ..self.config.step
+                    };
                     let (pos, _res) = implicit_step(basis, cell, &selfops[ci], &b_cells[ci], &opts);
                     pos
                 })
@@ -403,7 +432,8 @@ impl Simulation {
                     out
                 };
                 for (ci, cell) in self.cells.iter().enumerate() {
-                    let (pts0, nlat, nlon, n0, s0) = cell.collision_points(basis, self.config.col_upsample);
+                    let (pts0, nlat, nlon, n0, s0) =
+                        cell.collision_points(basis, self.config.col_upsample);
                     let mesh = triangulate_latlon(&pts0, nlat, nlon, n0, s0);
                     let mut e = fine_positions(&new_positions[ci]);
                     // poles at end: reuse ring ends
@@ -434,7 +464,9 @@ impl Simulation {
                     n_fine_grid: nf,
                 };
                 let opts = NcpOptions {
-                    detect: DetectOptions { delta: self.config.collision_delta },
+                    detect: DetectOptions {
+                        delta: self.config.collision_delta,
+                    },
                     max_outer: 10,
                     ..Default::default()
                 };
@@ -490,8 +522,18 @@ impl Simulation {
     pub fn recycle_cells(&mut self) -> usize {
         let Some(vessel) = &self.vessel else { return 0 };
         let basis = &self.basis;
-        let inlets: Vec<_> = vessel.ports.iter().filter(|p| p.is_inlet).copied().collect();
-        let outlets: Vec<_> = vessel.ports.iter().filter(|p| !p.is_inlet).copied().collect();
+        let inlets: Vec<_> = vessel
+            .ports
+            .iter()
+            .filter(|p| p.is_inlet)
+            .copied()
+            .collect();
+        let outlets: Vec<_> = vessel
+            .ports
+            .iter()
+            .filter(|p| !p.is_inlet)
+            .copied()
+            .collect();
         if inlets.is_empty() || outlets.is_empty() {
             return 0;
         }

@@ -175,7 +175,7 @@ impl Default for StepOptions {
     fn default() -> Self {
         StepOptions {
             dt: 1e-3,
-            gmres: GmresOptions { tol: 1e-8, atol: 1e-14, max_iters: 60, restart: 60 },
+            gmres: GmresOptions { tol: 1e-8, atol: 1e-14, max_iters: 60, restart: 60, stall_ratio: 0.0 },
         }
     }
 }

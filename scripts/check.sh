@@ -31,7 +31,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
 
 if [ "${CHECK_FAST:-0}" != "1" ]; then
     echo "== cargo test -q"
-    cargo test -q --release --workspace
+    TEST_LOG=$(mktemp)
+    cargo test -q --release --workspace 2>&1 | tee "$TEST_LOG"
+    # tier-1 test-count floor: catches refactors that silently drop tests
+    # (the committed floor only ever ratchets up; see scripts/test_floor.txt)
+    TEST_COUNT=$(grep -Eo '[0-9]+ passed' "$TEST_LOG" | awk '{s+=$1} END {print s+0}')
+    FLOOR=$(cat scripts/test_floor.txt)
+    echo "== tier-1 test count: $TEST_COUNT (committed floor: $FLOOR)"
+    rm -f "$TEST_LOG"
+    if [ "$TEST_COUNT" -lt "$FLOOR" ]; then
+        echo "ERROR: test count $TEST_COUNT fell below the committed floor $FLOOR"
+        echo "       (if tests were intentionally consolidated, lower scripts/test_floor.txt in the same PR)"
+        exit 1
+    fi
 fi
 
 echo "== fmm smoke bench (order 4, ~2 s)"
