@@ -30,12 +30,19 @@ struct CaseResult {
     /// these are *steady-state* (warm) counts; compare against
     /// `bie_iters_cold` for the warm-start win.
     bie_iters: Vec<usize>,
+    /// Active contacts at first detection per measured step — the COL
+    /// stage's workload scale (its cost is roughly proportional to this
+    /// times the NCP outer iterations), recorded so COL perf regressions
+    /// can be separated from trajectory changes that shift the contact
+    /// count.
+    col_contacts: Vec<usize>,
 }
 
 fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
     let mut built = driver::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
     let mut timers = StepTimers::default();
     let mut bie_iters = Vec::with_capacity(steps);
+    let mut col_contacts = Vec::with_capacity(steps);
     // one untimed warm-up step so process-wide operator caches (upsample
     // matrices, FMM operators) don't pollute the first measured step.
     // NOTE: the warm-up also primes the boundary-solve warm start, so the
@@ -55,6 +62,7 @@ fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         if built.sim.vessel.is_some() {
             bie_iters.push(built.sim.last_stats.bie_iterations);
         }
+        col_contacts.push(built.sim.last_stats.contacts);
         timers.accumulate(&t);
     }
     let r = CaseResult {
@@ -65,15 +73,17 @@ fn run_case(name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         timers,
         bie_iters_cold,
         bie_iters,
+        col_contacts,
     };
     let t = &r.timers;
     let n = steps as f64;
     println!(
-        "{:<18} {:>3} cells {:>7} dofs  {:>2} steps  per-step: COL {:>7.3}s  BIE-solve {:>7.3}s  BIE-FMM {:>7.3}s  Other-FMM {:>7.3}s  Other {:>7.3}s  total {:>7.3}s  bie_iters cold {} warm {:?}",
+        "{:<18} {:>3} cells {:>7} dofs  {:>2} steps  per-step: COL {:>7.3}s  BIE-solve {:>7.3}s  BIE-FMM {:>7.3}s  Other-FMM {:>7.3}s  Other {:>7.3}s  total {:>7.3}s  bie_iters cold {} warm {:?}  contacts {:?}",
         r.name, r.cells, r.dofs, r.steps,
         t.col / n, t.bie_solve / n, t.bie_fmm / n, t.other_fmm / n, t.other / n, t.total() / n,
         r.bie_iters_cold.map_or(0, |v| v),
         r.bie_iters,
+        r.col_contacts,
     );
     r
 }
@@ -102,18 +112,20 @@ fn main() {
         let t = &r.timers;
         let n = r.steps as f64;
         let iters: Vec<String> = r.bie_iters.iter().map(|v| v.to_string()).collect();
+        let contacts: Vec<String> = r.col_contacts.iter().map(|v| v.to_string()).collect();
         let cold = r
             .bie_iters_cold
             .map_or("null".to_string(), |v| v.to_string());
         let _ = writeln!(
             json,
-            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"col_contacts_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
             r.name,
             r.cells,
             r.dofs,
             r.steps,
             cold,
             iters.join(", "),
+            contacts.join(", "),
             t.col / n,
             t.bie_solve / n,
             t.bie_fmm / n,

@@ -3,10 +3,22 @@
 //! 1. Space-time bounding boxes of all meshes are hashed and sorted to find
 //!    candidate mesh pairs (Fig. 3; the same sort-based search as the
 //!    closest-point machinery of §3.3, with `d_ε = 0` for static patches).
-//! 2. For each candidate mesh pair, vertex–triangle pairs within the
-//!    contact threshold are found with a second spatial hash, and the
-//!    interference measure `V` of each connected contact (one per touching
-//!    object pair) is assembled together with its position gradient.
+//! 2. A single binned uniform grid over the *triangle* AABBs of every mesh
+//!    that survived step 1 generates vertex–triangle candidates: triangle
+//!    boxes (inflated by δ) are binned into every grid cell they overlap,
+//!    each vertex looks up only its own cell, and candidates are verified
+//!    by the exact closest-point test. With cell size `δ + max(median
+//!    edge, δ)` a
+//!    triangle spans O(1) cells, so candidate generation is
+//!    output-sensitive — the old path rebuilt a hash of *all* triangles of
+//!    a mesh for every candidate mesh pair it appeared in. The old
+//!    exhaustive scan survives behind [`BroadPhase::BruteForce`] as the
+//!    equivalence-test reference.
+//!
+//! Determinism: both paths emit the identical pair set, canonically sorted
+//! by `(object pair, vertex mesh, vertex, triangle mesh, triangle)` before
+//! the interference values are accumulated, so `V` and every gradient is
+//! bit-identical across paths, runs, and instances (the restart guarantee).
 //!
 //! Interference measure (DESIGN.md substitution): where \[17\]/\[25\] compute
 //! exact piecewise-linear space-time interference volumes, we use
@@ -52,7 +64,8 @@ pub struct Contact {
     pub obj_b: u32,
     /// Interference value `V_k` (negative while interfering).
     pub value: f64,
-    /// Active vertex–triangle pairs.
+    /// Active vertex–triangle pairs, in canonical
+    /// `(vert_mesh, vert, tri_mesh, tri)` order.
     pub pairs: Vec<ContactPair>,
 }
 
@@ -80,12 +93,36 @@ impl Contact {
     }
 }
 
+/// Candidate-generation strategy for the vertex–triangle narrow phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BroadPhase {
+    /// One binned grid over all active triangles (output-sensitive; the
+    /// production path).
+    #[default]
+    Grid,
+    /// Exhaustive all-vertex × all-triangle scan per candidate mesh pair —
+    /// O(n·m) per pair, kept only as the equivalence-test reference.
+    BruteForce,
+}
+
 /// Options for contact detection.
 #[derive(Clone, Copy, Debug)]
 pub struct DetectOptions {
     /// Contact activation threshold δ (surfaces closer than this count as
     /// interfering; acts as the minimal separation the NCP enforces).
     pub delta: f64,
+    /// Candidate-generation strategy (grid unless testing).
+    pub broad_phase: BroadPhase,
+}
+
+impl DetectOptions {
+    /// Grid-backed detection with threshold `delta`.
+    pub fn new(delta: f64) -> DetectOptions {
+        DetectOptions {
+            delta,
+            broad_phase: BroadPhase::Grid,
+        }
+    }
 }
 
 /// Finds all contacts among the meshes at their *end-of-step* positions.
@@ -116,82 +153,330 @@ pub fn detect_contacts(
         .filter(|&(a, b)| obj_of[a as usize] != obj_of[b as usize])
         .collect();
 
-    // 2. vertex–triangle pairs per candidate mesh pair (both directions)
-    let raw: Vec<ContactPair> = mesh_pairs
-        .par_iter()
-        .flat_map_iter(|&(ma, mb)| {
-            let mut out = Vec::new();
-            vertex_triangle_pairs(meshes, ma, mb, opts.delta, &mut out);
-            vertex_triangle_pairs(meshes, mb, ma, opts.delta, &mut out);
-            out.into_iter()
-        })
-        .collect();
+    // 2. vertex–triangle pairs among the meshes with candidate partners
+    let mut raw: Vec<ContactPair> = match opts.broad_phase {
+        BroadPhase::Grid => grid_pairs(meshes, &mesh_pairs, obj_of, opts.delta),
+        BroadPhase::BruteForce => brute_force_pairs(meshes, &mesh_pairs, opts.delta),
+    };
 
-    // group into contacts by object pair
-    let mut groups: HashMap<(u32, u32), Vec<ContactPair>> = HashMap::new();
-    for p in raw {
+    // canonical order: by object pair, then (vert_mesh, vert, tri_mesh,
+    // tri). Both broad phases and any parallel split then accumulate V and
+    // the gradients in the same floating-point order.
+    let pair_objs = |p: &ContactPair| {
         let oa = obj_of[p.vert_mesh as usize];
         let ob = obj_of[p.tri_mesh as usize];
-        let key = (oa.min(ob), oa.max(ob));
-        groups.entry(key).or_default().push(p);
+        (oa.min(ob), oa.max(ob))
+    };
+    raw.par_sort_unstable_by_key(|p| (pair_objs(p), p.vert_mesh, p.vert, p.tri_mesh, p.tri));
+
+    // group into contacts by scanning runs of equal object pairs
+    let mut contacts: Vec<Contact> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let key = pair_objs(&raw[i]);
+        let mut j = i;
+        while j < raw.len() && pair_objs(&raw[j]) == key {
+            j += 1;
+        }
+        let pairs = raw[i..j].to_vec();
+        let value: f64 = pairs.iter().map(|p| p.gap * p.weight).sum();
+        contacts.push(Contact {
+            obj_a: key.0,
+            obj_b: key.1,
+            value,
+            pairs,
+        });
+        i = j;
     }
-    let mut contacts: Vec<Contact> = groups
-        .into_iter()
-        .map(|((oa, ob), pairs)| {
-            let value: f64 = pairs.iter().map(|p| p.gap * p.weight).sum();
-            Contact { obj_a: oa, obj_b: ob, value, pairs }
-        })
-        .collect();
-    contacts.sort_unstable_by_key(|c| (c.obj_a, c.obj_b));
     contacts
 }
 
-/// Collects active vertex(of `mv`)–triangle(of `mt`) pairs within `delta`.
-fn vertex_triangle_pairs(meshes: &[TriMesh], mv: u32, mt: u32, delta: f64, out: &mut Vec<ContactPair>) {
+/// Exact narrow test: emits a pair when vertex `vi` of mesh `mv` lies
+/// within `delta` of triangle `ti` of mesh `mt`.
+#[inline]
+fn try_pair(
+    meshes: &[TriMesh],
+    mv: u32,
+    vi: u32,
+    mt: u32,
+    ti: u32,
+    delta: f64,
+) -> Option<ContactPair> {
     let vm = &meshes[mv as usize];
     let tm = &meshes[mt as usize];
-    // hash triangle boxes against vertices
-    let tri_boxes: Vec<Aabb> = tm
-        .tris
-        .iter()
-        .map(|t| {
-            Aabb::from_points([
-                tm.verts[t[0] as usize],
-                tm.verts[t[1] as usize],
-                tm.verts[t[2] as usize],
-            ])
-            .inflated(delta)
+    let t = tm.tris[ti as usize];
+    let a = tm.verts[t[0] as usize];
+    let b = tm.verts[t[1] as usize];
+    let c = tm.verts[t[2] as usize];
+    let p = vm.verts[vi as usize];
+    let cp = closest_point_on_triangle(p, a, b, c);
+    let d = (p - cp).norm();
+    if d < delta && d > 1e-14 {
+        Some(ContactPair {
+            vert_mesh: mv,
+            vert: vi,
+            tri_mesh: mt,
+            tri: ti,
+            gap: d - delta,
+            dir: (p - cp) / d,
+            bary: barycentric(cp, a, b, c),
+            weight: vm.vert_area[vi as usize],
+        })
+    } else {
+        None
+    }
+}
+
+/// Output-sensitive narrow phase: one uniform grid over every mesh that
+/// appears in a candidate pair. Vertices are binned into their cell (one
+/// entry each); each triangle enumerates the cells its δ-inflated AABB
+/// overlaps and tests the vertices found there.
+///
+/// Completeness: a vertex within δ of a triangle lies inside the
+/// triangle's inflated AABB, hence inside one of the cells that box
+/// overlaps. Uniqueness: a vertex occupies exactly one cell, so no
+/// (vertex, triangle) pair is ever emitted twice. Candidates pass a cheap
+/// box-containment reject (which cannot discard a true pair) before the
+/// exact closest-point test, so the result set is identical to
+/// [`BroadPhase::BruteForce`]'s.
+///
+/// Cell size is `δ + max(median edge, δ)` — the median edge length,
+/// floored at δ so over-resolved meshes cannot shrink cells below the
+/// interaction distance: the meshes mix
+/// resolutions (finely upsampled cells against coarse vessel patches, and
+/// occasionally a blown-up mesh mid-transient), and sizing by the max —
+/// or even the mean — edge would collapse the grid into a few enormous
+/// cells whose contents cross all-to-all. With the median, an oversized
+/// triangle simply enumerates more cells (capped below) while the grid
+/// stays matched to the healthy geometry.
+fn grid_pairs(
+    meshes: &[TriMesh],
+    mesh_pairs: &[(u32, u32)],
+    obj_of: &[u32],
+    delta: f64,
+) -> Vec<ContactPair> {
+    // meshes with at least one candidate partner
+    let mut active: Vec<u32> = mesh_pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    active.sort_unstable();
+    active.dedup();
+    if active.is_empty() {
+        return Vec::new();
+    }
+
+    // median edge length: robust to blown-up meshes (a diverged implicit
+    // update can stretch a single cell's triangles by orders of magnitude
+    // mid-transient; a mean — let alone a max — would inflate the grid
+    // cell until every vertex lands in one bin and the narrow phase goes
+    // quadratic)
+    let mut edges: Vec<f64> = active
+        .par_iter()
+        .flat_map_iter(|&mi| {
+            let m = &meshes[mi as usize];
+            m.tris.iter().flat_map(move |t| {
+                let a = m.verts[t[0] as usize];
+                let b = m.verts[t[1] as usize];
+                let c = m.verts[t[2] as usize];
+                [(a - b).norm(), (b - c).norm(), (c - a).norm()]
+            })
         })
         .collect();
-    let grid = SpatialHash::new(mean_diagonal_spacing(&tri_boxes).max(delta), Vec3::ZERO);
-    let cands = octree::box_point_candidates(&tri_boxes, &vm.verts, &grid);
-    for (ti, vi) in cands {
-        let t = tm.tris[ti as usize];
-        let a = tm.verts[t[0] as usize];
-        let b = tm.verts[t[1] as usize];
-        let c = tm.verts[t[2] as usize];
-        let p = vm.verts[vi as usize];
-        let cp = closest_point_on_triangle(p, a, b, c);
-        let d = (p - cp).norm();
-        if d < delta && d > 1e-14 {
-            out.push(ContactPair {
-                vert_mesh: mv,
-                vert: vi,
-                tri_mesh: mt,
-                tri: ti,
-                gap: d - delta,
-                dir: (p - cp) / d,
-                bary: barycentric(cp, a, b, c),
-                weight: vm.vert_area[vi as usize],
+    let median_edge = if edges.is_empty() {
+        0.0
+    } else {
+        let mid = edges.len() / 2;
+        let (_, med, _) = edges.select_nth_unstable_by(mid, f64::total_cmp);
+        *med
+    };
+    let grid = SpatialHash::new(delta + median_edge.max(delta), Vec3::ZERO);
+
+    // bin vertices by their *integer cell coordinates* — deliberately not
+    // by wrapped Morton key: the conservative run rejects below derive a
+    // run's AABB from its cell, and a 21-bit key collision would group
+    // far-apart vertices under one box, turning the reject into a false
+    // negative exactly in the blown-up-mesh regime the fallback serves
+    #[derive(Clone, Copy)]
+    struct VertEntry {
+        cell: (i64, i64, i64),
+        mesh: u32,
+        vert: u32,
+    }
+    let mut verts: Vec<VertEntry> = active
+        .par_iter()
+        .flat_map_iter(|&mi| {
+            meshes[mi as usize]
+                .verts
+                .iter()
+                .enumerate()
+                .map(move |(vi, &p)| VertEntry {
+                    cell: grid.cell_of(p),
+                    mesh: mi,
+                    vert: vi as u32,
+                })
+        })
+        .collect();
+    verts.par_sort_unstable_by_key(|e| (e.cell, e.mesh, e.vert));
+    // run = the vertices of one occupied cell; `cells` looks runs up by
+    // cell for the enumeration path, `runs` keeps them in cell order with
+    // their cell boxes for the capped-triangle fallback below
+    struct CellRun {
+        lo: Vec3,
+        hi: Vec3,
+        start: u32,
+        end: u32,
+    }
+    let mut cells: HashMap<(i64, i64, i64), u32> = HashMap::new();
+    let mut runs: Vec<CellRun> = Vec::new();
+    let mut start = 0;
+    for i in 1..=verts.len() {
+        if i == verts.len() || verts[i].cell != verts[start].cell {
+            cells.insert(verts[start].cell, runs.len() as u32);
+            let cell = verts[start].cell;
+            let lo = grid.origin + Vec3::new(cell.0 as f64, cell.1 as f64, cell.2 as f64) * grid.h;
+            runs.push(CellRun {
+                lo,
+                hi: lo + Vec3::new(grid.h, grid.h, grid.h),
+                start: start as u32,
+                end: i as u32,
             });
+            start = i;
         }
     }
+
+    // a healthy triangle's inflated box overlaps a handful of cells; a
+    // blown-up one could overlap billions, so enumeration is capped and
+    // oversized triangles fall through to a sweep over the occupied-cell
+    // runs, pruned by a box test and a plane-slab test (a stretched
+    // triangle covers a huge box but stays razor-thin, so the slab rejects
+    // nearly every cell). Both rejects are conservative — a vertex within
+    // δ of the triangle can never be discarded — so the result set stays
+    // identical to brute force.
+    const CELL_CAP: f64 = 256.0;
+
+    // per triangle: gather the vertices of every overlapped cell
+    active
+        .par_iter()
+        .flat_map_iter(|&mi| {
+            let m = &meshes[mi as usize];
+            let obj = obj_of[mi as usize];
+            let mut out = Vec::new();
+            for (ti, t) in m.tris.iter().enumerate() {
+                let (ta, tb, tc) = (
+                    m.verts[t[0] as usize],
+                    m.verts[t[1] as usize],
+                    m.verts[t[2] as usize],
+                );
+                // every broad-phase reject below uses this box, inflated a
+                // hair past δ: the extra margin absorbs the rounding of
+                // `min − δ` and of the reconstructed run boxes, so no pair
+                // whose exact test would pass (d < δ, to within an ulp)
+                // can be discarded — only try_pair decides membership, and
+                // the result set stays identical to brute force
+                let coord_scale = [ta, tb, tc]
+                    .iter()
+                    .flat_map(|p| [p.x.abs(), p.y.abs(), p.z.abs()])
+                    .fold(1.0, f64::max);
+                let eps = 1e-9 * (delta + coord_scale);
+                let b = Aabb::from_points([ta, tb, tc]).inflated(delta + eps);
+                let (x0, y0, z0) = grid.cell_of(b.lo);
+                let (x1, y1, z1) = grid.cell_of(b.hi);
+                // in f64: a blown-up triangle's box can span enough cells
+                // to overflow any integer product
+                let span = (x1 as f64 - x0 as f64 + 1.0)
+                    * (y1 as f64 - y0 as f64 + 1.0)
+                    * (z1 as f64 - z0 as f64 + 1.0);
+                let test = |v: &VertEntry, out: &mut Vec<ContactPair>| {
+                    if obj_of[v.mesh as usize] == obj {
+                        return;
+                    }
+                    // cheap reject: outside the margined box ⇒ farther
+                    // than δ from the triangle
+                    if !b.contains(meshes[v.mesh as usize].verts[v.vert as usize]) {
+                        return;
+                    }
+                    if let Some(p) = try_pair(meshes, v.mesh, v.vert, mi, ti as u32, delta) {
+                        out.push(p);
+                    }
+                };
+                if span <= CELL_CAP {
+                    for z in z0..=z1 {
+                        for y in y0..=y1 {
+                            for x in x0..=x1 {
+                                let Some(&ri) = cells.get(&(x, y, z)) else {
+                                    continue;
+                                };
+                                let run = &runs[ri as usize];
+                                for v in &verts[run.start as usize..run.end as usize] {
+                                    test(v, &mut out);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let n = (tb - ta).cross(tc - ta);
+                    let nn = n.norm();
+                    for run in &runs {
+                        if run.hi.x < b.lo.x
+                            || run.lo.x > b.hi.x
+                            || run.hi.y < b.lo.y
+                            || run.lo.y > b.hi.y
+                            || run.hi.z < b.lo.z
+                            || run.lo.z > b.hi.z
+                        {
+                            continue;
+                        }
+                        if nn > 1e-300 {
+                            // slab reject: the whole cell is farther than δ
+                            // (plus the rounding margin) from the plane
+                            let center = (run.lo + run.hi) * 0.5;
+                            let half = 0.5 * grid.h;
+                            let dist = n.dot(center - ta).abs() / nn;
+                            let radius = half * (n.x.abs() + n.y.abs() + n.z.abs()) / nn;
+                            if dist - radius > delta + eps {
+                                continue;
+                            }
+                        }
+                        for v in &verts[run.start as usize..run.end as usize] {
+                            test(v, &mut out);
+                        }
+                    }
+                }
+            }
+            out.into_iter()
+        })
+        .collect()
+}
+
+/// Reference narrow phase: every vertex of each candidate mesh pair against
+/// every triangle of the partner, both directions.
+fn brute_force_pairs(
+    meshes: &[TriMesh],
+    mesh_pairs: &[(u32, u32)],
+    delta: f64,
+) -> Vec<ContactPair> {
+    mesh_pairs
+        .par_iter()
+        .flat_map_iter(|&(ma, mb)| {
+            let mut out = Vec::new();
+            for (mv, mt) in [(ma, mb), (mb, ma)] {
+                for vi in 0..meshes[mv as usize].verts.len() as u32 {
+                    for ti in 0..meshes[mt as usize].tris.len() as u32 {
+                        if let Some(p) = try_pair(meshes, mv, vi, mt, ti, delta) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+            out.into_iter()
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mesh::triangulate_grid;
+    use crate::mesh::{triangulate_grid, triangulate_latlon};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
 
     fn flat_square(z: f64, shift: f64) -> TriMesh {
         let m = 5;
@@ -208,7 +493,7 @@ mod tests {
     fn detects_close_parallel_sheets() {
         let a = flat_square(0.0, 0.0);
         let b = flat_square(0.05, 0.0);
-        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions { delta: 0.1 });
+        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions::new(0.1));
         assert_eq!(contacts.len(), 1);
         let c = &contacts[0];
         assert!(c.value < 0.0, "V = {}", c.value);
@@ -223,7 +508,7 @@ mod tests {
     fn no_contact_when_separated() {
         let a = flat_square(0.0, 0.0);
         let b = flat_square(0.5, 0.0);
-        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions { delta: 0.1 });
+        let contacts = detect_contacts(&[a, b], None, &[0, 1], DetectOptions::new(0.1));
         assert!(contacts.is_empty());
     }
 
@@ -232,7 +517,7 @@ mod tests {
         // two patches of the same vessel: near each other but same object id
         let a = flat_square(0.0, 0.0);
         let b = flat_square(0.05, 0.0);
-        let contacts = detect_contacts(&[a, b], None, &[7, 7], DetectOptions { delta: 0.1 });
+        let contacts = detect_contacts(&[a, b], None, &[7, 7], DetectOptions::new(0.1));
         assert!(contacts.is_empty());
     }
 
@@ -241,13 +526,16 @@ mod tests {
         let a = flat_square(0.0, 0.0);
         let b = flat_square(0.05, 0.0);
         let meshes = vec![a, b];
-        let contacts = detect_contacts(&meshes, None, &[0, 1], DetectOptions { delta: 0.1 });
+        let contacts = detect_contacts(&meshes, None, &[0, 1], DetectOptions::new(0.1));
         let c = &contacts[0];
         // gradient w.r.t. object 1 (upper sheet): moving up must increase V
         let g1 = c.gradient(1, &meshes);
         assert!(!g1.is_empty());
         let gsum: Vec3 = g1.iter().map(|(_, g)| *g).sum();
-        assert!(gsum.z > 0.0, "gradient should push the upper sheet up: {gsum:?}");
+        assert!(
+            gsum.z > 0.0,
+            "gradient should push the upper sheet up: {gsum:?}"
+        );
         let g0 = c.gradient(0, &meshes);
         let gsum0: Vec3 = g0.iter().map(|(_, g)| *g).sum();
         assert!(gsum0.z < 0.0, "lower sheet pushed down: {gsum0:?}");
@@ -258,7 +546,7 @@ mod tests {
         let a = flat_square(0.0, 0.0);
         let b = flat_square(0.06, 0.1);
         let meshes = vec![a.clone(), b.clone()];
-        let opts = DetectOptions { delta: 0.1 };
+        let opts = DetectOptions::new(0.1);
         let contacts = detect_contacts(&meshes, None, &[0, 1], opts);
         let c = &contacts[0];
         let g = c.gradient(1, &meshes);
@@ -292,14 +580,200 @@ mod tests {
         let b = flat_square(0.05, 0.0);
         let c = flat_square(0.0, 5.0);
         let d = flat_square(0.05, 5.0);
-        let contacts = detect_contacts(
-            &[a, b, c, d],
-            None,
-            &[0, 1, 2, 3],
-            DetectOptions { delta: 0.1 },
-        );
+        let contacts = detect_contacts(&[a, b, c, d], None, &[0, 1, 2, 3], DetectOptions::new(0.1));
         assert_eq!(contacts.len(), 2);
         assert_eq!((contacts[0].obj_a, contacts[0].obj_b), (0, 1));
         assert_eq!((contacts[1].obj_a, contacts[1].obj_b), (2, 3));
+    }
+
+    /// A small lat–long sphere mesh centered at `c`.
+    fn sphere(c: Vec3, r: f64, nlat: usize, nlon: usize) -> TriMesh {
+        let mut grid = Vec::new();
+        for i in 0..nlat {
+            let th = std::f64::consts::PI * (i as f64 + 0.5) / nlat as f64;
+            for j in 0..nlon {
+                let ph = 2.0 * std::f64::consts::PI * j as f64 / nlon as f64;
+                grid.push(c + Vec3::new(th.sin() * ph.cos(), th.sin() * ph.sin(), th.cos()) * r);
+            }
+        }
+        triangulate_latlon(
+            &grid,
+            nlat,
+            nlon,
+            c + Vec3::new(0.0, 0.0, r),
+            c - Vec3::new(0.0, 0.0, r),
+        )
+    }
+
+    /// Exact bit-equality of two contact lists (values, pair sets, order).
+    fn assert_contacts_identical(a: &[Contact], b: &[Contact]) {
+        assert_eq!(a.len(), b.len(), "contact count differs");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!((x.obj_a, x.obj_b), (y.obj_a, y.obj_b));
+            assert_eq!(
+                x.value.to_bits(),
+                y.value.to_bits(),
+                "V differs for ({}, {}): {} vs {}",
+                x.obj_a,
+                x.obj_b,
+                x.value,
+                y.value
+            );
+            assert_eq!(x.pairs.len(), y.pairs.len());
+            for (p, q) in x.pairs.iter().zip(&y.pairs) {
+                assert_eq!(
+                    (p.vert_mesh, p.vert, p.tri_mesh, p.tri),
+                    (q.vert_mesh, q.vert, q.tri_mesh, q.tri)
+                );
+                assert_eq!(p.gap.to_bits(), q.gap.to_bits());
+                assert_eq!(p.weight.to_bits(), q.weight.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_brute_force_on_random_dense_packings() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..5 {
+            // jittered cluster of spheres, deliberately overlapping
+            let n = 8 + trial;
+            let meshes: Vec<TriMesh> = (0..n)
+                .map(|_| {
+                    let c = Vec3::new(
+                        rng.random_range(-1.2..1.2),
+                        rng.random_range(-1.2..1.2),
+                        rng.random_range(-1.2..1.2),
+                    );
+                    sphere(c, rng.random_range(0.5..0.8), 7, 12)
+                })
+                .collect();
+            let obj_of: Vec<u32> = (0..n as u32).collect();
+            let delta = 0.08;
+            let grid = detect_contacts(
+                &meshes,
+                None,
+                &obj_of,
+                DetectOptions {
+                    delta,
+                    broad_phase: BroadPhase::Grid,
+                },
+            );
+            let brute = detect_contacts(
+                &meshes,
+                None,
+                &obj_of,
+                DetectOptions {
+                    delta,
+                    broad_phase: BroadPhase::BruteForce,
+                },
+            );
+            assert!(
+                grid.len() >= 3,
+                "trial {trial}: dense packing produced only {} contacts",
+                grid.len()
+            );
+            assert_contacts_identical(&grid, &brute);
+        }
+    }
+
+    #[test]
+    fn grid_matches_brute_force_with_a_blown_up_mesh() {
+        // a diverged mesh mid-transient: one sphere stretched by orders of
+        // magnitude so its triangles overflow the cell-enumeration cap and
+        // take the occupied-cell-run fallback; the healthy cluster keeps
+        // the grid cell size sane (median sizing)
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut meshes: Vec<TriMesh> = (0..6)
+            .map(|_| {
+                let c = Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                );
+                sphere(c, rng.random_range(0.5..0.8), 7, 12)
+            })
+            .collect();
+        let monster = {
+            let base = sphere(Vec3::ZERO, 0.6, 7, 12);
+            // anisotropic blow-up: huge, thin triangles crossing the cluster
+            let verts: Vec<Vec3> = base
+                .verts
+                .iter()
+                .map(|&v| Vec3::new(v.x * 800.0, v.y * 600.0, v.z * 0.7))
+                .collect();
+            base.with_positions(verts)
+        };
+        meshes.push(monster);
+        let obj_of: Vec<u32> = (0..meshes.len() as u32).collect();
+        let delta = 0.08;
+        let grid = detect_contacts(
+            &meshes,
+            None,
+            &obj_of,
+            DetectOptions {
+                delta,
+                broad_phase: BroadPhase::Grid,
+            },
+        );
+        let brute = detect_contacts(
+            &meshes,
+            None,
+            &obj_of,
+            DetectOptions {
+                delta,
+                broad_phase: BroadPhase::BruteForce,
+            },
+        );
+        assert!(
+            brute.iter().any(|c| c.obj_b == 6 || c.obj_a == 6),
+            "monster mesh produced no contacts; the fallback path is untested"
+        );
+        assert_contacts_identical(&grid, &brute);
+    }
+
+    #[test]
+    fn grid_matches_brute_force_with_space_time_boxes_and_shared_objects() {
+        // moving sheets + a two-mesh rigid "vessel" sharing one object id
+        let mut rng = StdRng::seed_from_u64(7);
+        let wall_a = flat_square(0.0, 0.0);
+        let wall_b = flat_square(0.0, 0.9);
+        let mut meshes = vec![wall_a, wall_b];
+        let mut starts: Vec<Vec<Vec3>> = meshes.iter().map(|m| m.verts.clone()).collect();
+        for _ in 0..6 {
+            let z = rng.random_range(0.02..0.3);
+            let shift = rng.random_range(-0.3..1.0);
+            let m = flat_square(z, shift);
+            // started higher up and moved down to its current position
+            starts.push(
+                m.verts
+                    .iter()
+                    .map(|&v| v + Vec3::new(0.0, 0.0, 0.5))
+                    .collect(),
+            );
+            meshes.push(m);
+        }
+        let obj_of = [0u32, 0, 1, 2, 3, 4, 5, 6];
+        for delta in [0.05, 0.12] {
+            let grid = detect_contacts(
+                &meshes,
+                Some(&starts),
+                &obj_of,
+                DetectOptions {
+                    delta,
+                    broad_phase: BroadPhase::Grid,
+                },
+            );
+            let brute = detect_contacts(
+                &meshes,
+                Some(&starts),
+                &obj_of,
+                DetectOptions {
+                    delta,
+                    broad_phase: BroadPhase::BruteForce,
+                },
+            );
+            assert!(!grid.is_empty());
+            assert_contacts_identical(&grid, &brute);
+        }
     }
 }

@@ -6,13 +6,21 @@
 //!
 //! - [`mesh`]: linear triangle-mesh proxies of cells (upsampled lat–long
 //!   grids) and vessel patches (equispaced grids), the unifying step of §4;
-//! - [`detect`]: space-time bounding boxes + Morton-hash candidate search
-//!   and the per-object-pair interference measure `V` with gradients
-//!   (see DESIGN.md for the documented simplification of the space-time
-//!   volume of \[17\]/\[25\]);
+//! - [`detect`]: space-time bounding boxes + a binned uniform grid over
+//!   triangle AABBs for output-sensitive vertex–triangle candidates, and
+//!   the per-object-pair interference measure `V` with gradients (see
+//!   DESIGN.md for the documented simplification of the space-time volume
+//!   of \[17\]/\[25\]; the exhaustive reference scan stays available behind
+//!   [`detect::BroadPhase::BruteForce`]);
 //! - [`lcp`]: minimum-map Newton over GMRES;
-//! - [`ncp`]: the outer re-linearization loop with the sparse hash-map
-//!   coupling matrix `B` and the object mobilities supplied by the caller.
+//! - [`ncp`]: the outer re-linearization loop with the deterministic CSR
+//!   coupling matrix `B`, batched per-mesh mobility applies
+//!   ([`Mobility::apply_many`]), and the object mobilities supplied by the
+//!   caller.
+//!
+//! See `crates/collision/README.md` for the pipeline walk-through, the
+//! broad-phase cell sizing rule, and the determinism rules every parallel
+//! fold in this crate follows.
 
 #![warn(missing_docs)]
 
@@ -21,7 +29,7 @@ pub mod lcp;
 pub mod mesh;
 pub mod ncp;
 
-pub use detect::{detect_contacts, Contact, ContactPair, DetectOptions};
+pub use detect::{detect_contacts, BroadPhase, Contact, ContactPair, DetectOptions};
 pub use lcp::{solve_lcp, LcpOptions, LcpResult};
 pub use mesh::{
     barycentric, closest_point_on_triangle, triangulate_grid, triangulate_latlon, TriMesh,

@@ -3,16 +3,28 @@
 //! collision algorithm; the paper reports ~7 LCP solves per NCP).
 //!
 //! The coupling matrix `B` — "the change in the jth contact volume induced
-//! by the kth contact force" — is assembled sparsely into a hash-map keyed
-//! by contact pairs, exactly as the paper stores it (the distributed
-//! `MPI_All_to_Allv` accumulation becomes a shared-memory parallel fold).
+//! by the kth contact force" — is assembled per linearization into a
+//! [`CsrMatrix`]: contributions are generated per *mesh* (two contacts
+//! couple exactly when they share a movable mesh), stably sorted into
+//! `(j, k)` order, and summed in ascending-mesh order, so every entry's
+//! floating-point accumulation order is canonical — bit-identical across
+//! runs and instances, which the checkpoint/restart guarantee requires.
+//! The LCP's Newton/GMRES inner iterations then run on the CSR matvec; the
+//! matrix (and the mobility response columns below) are computed once per
+//! linearization and reused across all inner iterations.
+//!
+//! Mobility responses are *batched*: instead of one [`Mobility::apply`] per
+//! (contact, mesh) probe, all contact-force columns touching a mesh are
+//! handed to [`Mobility::apply_many`] in one call, so an implementation can
+//! pack them into matrices and run its linear stages as GEMMs (the
+//! simulation's cell mobility does exactly that).
 
 use crate::detect::{detect_contacts, Contact, DetectOptions};
 use crate::lcp::{solve_lcp, LcpOptions};
 use crate::mesh::TriMesh;
-use linalg::Vec3;
+use linalg::{CsrMatrix, Vec3};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maps contact forces on a mesh's vertices to vertex displacements over
 /// one time step (`Δt ×` the object's mobility). The simulation supplies
@@ -24,6 +36,14 @@ pub trait Mobility: Sync {
     /// Applies the (time-step-scaled) mobility of mesh `mesh` to a sparse
     /// vertex force list, returning dense per-vertex displacements.
     fn apply(&self, mesh: u32, force: &[(u32, Vec3)], nverts: usize) -> Vec<Vec3>;
+    /// Applies the mobility of mesh `mesh` to a batch of sparse force
+    /// columns at the same linearization point, returning one dense
+    /// displacement field per column. The default loops [`Mobility::apply`];
+    /// implementations with a linear dense core should override it and
+    /// process all columns in one matrix pass.
+    fn apply_many(&self, mesh: u32, forces: &[&[(u32, Vec3)]], nverts: usize) -> Vec<Vec<Vec3>> {
+        forces.iter().map(|f| self.apply(mesh, f, nverts)).collect()
+    }
 }
 
 /// Free-particle mobility: displacement = `scale ×` force at each vertex.
@@ -62,7 +82,7 @@ pub struct NcpOptions {
 impl Default for NcpOptions {
     fn default() -> Self {
         NcpOptions {
-            detect: DetectOptions { delta: 1e-2 },
+            detect: DetectOptions::new(1e-2),
             lcp: LcpOptions::default(),
             max_outer: 10,
         }
@@ -83,6 +103,118 @@ pub struct NcpResult {
     pub outer_iters: usize,
     /// Whether a contact-free state was reached.
     pub resolved: bool,
+}
+
+/// One linearized contact: the movable meshes it touches, its interference
+/// gradient restricted to each, and (once the batched mobility applies have
+/// run) the dense displacement response per mesh.
+struct ContactData {
+    meshes: Vec<u32>,
+    grads: Vec<Vec<(u32, Vec3)>>,
+    disps: Vec<Vec<Vec3>>, // dense per mesh, filled by the batched applies
+}
+
+/// Mesh id → the `(contact, slot)` probes that touch it, in ascending
+/// contact order; the map itself iterates in ascending mesh order. Both
+/// orders are what makes the downstream accumulation canonical.
+type MeshProbes = BTreeMap<u32, Vec<(usize, usize)>>;
+
+/// Builds the per-contact linearization data and the mesh → probes index.
+fn contact_linearization(
+    contacts: &[Contact],
+    current: &[TriMesh],
+    mobility: &impl Mobility,
+) -> (Vec<ContactData>, MeshProbes) {
+    let mut data: Vec<ContactData> = contacts
+        .par_iter()
+        .map(|c| {
+            // meshes involved in this contact (movable only)
+            let mut involved: Vec<u32> = c
+                .pairs
+                .iter()
+                .flat_map(|p| [p.vert_mesh, p.tri_mesh])
+                .filter(|&mi| !mobility.is_rigid(mi))
+                .collect();
+            involved.sort_unstable();
+            involved.dedup();
+            let grads: Vec<Vec<(u32, Vec3)>> =
+                involved.iter().map(|&mi| c.gradient(mi, current)).collect();
+            ContactData {
+                meshes: involved,
+                grads,
+                disps: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut by_mesh: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
+    for (k, d) in data.iter().enumerate() {
+        for (slot, &mi) in d.meshes.iter().enumerate() {
+            by_mesh.entry(mi).or_default().push((k, slot));
+        }
+    }
+    for d in &mut data {
+        d.disps = vec![Vec::new(); d.meshes.len()];
+    }
+    (data, by_mesh)
+}
+
+/// Runs one batched [`Mobility::apply_many`] per mesh and scatters the
+/// displacement columns back into each contact's slot.
+fn batched_mobility_responses(
+    data: &mut [ContactData],
+    by_mesh: &MeshProbes,
+    meshes: &[TriMesh],
+    mobility: &impl Mobility,
+) {
+    let groups: Vec<(&u32, &Vec<(usize, usize)>)> = by_mesh.iter().collect();
+    let results: Vec<Vec<Vec<Vec3>>> = groups
+        .par_iter()
+        .map(|&(&mi, probes)| {
+            let cols: Vec<&[(u32, Vec3)]> = probes
+                .iter()
+                .map(|&(k, slot)| data[k].grads[slot].as_slice())
+                .collect();
+            mobility.apply_many(mi, &cols, meshes[mi as usize].verts.len())
+        })
+        .collect();
+    for ((_, probes), res) in groups.into_iter().zip(results) {
+        assert_eq!(
+            res.len(),
+            probes.len(),
+            "apply_many returned a wrong column count"
+        );
+        for (&(k, slot), d) in probes.iter().zip(res) {
+            data[k].disps[slot] = d;
+        }
+    }
+}
+
+/// Assembles `B_jk = Σ_mesh ∇V_j(mesh) · Δx_k(mesh)` over the meshes each
+/// contact pair shares. Contributions are generated per mesh in ascending
+/// mesh order, stably sorted to `(j, k)`, and summed in that order by the
+/// CSR build — a fixed accumulation order regardless of parallel split.
+fn assemble_b(m: usize, data: &[ContactData], by_mesh: &MeshProbes) -> CsrMatrix {
+    let mut triplets: Vec<(usize, usize, f64)> = by_mesh
+        .par_iter()
+        .flat_map_iter(|(_, probes)| {
+            let mut out = Vec::with_capacity(probes.len() * probes.len());
+            for &(j, slot_j) in probes {
+                for &(k, slot_k) in probes {
+                    // B_jk += ∇V_j(mesh) · Δx_k(mesh)
+                    let mut acc = 0.0;
+                    for &(v, g) in &data[j].grads[slot_j] {
+                        acc += g.dot(data[k].disps[slot_k][v as usize]);
+                    }
+                    out.push((j, k, acc));
+                }
+            }
+            out.into_iter()
+        })
+        .collect();
+    // stable: duplicates keep ascending-mesh order
+    triplets.sort_by_key(|&(j, k, _)| (j, k));
+    CsrMatrix::from_sorted_triplets(m, m, &triplets)
 }
 
 /// Resolves interference: updates `end_positions` (one `Vec<Vec3>` per
@@ -130,92 +262,15 @@ pub fn resolve_contacts(
         }
         let m = contacts.len();
 
-        // per-contact: gradients and mobility responses on involved meshes
-        struct ContactData {
-            meshes: Vec<u32>,
-            grads: Vec<Vec<(u32, Vec3)>>,
-            disps: Vec<Vec<Vec3>>, // dense per mesh
-        }
-        let data: Vec<ContactData> = contacts
-            .par_iter()
-            .map(|c| {
-                // meshes involved in this contact (movable only)
-                let mut involved: Vec<u32> = c
-                    .pairs
-                    .iter()
-                    .flat_map(|p| [p.vert_mesh, p.tri_mesh])
-                    .filter(|&mi| !mobility.is_rigid(mi))
-                    .collect();
-                involved.sort_unstable();
-                involved.dedup();
-                let grads: Vec<Vec<(u32, Vec3)>> = involved
-                    .iter()
-                    .map(|&mi| c.gradient(mi, &current))
-                    .collect();
-                let disps: Vec<Vec<Vec3>> = involved
-                    .iter()
-                    .zip(&grads)
-                    .map(|(&mi, g)| mobility.apply(mi, g, meshes[mi as usize].verts.len()))
-                    .collect();
-                ContactData {
-                    meshes: involved,
-                    grads,
-                    disps,
-                }
-            })
-            .collect();
+        // linearize: gradients, then one batched mobility apply per mesh
+        let (mut data, by_mesh) = contact_linearization(&contacts, &current, mobility);
+        batched_mobility_responses(&mut data, &by_mesh, meshes, mobility);
 
-        // sparse B keyed by (j, k): nonzero only when two contacts share a
-        // movable mesh. Iteration must be in *sorted* mesh order: HashMap
-        // order differs per instance (per-map hasher seeds), and the
-        // floating-point accumulation order below would otherwise make
-        // trajectories differ between bit-identical simulations — breaking
-        // the checkpoint/restart bit-identity guarantee.
-        let mut by_mesh: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (k, d) in data.iter().enumerate() {
-            for &mi in &d.meshes {
-                by_mesh.entry(mi).or_default().push(k);
-            }
-        }
-        let mut mesh_groups: Vec<(u32, Vec<usize>)> = by_mesh.into_iter().collect();
-        mesh_groups.sort_unstable_by_key(|e| e.0);
-        let entries: Vec<((usize, usize), f64)> = mesh_groups
-            .par_iter()
-            .flat_map_iter(|&(mi, ref cs)| {
-                let mut out = Vec::with_capacity(cs.len() * cs.len());
-                for &j in cs {
-                    let dj = &data[j];
-                    let slot_j = dj.meshes.iter().position(|&x| x == mi).unwrap();
-                    for &k in cs {
-                        let dk = &data[k];
-                        let slot_k = dk.meshes.iter().position(|&x| x == mi).unwrap();
-                        // B_jk += ∇V_j(mesh) · Δx_k(mesh)
-                        let mut acc = 0.0;
-                        for &(v, g) in &dj.grads[slot_j] {
-                            acc += g.dot(dk.disps[slot_k][v as usize]);
-                        }
-                        out.push(((j, k), acc));
-                    }
-                }
-                out.into_iter()
-            })
-            .collect();
-        let mut b_map: HashMap<(usize, usize), f64> = HashMap::new();
-        for (key, v) in entries {
-            *b_map.entry(key).or_insert(0.0) += v;
-        }
-        // sorted sparse triplets: the matvec accumulation into y[j] must
-        // not depend on HashMap iteration order (see mesh_groups above)
-        let mut b_entries: Vec<((usize, usize), f64)> = b_map.into_iter().collect();
-        b_entries.sort_unstable_by_key(|&(k, _)| k);
-
+        // sparse B in CSR; the LCP's inner iterations reuse the matrix and
+        // the cached displacement columns across the whole linearization
+        let b = assemble_b(m, &data, &by_mesh);
         let q: Vec<f64> = contacts.iter().map(|c| c.value).collect();
-        let apply_b = |x: &[f64], y: &mut [f64]| {
-            y.iter_mut().for_each(|v| *v = 0.0);
-            for &((j, k), v) in &b_entries {
-                y[j] += v * x[k];
-            }
-        };
+        let apply_b = |x: &[f64], y: &mut [f64]| b.matvec_into(x, y);
         let res = solve_lcp(m, apply_b, &q, &opts.lcp);
         lambda_total += res.lambda.iter().sum::<f64>();
 
@@ -262,6 +317,7 @@ pub fn resolve_contacts(
 mod tests {
     use super::*;
     use crate::mesh::triangulate_grid;
+    use std::collections::HashMap;
 
     fn flat_square(z: f64) -> TriMesh {
         let m = 5;
@@ -286,7 +342,7 @@ mod tests {
             rigid: vec![false, false],
         };
         let opts = NcpOptions {
-            detect: DetectOptions { delta: 0.1 },
+            detect: DetectOptions::new(0.1),
             ..Default::default()
         };
         let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1], &mobility, &opts);
@@ -322,7 +378,7 @@ mod tests {
             rigid: vec![true, false],
         };
         let opts = NcpOptions {
-            detect: DetectOptions { delta: 0.1 },
+            detect: DetectOptions::new(0.1),
             ..Default::default()
         };
         let res = resolve_contacts(&meshes, &mut end, &start, &[0, 1], &mobility, &opts);
@@ -374,7 +430,7 @@ mod tests {
             rigid: vec![false, false, false],
         };
         let opts = NcpOptions {
-            detect: DetectOptions { delta: 0.08 },
+            detect: DetectOptions::new(0.08),
             max_outer: 20,
             ..Default::default()
         };
@@ -386,5 +442,139 @@ mod tests {
         let z2 = end[2].iter().map(|p| p.z).fold(f64::MAX, f64::min);
         assert!(z1min - z0 > 0.08 - 1e-6);
         assert!(z2 - z1max > 0.08 - 1e-6);
+    }
+
+    /// The CSR assembly must match a straightforward hash-map reference
+    /// (the representation the pre-CSR implementation used) on a
+    /// multi-contact fixture with shared meshes — including the diagonal
+    /// entries that accumulate one contribution per involved mesh.
+    #[test]
+    fn csr_assembly_matches_hashmap_reference() {
+        // four-sheet pileup: contacts (0,1), (1,2), (2,3); neighbours
+        // couple through the shared middle sheets
+        let meshes: Vec<TriMesh> = (0..4).map(|i| flat_square(0.05 * i as f64)).collect();
+        let start: Vec<Vec<Vec3>> = meshes.iter().map(|m| m.verts.clone()).collect();
+        let mobility = IdentityMobility {
+            scale: 0.7,
+            rigid: vec![false; 4],
+        };
+        let current: Vec<TriMesh> = meshes.clone();
+        let contacts: Vec<Contact> = detect_contacts(
+            &current,
+            Some(&start),
+            &[0, 1, 2, 3],
+            DetectOptions::new(0.08),
+        )
+        .into_iter()
+        .filter(|c| c.value < 0.0)
+        .collect();
+        let m = contacts.len();
+        assert!(m >= 3, "fixture lost its contacts ({m})");
+
+        let (mut data, by_mesh) = contact_linearization(&contacts, &current, &mobility);
+        batched_mobility_responses(&mut data, &by_mesh, &meshes, &mobility);
+        let csr = assemble_b(m, &data, &by_mesh);
+
+        // reference: hash-map accumulation from the same linearization,
+        // summed in the same ascending-mesh order (bit-exact match)
+        let mut reference: HashMap<(usize, usize), f64> = HashMap::new();
+        for probes in by_mesh.values() {
+            for &(j, slot_j) in probes {
+                for &(k, slot_k) in probes {
+                    let mut acc = 0.0;
+                    for &(v, g) in &data[j].grads[slot_j] {
+                        acc += g.dot(data[k].disps[slot_k][v as usize]);
+                    }
+                    *reference.entry((j, k)).or_insert(0.0) += acc;
+                }
+            }
+        }
+        assert!(
+            reference.keys().any(|&(j, k)| j != k),
+            "fixture has no off-diagonal coupling"
+        );
+        let dense = csr.to_dense();
+        assert_eq!(csr.nnz(), reference.len());
+        for (&(j, k), &v) in &reference {
+            assert_eq!(
+                dense[j * m + k].to_bits(),
+                v.to_bits(),
+                "B[{j},{k}] differs: csr {} vs reference {v}",
+                dense[j * m + k]
+            );
+        }
+    }
+
+    /// `apply_many`'s default implementation and a batched override must be
+    /// interchangeable inside the resolve loop.
+    #[test]
+    fn apply_many_default_matches_per_column_apply() {
+        struct Batched(IdentityMobility);
+        impl Mobility for Batched {
+            fn is_rigid(&self, mesh: u32) -> bool {
+                self.0.is_rigid(mesh)
+            }
+            fn apply(&self, mesh: u32, force: &[(u32, Vec3)], nverts: usize) -> Vec<Vec3> {
+                self.0.apply(mesh, force, nverts)
+            }
+            fn apply_many(
+                &self,
+                mesh: u32,
+                forces: &[&[(u32, Vec3)]],
+                nverts: usize,
+            ) -> Vec<Vec<Vec3>> {
+                // a deliberately different (but equivalent) batched path
+                let mut out = vec![vec![Vec3::ZERO; nverts]; forces.len()];
+                for (col, f) in forces.iter().enumerate() {
+                    for &(v, g) in *f {
+                        out[col][v as usize] = g * self.0.scale;
+                    }
+                }
+                let _ = mesh;
+                out
+            }
+        }
+
+        let a = flat_square(0.0);
+        let b = flat_square(0.04);
+        let c = flat_square(0.08);
+        let meshes = vec![a, b, c];
+        let start: Vec<Vec<Vec3>> = meshes.iter().map(|m| m.verts.clone()).collect();
+        let opts = NcpOptions {
+            detect: DetectOptions::new(0.06),
+            max_outer: 20,
+            ..Default::default()
+        };
+        let plain = IdentityMobility {
+            scale: 1.0,
+            rigid: vec![false; 3],
+        };
+        let batched = Batched(IdentityMobility {
+            scale: 1.0,
+            rigid: vec![false; 3],
+        });
+
+        let mut end_plain = start.clone();
+        let res_plain =
+            resolve_contacts(&meshes, &mut end_plain, &start, &[0, 1, 2], &plain, &opts);
+        let mut end_batched = start.clone();
+        let res_batched = resolve_contacts(
+            &meshes,
+            &mut end_batched,
+            &start,
+            &[0, 1, 2],
+            &batched,
+            &opts,
+        );
+
+        assert_eq!(res_plain.resolved, res_batched.resolved);
+        assert_eq!(res_plain.outer_iters, res_batched.outer_iters);
+        for (pa, pb) in end_plain.iter().zip(&end_batched) {
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!(x.x.to_bits(), y.x.to_bits());
+                assert_eq!(x.y.to_bits(), y.y.to_bits());
+                assert_eq!(x.z.to_bits(), y.z.to_bits());
+            }
+        }
     }
 }

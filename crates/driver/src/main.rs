@@ -4,11 +4,16 @@
 //! sim-driver list
 //! sim-driver <scenario> [--config FILE] [--steps N] [--checkpoint-every K]
 //!            [--out DIR | --no-output] [--restart CKPT] [--quiet]
-//!            [--set key=value ...]
+//!            [--assert-contacts N] [--set key=value ...]
 //! ```
 //!
 //! `--set` writes into the scenario's config section, overriding the file;
 //! e.g. `sim-driver shear_pair --set order=8 --set dt=0.01`.
+//!
+//! `--assert-contacts N` turns the run into a collision smoke test: it
+//! exits nonzero unless at least `N` contacts were detected over the run
+//! and every cell finished with a finite volume (the CI gate uses this to
+//! catch collision-stage regressions in seconds instead of at the bench).
 
 use driver::{final_checkpoint_path, run, Doc, RunOptions};
 use sim::Checkpoint;
@@ -24,6 +29,7 @@ struct Args {
     no_output: bool,
     restart: Option<PathBuf>,
     quiet: bool,
+    assert_contacts: Option<usize>,
     sets: Vec<String>,
     help: bool,
 }
@@ -32,7 +38,7 @@ fn usage() -> String {
     let mut u = String::from(
         "usage: sim-driver <scenario|list> [--config FILE] [--steps N] \
          [--checkpoint-every K] [--out DIR | --no-output] [--restart CKPT] \
-         [--quiet] [--set key=value ...]\n\nscenarios:\n",
+         [--quiet] [--assert-contacts N] [--set key=value ...]\n\nscenarios:\n",
     );
     for s in driver::registry() {
         u.push_str(&format!("  {:<18} {}\n", s.name, s.summary));
@@ -50,6 +56,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         no_output: false,
         restart: None,
         quiet: false,
+        assert_contacts: None,
         sets: Vec::new(),
         help: false,
     };
@@ -76,6 +83,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-output" => args.no_output = true,
             "--restart" => args.restart = Some(PathBuf::from(value("--restart")?)),
             "--quiet" => args.quiet = true,
+            "--assert-contacts" => {
+                args.assert_contacts = Some(
+                    value("--assert-contacts")?
+                        .parse()
+                        .map_err(|e| format!("--assert-contacts: {e}"))?,
+                )
+            }
             "--set" => args.sets.push(value("--set")?),
             "--help" | "-h" => args.help = true,
             other if other.starts_with('-') => {
@@ -167,6 +181,32 @@ fn main_inner() -> Result<(), String> {
         quiet: args.quiet,
     };
     let report = run(&mut built.sim, built.recycle, &opts).map_err(|e| e.to_string())?;
+
+    if let Some(min_contacts) = args.assert_contacts {
+        let total: usize = report.rows.iter().map(|r| r.stats.contacts).sum();
+        if total < min_contacts {
+            return Err(format!(
+                "collision smoke: {total} contacts detected over {} steps, expected ≥ {min_contacts}",
+                report.rows.len()
+            ));
+        }
+        let basis = &built.sim.basis;
+        for (ci, cell) in built.sim.cells.iter().enumerate() {
+            let vol = cell.geometry(basis).volume();
+            // finiteness only: a squeezed cell can transiently invert
+            // (negative signed volume) in aggressive configs, but NaN/∞
+            // means the step itself produced garbage
+            if !vol.is_finite() {
+                return Err(format!("collision smoke: cell {ci} volume {vol} is not finite"));
+            }
+        }
+        if !args.quiet {
+            println!(
+                "collision smoke OK: {total} contacts ≥ {min_contacts}, all {} cell volumes finite",
+                built.sim.cells.len()
+            );
+        }
+    }
 
     if !args.quiet {
         println!("\n{}", report.stage_table());

@@ -10,7 +10,11 @@
 //! The collision NCP assembly had exactly that bug: with enough contacts
 //! (17+ in this configuration, vs ≤ 2 for the shear pair that the restart
 //! test covers) the sparse-B accumulation order varied per instance and
-//! trajectories diverged from step 2.
+//! trajectories diverged from step 2. The configuration is pinned
+//! high-contact (> 10 contacts over the run) so the CSR assembly, the
+//! batched per-mesh mobility applies, and the grid broad phase all see
+//! real cross-contact coupling here — a low-contact run would exercise
+//! none of the order-canonical folds this test exists to protect.
 
 use driver::{Doc, Value};
 use sim::Simulation;
@@ -61,7 +65,7 @@ fn two_instances_step_bit_identically() {
         assert_eq!(wdiffs, 0, "step {step}: warm-start densities differ");
     }
     assert!(
-        total_contacts >= 5,
-        "configuration no longer produces contacts ({total_contacts}); the test lost its teeth"
+        total_contacts > 10,
+        "configuration is no longer high-contact ({total_contacts} ≤ 10); the test lost its teeth"
     );
 }

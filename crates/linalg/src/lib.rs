@@ -9,6 +9,8 @@
 //!   patch fitting, Newton systems, and the FMM equivalent-density solves;
 //! - [`mod@gmres`]: restarted matrix-free GMRES (the boundary-solver and LCP
 //!   iterations of the paper both run on it);
+//! - [`CsrMatrix`]: deterministic compressed-sparse-row matrices (the
+//!   collision coupling matrix `B` is assembled into one per linearization);
 //! - [`quad`]: Clenshaw–Curtis and Gauss–Legendre rules;
 //! - [`interp`]: barycentric interpolation, tensor-product upsampling, and
 //!   the check-point extrapolation weights of §3.1;
@@ -16,6 +18,7 @@
 //!   system serializes state through (offline stand-in for serde).
 
 pub mod bytes;
+pub mod csr;
 pub mod gmres;
 pub mod interp;
 pub mod mat;
@@ -25,6 +28,7 @@ pub mod svd;
 pub mod vec3;
 
 pub use bytes::{fnv1a64, ByteReader, ByteWriter, CodecError};
+pub use csr::CsrMatrix;
 pub use gmres::{gmres, gmres_right, FnOperator, GmresOptions, GmresResult, LinearOperator};
 pub use interp::{
     barycentric_weights, checkpoint_extrapolation_weights, lagrange_basis_at, tensor_interp_matrix,

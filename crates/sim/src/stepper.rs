@@ -106,47 +106,68 @@ impl Mobility for CellMobility<'_> {
         mesh as usize >= self.n_cells
     }
     fn apply(&self, mesh: u32, force: &[(u32, Vec3)], nverts: usize) -> Vec<Vec3> {
+        self.apply_many(mesh, &[force], nverts)
+            .pop()
+            .expect("apply_many returns one column per force column")
+    }
+    /// The batched path the NCP assembly drives: all contact-force columns
+    /// touching one cell are packed into matrices so the three linear
+    /// stages — Uᵀ force restriction, the self-interaction velocity
+    /// response, and the Δt·U displacement prolongation — each run as one
+    /// GEMM per linearization instead of one matvec chain per contact.
+    fn apply_many(&self, mesh: u32, forces: &[&[(u32, Vec3)]], nverts: usize) -> Vec<Vec<Vec3>> {
         let mi = mesh as usize;
-        if mi >= self.n_cells {
-            return vec![Vec3::ZERO; nverts];
+        let k = forces.len();
+        if mi >= self.n_cells || k == 0 {
+            return vec![vec![Vec3::ZERO; nverts]; k];
         }
-        // fine-vertex forces → coarse generalized force via Uᵀ
-        // (pole vertices, beyond the fine grid, are dropped)
         let nf = self.n_fine_grid;
         let nc = self.n_coarse;
-        let mut coarse_f = vec![0.0; 3 * nc];
-        for &(v, f) in force {
-            let v = v as usize;
-            if v >= nf {
-                continue;
-            }
-            for j in 0..nc {
-                let u = self.up[(v, j)];
-                if u != 0.0 {
-                    coarse_f[3 * j] += u * f.x;
-                    coarse_f[3 * j + 1] += u * f.y;
-                    coarse_f[3 * j + 2] += u * f.z;
+        // fine-vertex forces → coarse generalized forces via Uᵀ, one
+        // column per contact (pole vertices, beyond the fine grid, are
+        // dropped). The force lists are sparse, so this stage stays a
+        // scatter rather than a GEMM.
+        let mut coarse_f = Mat::zeros(3 * nc, k);
+        for (col, force) in forces.iter().enumerate() {
+            for &(v, f) in *force {
+                let v = v as usize;
+                if v >= nf {
+                    continue;
+                }
+                for j in 0..nc {
+                    let u = self.up[(v, j)];
+                    if u != 0.0 {
+                        coarse_f[(3 * j, col)] += u * f.x;
+                        coarse_f[(3 * j + 1, col)] += u * f.y;
+                        coarse_f[(3 * j + 2, col)] += u * f.z;
+                    }
                 }
             }
         }
         // velocity response through the cell's singular self-interaction
-        let vel = self.selfops[mi].apply(&coarse_f);
-        // displacement at fine vertices: Δt · U · v
-        let mut comp = vec![0.0; nc];
-        let mut out = vec![Vec3::ZERO; nverts];
+        let vel = self.selfops[mi].apply_many(&coarse_f);
+        // displacement at fine vertices: Δt · U · v, per component
+        let mut out = vec![vec![Vec3::ZERO; nverts]; k];
+        let mut comp = Mat::zeros(nc, k);
         for c in 0..3 {
             for j in 0..nc {
-                comp[j] = vel[3 * j + c];
+                for col in 0..k {
+                    comp[(j, col)] = vel[(3 * j + c, col)];
+                }
             }
-            let fine = self.up.matvec(&comp);
-            for v in 0..nf {
-                out[v][c] = self.dt * fine[v];
+            let fine = self.up.matmul(&comp);
+            for (col, ocol) in out.iter_mut().enumerate() {
+                for v in 0..nf {
+                    ocol[v][c] = self.dt * fine[(v, col)];
+                }
             }
         }
         // pole vertices follow the nearest ring's mean displacement
         if nverts >= nf + 2 {
-            out[nf] = out[0];
-            out[nf + 1] = out[nf - 1];
+            for ocol in &mut out {
+                ocol[nf] = ocol[0];
+                ocol[nf + 1] = ocol[nf - 1];
+            }
         }
         out
     }
@@ -464,9 +485,7 @@ impl Simulation {
                     n_fine_grid: nf,
                 };
                 let opts = NcpOptions {
-                    detect: DetectOptions {
-                        delta: self.config.collision_delta,
-                    },
+                    detect: DetectOptions::new(self.config.collision_delta),
                     max_outer: 10,
                     ..Default::default()
                 };

@@ -172,6 +172,31 @@ impl SelfInteraction {
         self.k_mat.matvec(&fu)
     }
 
+    /// Applies `S_i` to a batch of `K` force-density columns at once
+    /// (`3N × K`, each column xyz-interleaved on the coarse grid),
+    /// returning the `3N × K` velocity columns. Same operator as
+    /// [`SelfInteraction::apply`], but both linear stages (spectral
+    /// upsampling and the kernel matrix) run as GEMMs over the packed
+    /// columns — this is what makes the collision pipeline's batched
+    /// per-mesh mobility applies cheap.
+    pub fn apply_many(&self, f_cols: &Mat) -> Mat {
+        assert_eq!(f_cols.rows(), 3 * self.n, "apply_many: column height");
+        let k = f_cols.cols();
+        // upsample per component: gather (N × K), GEMM, scatter (N_up × K)
+        let mut fu = Mat::zeros(3 * self.nu, k);
+        let mut comp = Mat::zeros(self.n, k);
+        for c in 0..3 {
+            for i in 0..self.n {
+                comp.row_mut(i).copy_from_slice(f_cols.row(3 * i + c));
+            }
+            let up = self.upsample.matmul(&comp);
+            for j in 0..self.nu {
+                fu.row_mut(3 * j + c).copy_from_slice(up.row(j));
+            }
+        }
+        self.k_mat.matmul(&fu)
+    }
+
     /// Coarse grid size N.
     pub fn grid_size(&self) -> usize {
         self.n
@@ -234,6 +259,32 @@ mod tests {
             max_err < 2.5e-3 * u_ref.norm(),
             "translating-sphere error {max_err}"
         );
+    }
+
+    #[test]
+    fn apply_many_matches_per_column_apply() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let coeffs = sphere_coeffs(&basis, 1.0, Vec3::ZERO);
+        let op = SelfInteraction::build(&basis, &coeffs, 1.0, SelfOpOptions::default());
+        let n = basis.grid_size();
+        let k = 5;
+        let cols = Mat::from_fn(3 * n, k, |i, c| ((i * 7 + c * 13) as f64 * 0.11).sin());
+        let batched = op.apply_many(&cols);
+        assert_eq!((batched.rows(), batched.cols()), (3 * n, k));
+        for c in 0..k {
+            let f: Vec<f64> = (0..3 * n).map(|i| cols[(i, c)]).collect();
+            let single = op.apply(&f);
+            let scale: f64 = single.iter().fold(1e-30, |a, v| a.max(v.abs()));
+            for i in 0..3 * n {
+                assert!(
+                    (batched[(i, c)] - single[i]).abs() < 1e-12 * scale,
+                    "col {c} row {i}: {} vs {}",
+                    batched[(i, c)],
+                    single[i]
+                );
+            }
+        }
     }
 
     #[test]

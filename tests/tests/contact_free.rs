@@ -18,7 +18,7 @@ fn min_separation_ok(sim: &Simulation, delta: f64) -> bool {
         })
         .collect();
     let obj: Vec<u32> = (0..meshes.len() as u32).collect();
-    let contacts = detect_contacts(&meshes, None, &obj, DetectOptions { delta: delta * 0.5 });
+    let contacts = detect_contacts(&meshes, None, &obj, DetectOptions::new(delta * 0.5));
     contacts.iter().all(|c| c.value >= -1e-9)
 }
 
