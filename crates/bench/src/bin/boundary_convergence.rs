@@ -7,7 +7,7 @@
 //! `cargo run --release -p bench --bin boundary_convergence`
 
 use bench::fitted_order;
-use bie::{BieOptions, CheckSpec, DoubleLayerSolver};
+use bie::{BieOptions, CheckSpec, DoubleLayerSolver, MatvecBackend};
 use kernels::{stokeslet, StokesDL, StokesEquiv};
 use linalg::{GmresOptions, Vec3};
 use patch::cube_sphere;
@@ -25,7 +25,7 @@ fn main() {
             eta: 2,
             p_extrap: 8,
             check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: true,
             gmres: GmresOptions { tol: 1e-7, max_iters: 60, ..Default::default() },
             ..Default::default()

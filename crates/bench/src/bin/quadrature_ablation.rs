@@ -6,7 +6,7 @@
 //!
 //! `cargo run --release -p bench --bin quadrature_ablation`
 
-use bie::{BieOptions, CheckSpec, DoubleLayerSolver};
+use bie::{BieOptions, CheckSpec, DoubleLayerSolver, MatvecBackend};
 use kernels::{LaplaceDL, LaplaceSL};
 use linalg::Vec3;
 use patch::cube_sphere;
@@ -23,7 +23,7 @@ fn operator_error(opts: BieOptions) -> f64 {
 fn main() {
     println!("# Quadrature ablation (§3.1 parameters; error = max |A·1 − 1|)");
     let base = BieOptions {
-        use_fmm: Some(false),
+        backend: MatvecBackend::Dense,
         null_space: false,
         ..Default::default()
     };

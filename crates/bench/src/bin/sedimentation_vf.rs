@@ -25,7 +25,7 @@ fn main() {
     let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(0.0, 0.0, 5.0) };
     let surface = capsule_tube(&line, 1.5, 3, 8);
     let bie = bie::BieOptions {
-        use_fmm: Some(false),
+        backend: bie::MatvecBackend::Dense,
         gmres: GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
         ..Default::default()
     };

@@ -48,7 +48,7 @@ pub fn build_vessel_suspension(
         surface = surface.refined();
     }
     let bie = bie::BieOptions {
-        use_fmm: Some(false),
+        backend: bie::MatvecBackend::Dense,
         gmres: linalg::GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
         ..Default::default()
     };

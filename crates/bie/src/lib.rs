@@ -12,6 +12,8 @@
 //! elliptic PDEs" claim: the tests exercise the interior Laplace Dirichlet
 //! problem alongside the Stokes problem the simulation uses.
 
+#![warn(missing_docs)]
+
 pub mod closest;
 pub mod fine;
 pub mod precond;
@@ -20,4 +22,4 @@ pub mod solver;
 pub use closest::{closest_points, ClosestHit};
 pub use fine::FineDiscretization;
 pub use precond::CoarseGridPrecond;
-pub use solver::{BieOptions, CheckSpec, DoubleLayerSolver, LayerKernel};
+pub use solver::{BieOptions, CheckSpec, DoubleLayerSolver, LayerKernel, MatvecBackend};

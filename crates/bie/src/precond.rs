@@ -368,7 +368,7 @@ impl LinearOperator for CoarseGridPrecond {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{BieOptions, DoubleLayerSolver};
+    use crate::solver::{BieOptions, DoubleLayerSolver, MatvecBackend};
     use kernels::LaplaceDL;
     use linalg::{norm2, Vec3};
     use patch::cube_sphere;
@@ -448,7 +448,7 @@ mod tests {
     fn coarse_correction_inverts_smooth_modes() {
         let opts = BieOptions {
             eta: 1,
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: false,
             precond: true,
             ..Default::default()

@@ -91,6 +91,50 @@ impl CheckSpec {
     }
 }
 
+/// Which engine evaluates the fine-source → check-point layer potential —
+/// the matvec inside every GMRES iteration, and the far-field part of
+/// [`DoubleLayerSolver::eval_at`].
+///
+/// The dense path is O(N_fine · N_check); both factors grow linearly with
+/// the patch count `P`, so its cost is O(P²) and wall refinement
+/// (4× patches per level) multiplies it 16× per level. The FMM path is
+/// O(P) with a larger constant (tree + translation setup is amortized:
+/// the solve-time [`fmm::Fmm`] is built once per solver and its arenas are
+/// reused across all GMRES iterations and time steps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatvecBackend {
+    /// Choose by patch count: FMM from
+    /// [`MatvecBackend::FMM_CROSSOVER_PATCHES`] patches up, dense below.
+    Auto,
+    /// Direct summation through the vectorized [`kernels::direct_eval`].
+    Dense,
+    /// The kernel-independent [`fmm::Fmm`].
+    Fmm,
+}
+
+impl MatvecBackend {
+    /// Patch count from which `Auto` routes the GMRES matvec through the
+    /// FMM. Measured on the registry-scale capsule tube (q = qf = 8,
+    /// η = 1, p = 5; full table in `crates/bie/README.md`): per-matvec
+    /// dense vs FMM is 0.20 s vs 2.5 s at 22 patches, 3.1 s vs 5.4 s at
+    /// 88, 24.4 s vs 11.6 s at 352 — the dense O(P²) curve crosses the
+    /// FMM's O(P) near ~150 patches. 128 sits just under that: the
+    /// unrefined registry vessels (14–96 patches) stay dense (and
+    /// bit-identical to the pre-backend code), while every refined vessel
+    /// (≥ 4× the patches per level) goes FMM.
+    pub const FMM_CROSSOVER_PATCHES: usize = 128;
+
+    /// Resolves the backend choice for a surface with `num_patches`
+    /// patches: `true` ⇒ FMM, `false` ⇒ dense summation.
+    pub fn use_fmm(self, num_patches: usize) -> bool {
+        match self {
+            MatvecBackend::Dense => false,
+            MatvecBackend::Fmm => true,
+            MatvecBackend::Auto => num_patches >= Self::FMM_CROSSOVER_PATCHES,
+        }
+    }
+}
+
 /// Solver options; defaults follow the paper's production configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BieOptions {
@@ -104,8 +148,8 @@ pub struct BieOptions {
     pub check: CheckSpec,
     /// Near-zone radius for off-surface evaluation, in units of `L̂`.
     pub near_factor: f64,
-    /// Force FMM on/off; `None` = auto by problem size.
-    pub use_fmm: Option<bool>,
+    /// Far-field summation engine for the GMRES matvec and `eval_at`.
+    pub backend: MatvecBackend,
     /// FMM tuning.
     pub fmm: FmmOptions,
     /// GMRES controls (the paper caps iterations at 30 in scaling runs).
@@ -132,7 +176,7 @@ impl Default for BieOptions {
                 small_r: 0.15,
             },
             near_factor: 1.0,
-            use_fmm: None,
+            backend: MatvecBackend::Auto,
             fmm: FmmOptions::default(),
             gmres: GmresOptions {
                 tol: 1e-8,
@@ -213,9 +257,7 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         let (r0, rr) = opts.check.distances(1.0);
         let extrap_w = linalg::checkpoint_extrapolation_weights(r0, rr, opts.p_extrap, 0.0);
 
-        let pairwise = fine.len() as f64 * check_pts.len() as f64;
-        let use_fmm = opts.use_fmm.unwrap_or(pairwise > 4.0e8);
-        let solve_fmm = if use_fmm {
+        let solve_fmm = if opts.backend.use_fmm(surface.num_patches()) {
             Some(Fmm::new(
                 kernel.clone(),
                 eq_kernel.clone(),
@@ -258,6 +300,18 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
     /// The coarse-grid preconditioner, when one was built.
     pub fn precond(&self) -> Option<&CoarseGridPrecond> {
         self.precond.as_ref()
+    }
+
+    /// The backend the GMRES matvec actually resolved to (`Auto` settled
+    /// at construction by patch count): [`MatvecBackend::Fmm`] when the
+    /// solve routes through the persistent FMM, [`MatvecBackend::Dense`]
+    /// otherwise.
+    pub fn solve_backend(&self) -> MatvecBackend {
+        if self.solve_fmm.is_some() {
+            MatvecBackend::Fmm
+        } else {
+            MatvecBackend::Dense
+        }
     }
 
     /// Returns and resets the accumulated far-field summation time
@@ -303,8 +357,18 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
     /// targets, choosing FMM or direct summation by problem size.
     fn summation(&self, src_data: &[f64], targets: &[Vec3]) -> Vec<f64> {
         let t0 = std::time::Instant::now();
-        let pairwise = self.fine.len() as f64 * targets.len() as f64;
-        let use_fmm = self.opts.use_fmm.unwrap_or(pairwise > 4.0e8);
+        // `Auto` resolves by patch count like the solve matvec, but only
+        // once the target set is big enough to amortize the tree/operator
+        // setup of a throwaway Fmm (eval_at geometry changes every call,
+        // so this one cannot be cached like `solve_fmm`)
+        let use_fmm = match self.opts.backend {
+            MatvecBackend::Dense => false,
+            MatvecBackend::Fmm => true,
+            MatvecBackend::Auto => {
+                self.opts.backend.use_fmm(self.surface.num_patches())
+                    && targets.len() * self.kernel.trg_dim() > 2000
+            }
+        };
         let out = if use_fmm {
             let f = Fmm::new(
                 self.kernel.clone(),
@@ -573,7 +637,7 @@ mod tests {
                 big_r: 0.15,
                 small_r: 0.15,
             },
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: false,
             gmres: GmresOptions {
                 tol: 1e-6,
@@ -618,7 +682,7 @@ mod tests {
                 big_r: 0.15,
                 small_r: 0.15,
             },
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: false,
             gmres: GmresOptions {
                 tol: 1e-6,
@@ -663,7 +727,7 @@ mod tests {
                 big_r: 0.15,
                 small_r: 0.15,
             },
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: true,
             // the residual floor of the completed Stokes system sits at the
             // discrete-compatibility level (~1e-5 at this resolution); the
@@ -701,7 +765,7 @@ mod tests {
     fn operator_application_is_linear() {
         let opts = BieOptions {
             eta: 1,
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: false,
             ..Default::default()
         };
@@ -736,7 +800,7 @@ mod tests {
                 big_r: 0.15,
                 small_r: 0.15,
             },
-            use_fmm: Some(false),
+            backend: MatvecBackend::Dense,
             null_space: false,
             ..Default::default()
         };

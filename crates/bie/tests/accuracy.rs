@@ -9,7 +9,7 @@
 //! against closed-form truth, so solver refactors (preconditioning, warm
 //! starts, scratch-buffer recycling) cannot silently degrade accuracy.
 
-use bie::{BieOptions, CheckSpec, DoubleLayerSolver};
+use bie::{BieOptions, CheckSpec, DoubleLayerSolver, MatvecBackend};
 use kernels::{stokeslet, StokesDL, StokesEquiv};
 use linalg::{GmresOptions, Vec3};
 use patch::cube_sphere;
@@ -38,7 +38,7 @@ fn solve_on_sphere(q: usize) -> (DoubleLayerSolver<StokesDL, StokesEquiv>, Vec<f
             big_r: 0.15,
             small_r: 0.15,
         },
-        use_fmm: Some(false),
+        backend: MatvecBackend::Dense,
         null_space: true,
         gmres: GmresOptions {
             tol,

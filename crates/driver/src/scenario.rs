@@ -116,23 +116,93 @@ fn cell_params(cfg: &Doc, sec: &str, kappa_b: f64, k_area: f64) -> CellParams {
     }
 }
 
+/// Reads the `wall_refine` knob of a vessel scenario: the number of
+/// [`patch::BoundarySurface::refine`] levels applied to the vessel surface
+/// (0 = the coarse registry layout; each level splits every patch in 4).
+fn wall_refine(cfg: &Doc, sec: &str) -> u32 {
+    cfg.usize_or(sec, "wall_refine", 0) as u32
+}
+
+/// Collision-mesh sampling per patch under refinement: halve `col_m` per
+/// level (floor 3) so the *total* wall collision-vertex count stays
+/// roughly constant — refinement sharpens the boundary operator, not the
+/// contact mesh, and carrying `col_m²` vertices on 4× the patches per
+/// level would blow up the COL broad phase for nothing.
+fn wall_col_m(col_m: usize, levels: u32) -> usize {
+    if levels == 0 {
+        col_m
+    } else {
+        (col_m >> levels).max(3)
+    }
+}
+
 /// Boundary-solver options shared by the vessel scenarios.
 ///
 /// The check-point family of a node spans `(1 + p_extrap) · check_r · L̂`
-/// along the inward normal. The registry vessels use a handful of *large*
-/// patches (`L̂` comparable to the tube radius), so the paper's
-/// `R = r = 0.15 L̂` would push the far check points across the lumen into
-/// the near-singular zone of the opposite wall — the extrapolated interior
-/// limit turns garbage and GMRES never converges (the seed harness ran
-/// every vessel solve straight into its iteration cap because of this).
-/// The defaults here keep the span safely inside the vessel:
-/// `check_r = 0.06`, `p_extrap = 5` ⇒ span `0.36 L̂`.
-fn bie_options(cfg: &Doc, sec: &str) -> bie::BieOptions {
-    let check_r = cfg.f64_or(sec, "bie_check_r", 0.06);
-    bie::BieOptions {
-        use_fmm: Some(cfg.bool_or(sec, "bie_fmm", false)),
+/// along the inward normal, and the first check point sits `check_r · L̂`
+/// off the wall. Two constraints fight over `check_r`:
+///
+/// - *stay inside the lumen*: `(1 + p_extrap) · check_r · L̂ ≲ 0.6·radius`,
+///   or the far check points cross into the near-singular zone of the
+///   opposite wall and the extrapolated interior limit turns garbage (the
+///   seed harness ran every vessel solve into its iteration cap this way);
+/// - *stay resolved by the fine quadrature*: `check_r · L̂ ≳ 3 h_fine`, or
+///   the potential at the nearest check point is itself quadrature noise.
+///
+/// `h_fine ∝ L̂`, so the second constraint pins `check_r` from below
+/// *independently of refinement* while the first caps `check_r · L̂`
+/// absolutely. On the coarse registry vessels (`L̂` ≈ tube radius) no value
+/// satisfies both; the default `check_r = 0.06` picks lumen safety and
+/// accepts the ~0.7-relative operator error recorded in ROADMAP.md. With
+/// `wall_refine ≥ 1` the patch size halves per level, the lumen constraint
+/// relaxes, and the default switches to the paper's production
+/// `check_r = 0.15` — which is what actually makes the analytic-tube error
+/// converge (see `crates/bie/tests/accuracy.rs`).
+///
+/// Refinement alone leaves the second constraint binding at
+/// `check_r = 0.15` (`R ≈ 1.3 h_fine` at `qf = q = 8`), flooring the
+/// analytic-tube error near 2e-2; the refined defaults therefore also
+/// raise the fine order to `bie_qf = q + 4`, which halves `h_fine`
+/// (`R ≈ 2.1 h_fine`) and buys another ~10× (measured in
+/// `bench --bin tube_accuracy`). `bie_tol` tightens with it: the
+/// unrefined solves floor near 2e-2 relative (the stall check is what
+/// stops them, not the nominal `1e-5`), while the refined configuration
+/// reaches ~1e-3 on *resolvable* boundary data — its `2e-3` default is
+/// attainable on smooth fields (the analytic suite converges to it in
+/// 3–4 iterations). Scenario solves with parabolic *port* boundary
+/// conditions still stop on the stall check instead: the profile's kink
+/// at the port rim carries content beyond any wall quadrature, flooring
+/// those residuals at O(0.1) (see ROADMAP's port-BC open item) — but
+/// against a resolved operator the stall now reflects the data, not the
+/// operator.
+fn bie_options(cfg: &Doc, sec: &str, q: usize, refine: u32) -> Result<bie::BieOptions, String> {
+    // the PR 3-era boolean knob was replaced by `bie_backend`; the TOML
+    // layer ignores unknown keys, so reject it explicitly rather than
+    // silently running a different backend than the config asked for
+    if cfg.get(sec, "bie_fmm").is_some() {
+        return Err(format!(
+            "{sec}: `bie_fmm` was replaced by `bie_backend` \
+             (\"auto\", \"dense\", or \"fmm\")"
+        ));
+    }
+    let refined = refine > 0;
+    let check_r = cfg.f64_or(sec, "bie_check_r", if refined { 0.15 } else { 0.06 });
+    let qf = cfg.usize_or(sec, "bie_qf", if refined { q + 4 } else { 0 });
+    let backend = match cfg.str_or(sec, "bie_backend", "auto") {
+        "auto" => bie::MatvecBackend::Auto,
+        "dense" => bie::MatvecBackend::Dense,
+        "fmm" => bie::MatvecBackend::Fmm,
+        other => {
+            return Err(format!(
+                "{sec}: unknown bie_backend `{other}` (expected auto, dense, or fmm)"
+            ))
+        }
+    };
+    Ok(bie::BieOptions {
+        backend,
+        qf,
         gmres: GmresOptions {
-            tol: cfg.f64_or(sec, "bie_tol", 1e-5),
+            tol: cfg.f64_or(sec, "bie_tol", if refined { 2e-3 } else { 1e-5 }),
             max_iters: cfg.usize_or(sec, "bie_max_iters", 30),
             // vessel rhs from near-wall cells carries content beyond the
             // quadrature's resolution, flooring the residual; stop the
@@ -151,7 +221,7 @@ fn bie_options(cfg: &Doc, sec: &str) -> bie::BieOptions {
         p_extrap: cfg.usize_or(sec, "bie_p_extrap", 5),
         precond: cfg.bool_or(sec, "bie_precond", false),
         ..Default::default()
-    }
+    })
 }
 
 /// Two cells offset in z inside the linear shear `u = [γ̇ z, 0, 0]`; the
@@ -195,23 +265,26 @@ fn build_sedimentation(cfg: &Doc) -> Result<Built, String> {
         a: Vec3::ZERO,
         b: Vec3::new(0.0, 0.0, length),
     };
-    let surface = capsule_tube(
-        &line,
-        radius,
-        cfg.usize_or(sec, "tube_segments", 3),
-        cfg.usize_or(sec, "patch_order", 8),
-    );
+    let refine = wall_refine(cfg, sec);
+    let q = cfg.usize_or(sec, "patch_order", 8);
+    // cells are seeded from the *unrefined* surface: refinement reproduces
+    // the same geometry, but keeping the seed lattice's accept/reject tests
+    // on the coarse patch layout makes the initial packing bit-identical
+    // across wall_refine levels (so accuracy/cost comparisons share one
+    // initial condition)
+    let coarse = capsule_tube(&line, radius, cfg.usize_or(sec, "tube_segments", 3), q);
+    let surface = coarse.refine(refine);
     let vessel = Vessel::new(
         surface.clone(),
         1.0,
-        bie_options(cfg, sec),
+        bie_options(cfg, sec, q, refine)?,
         0.0,
-        cfg.usize_or(sec, "col_m", 10),
+        wall_col_m(cfg.usize_or(sec, "col_m", 10), refine),
     );
 
     let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
     let seeds = fill_seeds(
-        &surface,
+        &coarse,
         cfg.f64_or(sec, "fill_h", 0.95),
         cfg.f64_or(sec, "fill_margin", 0.95),
     );
@@ -242,24 +315,28 @@ fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
         amp: cfg.f64_or(sec, "amp", 0.7),
         windings: cfg.f64_or(sec, "windings", 1.0),
     };
-    let surface = capsule_tube(
+    let refine = wall_refine(cfg, sec);
+    let q = cfg.usize_or(sec, "patch_order", 8);
+    // seeded from the unrefined surface; see build_sedimentation
+    let coarse = capsule_tube(
         &c,
         cfg.f64_or(sec, "tube_radius", 1.1),
         cfg.usize_or(sec, "tube_segments", 5),
-        cfg.usize_or(sec, "patch_order", 8),
+        q,
     );
+    let surface = coarse.refine(refine);
     let peak = cfg.f64_or(sec, "peak_speed", 1.0);
     let vessel = Vessel::new(
         surface.clone(),
         1.0,
-        bie_options(cfg, sec),
+        bie_options(cfg, sec, q, refine)?,
         peak,
-        cfg.usize_or(sec, "col_m", 10),
+        wall_col_m(cfg.usize_or(sec, "col_m", 10), refine),
     );
 
     let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
     let seeds = fill_seeds(
-        &surface,
+        &coarse,
         cfg.f64_or(sec, "fill_h", 1.1),
         cfg.f64_or(sec, "fill_margin", 0.9),
     );
@@ -283,26 +360,30 @@ fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
 /// the flow is driven purely by gravity / cell interactions).
 fn build_dense_fill(cfg: &Doc) -> Result<Built, String> {
     let sec = "dense_fill";
-    let surface = modulated_torus(
+    let refine = wall_refine(cfg, sec);
+    let q = cfg.usize_or(sec, "patch_order", 8);
+    // seeded from the unrefined surface; see build_sedimentation
+    let coarse = modulated_torus(
         cfg.f64_or(sec, "big_r", 4.0),
         cfg.f64_or(sec, "small_r", 1.0),
         cfg.f64_or(sec, "amp", 0.25),
         cfg.usize_or(sec, "lobes", 4) as u32,
         cfg.usize_or(sec, "nu", 16),
         cfg.usize_or(sec, "nv", 6),
-        cfg.usize_or(sec, "patch_order", 8),
+        q,
     );
+    let surface = coarse.refine(refine);
     let vessel = Vessel::new(
         surface.clone(),
         1.0,
-        bie_options(cfg, sec),
+        bie_options(cfg, sec, q, refine)?,
         0.0,
-        cfg.usize_or(sec, "col_m", 10),
+        wall_col_m(cfg.usize_or(sec, "col_m", 10), refine),
     );
 
     let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
     let seeds = fill_seeds(
-        &surface,
+        &coarse,
         cfg.f64_or(sec, "fill_h", 0.7),
         cfg.f64_or(sec, "fill_margin", 0.95),
     );
@@ -332,19 +413,17 @@ fn build_poiseuille_train(cfg: &Doc) -> Result<Built, String> {
         a: Vec3::ZERO,
         b: Vec3::new(length, 0.0, 0.0),
     };
-    let surface = capsule_tube(
-        &line,
-        tube_r,
-        cfg.usize_or(sec, "tube_segments", 4),
-        cfg.usize_or(sec, "patch_order", 8),
-    );
+    let refine = wall_refine(cfg, sec);
+    let q = cfg.usize_or(sec, "patch_order", 8);
+    let surface =
+        capsule_tube(&line, tube_r, cfg.usize_or(sec, "tube_segments", 4), q).refine(refine);
     let peak = cfg.f64_or(sec, "peak_speed", 1.5);
     let vessel = Vessel::new(
         surface,
         1.0,
-        bie_options(cfg, sec),
+        bie_options(cfg, sec, q, refine)?,
         peak,
-        cfg.usize_or(sec, "col_m", 10),
+        wall_col_m(cfg.usize_or(sec, "col_m", 10), refine),
     );
 
     let basis = SphBasis::new(cfg.usize_or(sec, "order", 8));
@@ -500,6 +579,82 @@ mod tests {
                 assert_eq!(x, y, "rebuild differs");
             }
         }
+    }
+
+    #[test]
+    fn removed_bie_fmm_key_is_rejected() {
+        let mut cfg = Doc::default();
+        cfg.set(
+            "poiseuille_train",
+            "bie_fmm",
+            crate::toml::Value::Bool(true),
+        );
+        let e = build("poiseuille_train", &cfg).err().unwrap();
+        assert!(e.contains("bie_backend"), "{e}");
+    }
+
+    #[test]
+    fn unknown_bie_backend_is_rejected() {
+        let mut cfg = Doc::default();
+        cfg.set(
+            "poiseuille_train",
+            "bie_backend",
+            crate::toml::Value::Str("gpu".into()),
+        );
+        let e = build("poiseuille_train", &cfg).err().unwrap();
+        assert!(e.contains("unknown bie_backend"), "{e}");
+    }
+
+    #[test]
+    fn wall_refine_multiplies_vessel_patches_and_scales_col_m() {
+        let mut cfg = Doc::default();
+        cfg.set("poiseuille_train", "order", crate::toml::Value::Int(6));
+        cfg.set(
+            "poiseuille_train",
+            "patch_order",
+            crate::toml::Value::Int(6),
+        );
+        cfg.set(
+            "poiseuille_train",
+            "tube_segments",
+            crate::toml::Value::Int(1),
+        );
+        let base = build("poiseuille_train", &cfg).unwrap();
+        cfg.set(
+            "poiseuille_train",
+            "wall_refine",
+            crate::toml::Value::Int(1),
+        );
+        let refined = build("poiseuille_train", &cfg).unwrap();
+        let (vb, vr) = (
+            base.sim.vessel.as_ref().unwrap(),
+            refined.sim.vessel.as_ref().unwrap(),
+        );
+        assert_eq!(
+            vr.solver.surface.num_patches(),
+            4 * vb.solver.surface.num_patches()
+        );
+        // same geometry: the interior volumes agree to quadrature
+        // accuracy (refinement re-fits the same polynomials, but the
+        // finer tensor rule integrates them more accurately, so the two
+        // values differ by the coarse rule's quadrature error, not 0)
+        assert!(
+            (vr.volume - vb.volume).abs() / vb.volume < 2e-3,
+            "{} vs {}",
+            vr.volume,
+            vb.volume
+        );
+        // collision sampling halved per level (col_m 10 -> 5), so the
+        // total wall collision-vertex count stays comparable
+        let verts = |v: &sim::Vessel| v.meshes.iter().map(|m| m.verts.len()).sum::<usize>();
+        assert_eq!(vr.meshes.len(), 4 * vb.meshes.len());
+        assert!(verts(vr) <= 2 * verts(vb), "{} vs {}", verts(vr), verts(vb));
+        // initial cell packing identical across refinement levels
+        assert_eq!(base.sim.cells.len(), refined.sim.cells.len());
+        // refined defaults kick in: attainable tolerance + finer quadrature
+        assert_eq!(vr.solver.opts.gmres.tol, 2e-3);
+        assert_eq!(vr.solver.opts.qf, 10);
+        assert_eq!(vb.solver.opts.qf, 0);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! - [`bytes`]: the little-endian binary codec the checkpoint/restart
 //!   system serializes state through (offline stand-in for serde).
 
+#![warn(missing_docs)]
+
 pub mod bytes;
 pub mod csr;
 pub mod gmres;

@@ -118,7 +118,8 @@ impl BoundarySurface {
             patch_area: Vec::new(),
         };
         for (pi, (pts, nrm, wts, area)) in per_patch.into_iter().enumerate() {
-            quad.patch_of.extend(std::iter::repeat(pi as u32).take(pts.len()));
+            quad.patch_of
+                .extend(std::iter::repeat(pi as u32).take(pts.len()));
             quad.points.extend(pts);
             quad.normals.extend(nrm);
             quad.weights.extend(wts);
@@ -139,7 +140,32 @@ impl BoundarySurface {
                 kinds.push(k);
             }
         }
-        BoundarySurface { q: self.q, patches, kinds }
+        BoundarySurface {
+            q: self.q,
+            patches,
+            kinds,
+        }
+    }
+
+    /// Applies [`BoundarySurface::refined`] `levels` times: every patch
+    /// splits into `4^levels` children with re-fit Chebyshev coefficients
+    /// (exact polynomial subdivision), quadrupling the wall resolution per
+    /// level while leaving the geometry itself unchanged.
+    ///
+    /// This is the wall-resolution control of the vessel scenarios
+    /// (`wall_refine` in the scenario configs): the patch size `L̂` halves
+    /// per level, so the check-point family `R = check_r · L̂` of the
+    /// boundary solver shrinks with it and the constraint
+    /// `(1+p) R ≲ 0.6 · radius` (stay inside the lumen) can be met
+    /// simultaneously with `R ≳ 3 h_fine` (stay resolved by the fine
+    /// quadrature) — impossible on the coarse registry vessels where `L̂`
+    /// is comparable to the tube radius.
+    pub fn refine(&self, levels: u32) -> BoundarySurface {
+        let mut s = self.clone();
+        for _ in 0..levels {
+            s = s.refined();
+        }
+        s
     }
 
     /// Uniformly-spaced `m × m` sample grid per patch for collision meshes
@@ -186,7 +212,10 @@ mod tests {
         let quad = s.quadrature();
         let area = quad.total_area();
         let exact = 4.0 * std::f64::consts::PI;
-        assert!((area - exact).abs() / exact < 1e-6, "area {area} vs {exact}");
+        assert!(
+            (area - exact).abs() / exact < 1e-6,
+            "area {area} vs {exact}"
+        );
         // normals point outward for a sphere at the origin
         for (p, n) in quad.points.iter().zip(&quad.normals) {
             assert!(p.normalized().dot(*n) > 0.99, "normal not outward");

@@ -92,10 +92,16 @@ pub fn vessel_digest(vessel: &Vessel) -> u64 {
         }
     }
     w.put_f64(o.near_factor);
-    w.put_u8(match o.use_fmm {
-        None => 2,
-        Some(false) => 0,
-        Some(true) => 1,
+    // hash the *resolved* backend, not the config enum: the trajectory
+    // depends only on which engine actually runs the matvec (dense = 0,
+    // FMM = 1 — the byte values the pre-backend `use_fmm: Option<bool>`
+    // encoding used for Some(false)/Some(true)), so `Auto` configurations
+    // digest identically to an explicit choice that resolves the same way,
+    // and pre-refactor checkpoints (scenario default was Some(false) on
+    // vessels that `Auto` still resolves dense) keep restoring
+    w.put_u8(match vessel.solver.solve_backend() {
+        bie::MatvecBackend::Fmm => 1,
+        _ => 0,
     });
     w.put_usize(o.fmm.order);
     w.put_usize(o.fmm.leaf_capacity);

@@ -193,7 +193,7 @@ mod tests {
         };
         let s = capsule_tube(&line, 1.0, 3, 8);
         let opts = BieOptions {
-            use_fmm: Some(false),
+            backend: bie::MatvecBackend::Dense,
             ..Default::default()
         };
         Vessel::new(s, 1.0, opts, 1.0, 8)

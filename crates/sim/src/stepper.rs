@@ -60,6 +60,15 @@ impl Default for SimConfig {
 pub struct StepStats {
     /// GMRES iterations of the boundary solve.
     pub bie_iterations: usize,
+    /// Whether the boundary solve reached its tolerance (`false` when it
+    /// exited on the stagnation check or the iteration cap; `false` for
+    /// free-space steps, where no solve runs).
+    pub bie_converged: bool,
+    /// Relative residual the boundary solve stopped at (0 for free-space
+    /// steps) — together with [`StepStats::bie_converged`] this separates
+    /// "converged", "stalled near the quadrature floor", and "stalled
+    /// against a polluted operator".
+    pub bie_residual: f64,
     /// Number of active contacts at detection.
     pub contacts: usize,
     /// NCP outer iterations.
@@ -313,7 +322,7 @@ impl Simulation {
             // data changes little between steps, so the previous solution
             // is a much better initial iterate than zero)
             let warm = self.bie_warm.take();
-            let ((bie_iters, phi_next), t_bie) = timed(|| {
+            let ((bie_iters, bie_converged, bie_residual, phi_next), t_bie) = timed(|| {
                 let quad = &vessel.solver.quad;
                 // u_fr on Γ from all cells (this far-field sum is charged to
                 // BIE-FMM below through the solver's own accounting for the
@@ -363,10 +372,12 @@ impl Simulation {
                         }
                     }
                 }
-                (res.iterations, phi)
+                (res.iterations, res.converged, res.rel_residual, phi)
             });
             self.bie_warm = Some(phi_next);
             stats.bie_iterations = bie_iters;
+            stats.bie_converged = bie_converged;
+            stats.bie_residual = bie_residual;
             let fmm_part = vessel.solver.take_fmm_nanos();
             t.bie_fmm += fmm_part;
             t.bie_solve += (t_bie - fmm_part).max(0.0);

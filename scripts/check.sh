@@ -72,6 +72,22 @@ cargo run --release -q -p driver -- sedimentation --steps 1 \
     --set fill_h=1.1 --set col_m=6 \
     --no-output --quiet --assert-contacts 10
 
+echo "== refined-vessel smoke (vessel_flow, 1 step, wall_refine=1 + FMM backend)"
+# one confined-flow step on a refined wall through the FMM matvec backend:
+# asserts the boundary solve stays below its iteration cap and every cell
+# ends finite, so wall-refinement / backend regressions fail the gate in
+# seconds instead of only at the full-step bench
+# (bie_qf=6 keeps the smoke fast. This guards the *plumbing* — refined
+# surface build, FMM-backed matvec inside a full step, iteration cap,
+# finite state; solver *accuracy* cannot be asserted here because port
+# boundary conditions floor the residual at O(0.1) regardless of the
+# operator — it is pinned instead by the cell-free analytic-tube suite
+# in crates/bie/tests/tube.rs, which the test stage above runs)
+cargo run --release -q -p driver -- vessel_flow --steps 1 \
+    --set tube_segments=1 --set patch_order=6 --set order=6 \
+    --set wall_refine=1 --set bie_backend=fmm --set bie_qf=6 \
+    --set fill_h=1.5 --no-output --quiet --assert-bie-below 30
+
 echo "== driver smoke run (shear_pair, 2 steps + checkpoint restart)"
 SMOKE_OUT=target/driver/check-smoke
 rm -rf "$SMOKE_OUT"

@@ -1,7 +1,7 @@
 //! Integration: the full boundary-solver pipeline (patches → quadrature →
 //! Nyström GMRES → near/far evaluation) against an exact Stokes solution.
 
-use bie::{BieOptions, CheckSpec, DoubleLayerSolver};
+use bie::{BieOptions, CheckSpec, DoubleLayerSolver, MatvecBackend};
 use kernels::{stokeslet, StokesDL, StokesEquiv};
 use linalg::{GmresOptions, Vec3};
 use patch::cube_sphere;
@@ -13,7 +13,7 @@ fn confined_stokes_solution_reproduced() {
         eta: 2,
         p_extrap: 8,
         check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
-        use_fmm: Some(false),
+        backend: MatvecBackend::Dense,
         null_space: true,
         gmres: GmresOptions { tol: 5e-5, max_iters: 60, ..Default::default() },
         ..Default::default()

@@ -15,7 +15,7 @@ fn cells_advance_through_tube_without_escaping() {
     let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(6.0, 0.0, 0.0) };
     let surface = capsule_tube(&line, 1.0, 3, 8);
     let bie = bie::BieOptions {
-        use_fmm: Some(false),
+        backend: bie::MatvecBackend::Dense,
         gmres: GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
         ..Default::default()
     };
