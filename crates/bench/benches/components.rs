@@ -37,7 +37,11 @@ fn bench_fmm_vs_direct(c: &mut Criterion) {
                         k,
                         &src,
                         &src,
-                        fmm::FmmOptions { order, leaf_capacity: 120, max_depth: 10 },
+                        fmm::FmmOptions {
+                            order,
+                            leaf_capacity: 120,
+                            max_depth: 10,
+                        },
                     );
                     b.iter(|| black_box(f.evaluate(&data)))
                 },
@@ -56,16 +60,24 @@ fn bench_fmm_stokes(c: &mut Criterion) {
     let data: Vec<f64> = (0..3 * n).map(|_| rng.random_range(-1.0..1.0)).collect();
     let k = StokesSL { mu: 1.0 };
     for &order in &[4usize, 6] {
-        group.bench_with_input(BenchmarkId::new(format!("fmm_order{order}"), n), &n, |b, _| {
-            let f = fmm::Fmm::new(
-                k,
-                k,
-                &src,
-                &src,
-                fmm::FmmOptions { order, leaf_capacity: 120, max_depth: 10 },
-            );
-            b.iter(|| black_box(f.evaluate(&data)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("fmm_order{order}"), n),
+            &n,
+            |b, _| {
+                let f = fmm::Fmm::new(
+                    k,
+                    k,
+                    &src,
+                    &src,
+                    fmm::FmmOptions {
+                        order,
+                        leaf_capacity: 120,
+                        max_depth: 10,
+                    },
+                );
+                b.iter(|| black_box(f.evaluate(&data)))
+            },
+        );
     }
     group.finish();
 }
@@ -85,7 +97,9 @@ fn bench_m2l(c: &mut Criterion) {
     let batch = 64usize;
     let mut rng = StdRng::seed_from_u64(3);
     // gathered source-density block (the arena rows the FMM would gather)
-    let equiv: Vec<f64> = (0..batch * nd).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let equiv: Vec<f64> = (0..batch * nd)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     let mut lookup = std::collections::HashMap::new();
     lookup.insert((2i8, 1i8, -1i8), op);
     group.bench_function("per_interaction_64", |b| {
@@ -93,7 +107,11 @@ fn bench_m2l(c: &mut Criterion) {
             let mut check = vec![0.0; batch * nd];
             let m = lookup.get(&(2i8, 1i8, -1i8)).unwrap();
             for i in 0..batch {
-                m.matvec_acc(&equiv[i * nd..(i + 1) * nd], 1.25, &mut check[i * nd..(i + 1) * nd]);
+                m.matvec_acc(
+                    &equiv[i * nd..(i + 1) * nd],
+                    1.25,
+                    &mut check[i * nd..(i + 1) * nd],
+                );
             }
             black_box(check)
         })
@@ -133,8 +151,9 @@ fn bench_eval_block(c: &mut Criterion) {
     macro_rules! bench_kernel {
         ($name:literal, $k:expr) => {{
             let k = $k;
-            let data: Vec<f64> =
-                (0..srcs.len() * k.src_dim()).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let data: Vec<f64> = (0..srcs.len() * k.src_dim())
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
             group.bench_function(concat!($name, "_scalar"), |b| {
                 b.iter(|| black_box(scalar_loop(&k, &trgs, &srcs, &data)))
             });
@@ -212,8 +231,11 @@ fn bench_selfop(c: &mut Criterion) {
             ))
         })
     });
-    let op = vesicle::SelfInteraction::build(&basis, &coeffs, 1.0, vesicle::SelfOpOptions::default());
-    let f: Vec<f64> = (0..3 * basis.grid_size()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let op =
+        vesicle::SelfInteraction::build(&basis, &coeffs, 1.0, vesicle::SelfOpOptions::default());
+    let f: Vec<f64> = (0..3 * basis.grid_size())
+        .map(|i| (i as f64 * 0.1).sin())
+        .collect();
     group.bench_function("apply_p12", |b| b.iter(|| black_box(op.apply(&f))));
     group.finish();
 }
@@ -222,8 +244,12 @@ fn bench_sph_transforms(c: &mut Criterion) {
     let mut group = c.benchmark_group("sphharm");
     let basis = sphharm::SphBasis::new(16);
     let mut rng = StdRng::seed_from_u64(4);
-    let grid: Vec<f64> = (0..basis.grid_size()).map(|_| rng.random_range(-1.0..1.0)).collect();
-    group.bench_function("analyze_p16", |b| b.iter(|| black_box(basis.analyze(&grid))));
+    let grid: Vec<f64> = (0..basis.grid_size())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    group.bench_function("analyze_p16", |b| {
+        b.iter(|| black_box(basis.analyze(&grid)))
+    });
     let cf = basis.analyze(&grid);
     group.bench_function("synthesize_p16", |b| {
         b.iter(|| black_box(basis.synthesize(&cf, sphharm::Deriv::None)))

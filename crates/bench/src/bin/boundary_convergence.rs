@@ -18,16 +18,26 @@ fn main() {
     let mut sizes = Vec::new();
     let mut errors = Vec::new();
     println!("# Boundary solver convergence (Fig. 9 analogue)");
-    println!("{:>6} {:>10} {:>14} {:>10}", "subs", "patches", "max patch L", "max rel err");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10}",
+        "subs", "patches", "max patch L", "max rel err"
+    );
     for sub in 0..3u32 {
         let surface = cube_sphere(1.0, Vec3::ZERO, sub, 8);
         let opts = BieOptions {
             eta: 2,
             p_extrap: 8,
-            check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+            check: CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
             backend: MatvecBackend::Dense,
             null_space: true,
-            gmres: GmresOptions { tol: 1e-7, max_iters: 60, ..Default::default() },
+            gmres: GmresOptions {
+                tol: 1e-7,
+                max_iters: 60,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let solver = DoubleLayerSolver::new(surface, StokesDL, StokesEquiv { mu: 1.0 }, opts);

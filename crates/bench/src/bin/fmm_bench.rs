@@ -44,7 +44,12 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 }
 
 fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
-    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
     let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
     num / den.max(1e-300)
 }
@@ -59,9 +64,14 @@ fn run_case<KS: Kernel + Clone, KE: Kernel + Clone>(
 ) -> CaseResult {
     let mut rng = StdRng::seed_from_u64(1);
     let pts = cloud(&mut rng, n);
-    let data: Vec<f64> =
-        (0..n * src_kernel.src_dim()).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let opts = FmmOptions { order, leaf_capacity: 120, max_depth: 10 };
+    let data: Vec<f64> = (0..n * src_kernel.src_dim())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let opts = FmmOptions {
+        order,
+        leaf_capacity: 120,
+        max_depth: 10,
+    };
 
     // warm the process-wide operator cache so setup_s measures tree +
     // plan + arenas, not the one-time operator build
@@ -148,11 +158,18 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     // quick (smoke) runs must not clobber the tracked perf trajectory
-    let path = if quick { "BENCH_fmm_quick.json" } else { "BENCH_fmm.json" };
+    let path = if quick {
+        "BENCH_fmm_quick.json"
+    } else {
+        "BENCH_fmm.json"
+    };
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path}");
 
-    let worst = results.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let worst = results
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
     println!("worst-case speedup vs seed engine: {worst:.2}x");
     let worst_agree = results.iter().map(|r| r.rel_diff).fold(0.0, f64::max);
     // The two engines sum in different orders (GEMM blocks vs per-

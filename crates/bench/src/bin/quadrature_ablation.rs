@@ -31,26 +31,63 @@ fn main() {
     println!("\n-- extrapolation order p (η = 2, R = r = 0.15 L̂) --");
     println!("{:>4} {:>12}", "p", "op error");
     for p in [2usize, 4, 6, 8, 10] {
-        let e = operator_error(BieOptions { eta: 2, p_extrap: p, ..base });
+        let e = operator_error(BieOptions {
+            eta: 2,
+            p_extrap: p,
+            ..base
+        });
         println!("{p:>4} {e:>12.3e}");
     }
 
     println!("\n-- fine-discretization depth η (p = 8) --");
     println!("{:>4} {:>12}", "eta", "op error");
     for eta in [0u32, 1, 2] {
-        let e = operator_error(BieOptions { eta, p_extrap: 8, ..base });
+        let e = operator_error(BieOptions {
+            eta,
+            p_extrap: 8,
+            ..base
+        });
         println!("{eta:>4} {e:>12.3e}");
     }
 
     println!("\n-- check-distance rule (η = 2, p = 8) --");
     println!("{:>22} {:>12}", "rule", "op error");
     for (name, check) in [
-        ("R=r=0.10 L (weak)", CheckSpec::Linear { big_r: 0.10, small_r: 0.10 }),
-        ("R=r=0.15 L (strong)", CheckSpec::Linear { big_r: 0.15, small_r: 0.15 }),
-        ("R=r=0.25 L", CheckSpec::Linear { big_r: 0.25, small_r: 0.25 }),
-        ("R=.04 sqrt(L), r=R/8", CheckSpec::Sqrt { big_r: 0.04, ratio: 0.125 }),
+        (
+            "R=r=0.10 L (weak)",
+            CheckSpec::Linear {
+                big_r: 0.10,
+                small_r: 0.10,
+            },
+        ),
+        (
+            "R=r=0.15 L (strong)",
+            CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
+        ),
+        (
+            "R=r=0.25 L",
+            CheckSpec::Linear {
+                big_r: 0.25,
+                small_r: 0.25,
+            },
+        ),
+        (
+            "R=.04 sqrt(L), r=R/8",
+            CheckSpec::Sqrt {
+                big_r: 0.04,
+                ratio: 0.125,
+            },
+        ),
     ] {
-        let e = operator_error(BieOptions { eta: 2, p_extrap: 8, check, ..base });
+        let e = operator_error(BieOptions {
+            eta: 2,
+            p_extrap: 8,
+            check,
+            ..base
+        });
         println!("{name:>22} {e:>12.3e}");
     }
     println!("\nthe paper's production choices (η = 1–2, p = 8, R = r = 0.1–0.15 L̂)");

@@ -22,11 +22,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(6);
 
-    let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(0.0, 0.0, 5.0) };
+    let line = StraightLine {
+        a: Vec3::ZERO,
+        b: Vec3::new(0.0, 0.0, 5.0),
+    };
     let surface = capsule_tube(&line, 1.5, 3, 8);
     let bie = bie::BieOptions {
         backend: bie::MatvecBackend::Dense,
-        gmres: GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
+        gmres: GmresOptions {
+            tol: 1e-4,
+            max_iters: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let vessel = Vessel::new(surface.clone(), 1.0, bie, 0.0, 10);
@@ -44,8 +51,15 @@ fn main() {
     };
     let mut sim = Simulation::new(basis, cells, Some(vessel), config);
     println!("# Sedimentation volume fractions (Fig. 7 analogue)");
-    println!("{} cells, initial volume fraction {:.1}%", sim.cells.len(), 100.0 * sim.volume_fraction());
-    println!("{:>6} {:>10} {:>16} {:>10}", "step", "vol-frac", "lower-half frac", "mean z");
+    println!(
+        "{} cells, initial volume fraction {:.1}%",
+        sim.cells.len(),
+        100.0 * sim.volume_fraction()
+    );
+    println!(
+        "{:>6} {:>10} {:>16} {:>10}",
+        "step", "vol-frac", "lower-half frac", "mean z"
+    );
     let mut csv = String::from("step,vf,lower_vf,mean_z\n");
     for s in 0..steps {
         sim.step();
@@ -61,7 +75,13 @@ fn main() {
         }
         mean_z /= sim.cells.len() as f64;
         let lower_vf = lower / (0.5 * vessel_vol);
-        println!("{:>6} {:>9.2}% {:>15.2}% {:>10.4}", s + 1, 100.0 * vf, 100.0 * lower_vf, mean_z);
+        println!(
+            "{:>6} {:>9.2}% {:>15.2}% {:>10.4}",
+            s + 1,
+            100.0 * vf,
+            100.0 * lower_vf,
+            mean_z
+        );
         csv.push_str(&format!("{},{vf},{lower_vf},{mean_z}\n", s + 1));
     }
     std::fs::create_dir_all("target/bench_out").ok();

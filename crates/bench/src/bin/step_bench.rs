@@ -36,6 +36,12 @@ struct CaseResult {
     /// can be separated from trajectory changes that shift the contact
     /// count.
     col_contacts: Vec<usize>,
+    /// Adaptive-dt rollback/retries per measured step. Nonzero entries
+    /// mean the step-health gate tripped and the step re-ran at a reduced
+    /// dt — each retry repeats the implicit stage, so retry counts explain
+    /// per-step wall-time outliers that are otherwise invisible in the
+    /// stage split.
+    dt_retries: Vec<usize>,
 }
 
 /// Runs `steps` timed steps of registry scenario `name`, reported under
@@ -46,6 +52,7 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
     let mut timers = StepTimers::default();
     let mut bie_iters = Vec::with_capacity(steps);
     let mut col_contacts = Vec::with_capacity(steps);
+    let mut dt_retries = Vec::with_capacity(steps);
     // one untimed warm-up step so process-wide operator caches (upsample
     // matrices, FMM operators) don't pollute the first measured step.
     // NOTE: the warm-up also primes the boundary-solve warm start, so the
@@ -66,6 +73,7 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
             bie_iters.push(built.sim.last_stats.bie_iterations);
         }
         col_contacts.push(built.sim.last_stats.contacts);
+        dt_retries.push(built.sim.last_stats.dt_retries);
         timers.accumulate(&t);
     }
     let r = CaseResult {
@@ -77,6 +85,7 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         bie_iters_cold,
         bie_iters,
         col_contacts,
+        dt_retries,
     };
     let t = &r.timers;
     let n = steps as f64;
@@ -88,6 +97,9 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         r.bie_iters,
         r.col_contacts,
     );
+    if r.dt_retries.iter().any(|&v| v > 0) {
+        println!("{:<18} dt retries per step: {:?}", "", r.dt_retries);
+    }
     r
 }
 
@@ -107,6 +119,11 @@ fn main() {
         results.push(run_case("shear_pair", "shear_pair", &cfg, 5));
         results.push(run_case("sedimentation", "sedimentation", &cfg, 2));
         results.push(run_case("poiseuille_train", "poiseuille_train", &cfg, 2));
+        // the high-hematocrit stress case: a ~40% volume-fraction rouleau
+        // column in a snug tube, stepping under the adaptive-dt controller
+        // (its dt_retries_per_step column is the point — retry activity at
+        // paper-scale packing is the robustness trajectory this bench pins)
+        results.push(run_case("dense_fill_packed", "dense_fill_packed", &cfg, 2));
         results.push(run_case("vessel_flow", "vessel_flow", &cfg, 2));
         // the resolved-wall variant: 2 refinement levels multiply the
         // patch count 16×, the check spec tightens to the paper's
@@ -129,12 +146,13 @@ fn main() {
         let n = r.steps as f64;
         let iters: Vec<String> = r.bie_iters.iter().map(|v| v.to_string()).collect();
         let contacts: Vec<String> = r.col_contacts.iter().map(|v| v.to_string()).collect();
+        let retries: Vec<String> = r.dt_retries.iter().map(|v| v.to_string()).collect();
         let cold = r
             .bie_iters_cold
             .map_or("null".to_string(), |v| v.to_string());
         let _ = writeln!(
             json,
-            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"col_contacts_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"col_contacts_per_step\": [{}], \"dt_retries_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
             r.name,
             r.cells,
             r.dofs,
@@ -142,6 +160,7 @@ fn main() {
             cold,
             iters.join(", "),
             contacts.join(", "),
+            retries.join(", "),
             t.col / n,
             t.bie_solve / n,
             t.bie_fmm / n,

@@ -18,7 +18,12 @@ fn main() {
     };
     let cells = get("--cells", 8);
     let steps = get("--steps", 2);
-    let max_threads = get("--max-threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let max_threads = get(
+        "--max-threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    );
 
     let mut threads = Vec::new();
     let mut t = 1;
@@ -31,7 +36,16 @@ fn main() {
     println!("# Strong scaling (Fig. 4 analogue): {cells} target cells, {steps} steps");
     println!(
         "{:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>12} {:>10}",
-        "cores", "total(s)", "eff", "COL", "BIEslv", "BIEfmm", "OthFMM", "Other", "COL+BIEslv", "eff"
+        "cores",
+        "total(s)",
+        "eff",
+        "COL",
+        "BIEslv",
+        "BIEfmm",
+        "OthFMM",
+        "Other",
+        "COL+BIEslv",
+        "eff"
     );
     let mut base_total = 0.0;
     let mut base_cb = 0.0;
@@ -55,8 +69,16 @@ fn main() {
         let eff_cb = base_cb / (cb * nt as f64 / threads[0] as f64);
         println!(
             "{:>8} {:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>12.2} {:>10.2}",
-            nt, total, eff, timers.col, timers.bie_solve, timers.bie_fmm, timers.other_fmm,
-            timers.other, cb, eff_cb
+            nt,
+            total,
+            eff,
+            timers.col,
+            timers.bie_solve,
+            timers.bie_fmm,
+            timers.other_fmm,
+            timers.other,
+            cb,
+            eff_cb
         );
         csv.push_str(&format!(
             "{nt},{total},{},{},{},{},{}\n",

@@ -13,10 +13,22 @@ use vesicle::{biconcave_coeffs, Cell, CellParams};
 
 fn run(p: usize, steps: usize, horizon: f64) -> Vec3 {
     let basis = SphBasis::new(p);
-    let params = CellParams { kappa_b: 0.02, k_area: 2.0, ..Default::default() };
+    let params = CellParams {
+        kappa_b: 0.02,
+        k_area: 2.0,
+        ..Default::default()
+    };
     let cells = vec![
-        Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::new(-1.3, 0.0, 0.22)), params),
-        Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::new(1.3, 0.0, -0.22)), params),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::new(-1.3, 0.0, 0.22)),
+            params,
+        ),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::new(1.3, 0.0, -0.22)),
+            params,
+        ),
     ];
     let config = SimConfig {
         dt: horizon / steps as f64,
@@ -47,7 +59,12 @@ fn main() {
         for steps in [4usize, 8, 16, 32] {
             let c = run(p, steps, horizon);
             let err = (c - reference).norm();
-            println!("{:>8} {:>12.4} {:>14.4e}", steps, horizon / steps as f64, err);
+            println!(
+                "{:>8} {:>12.4} {:>14.4e}",
+                steps,
+                horizon / steps as f64,
+                err
+            );
             dts.push(horizon / steps as f64);
             errs.push(err);
             csv.push_str(&format!("{p},{steps},{err}\n"));

@@ -26,7 +26,9 @@ fn main() {
     // grain: cells per worker (SKX analogue: larger grain; KNL: smaller
     // grain ⇒ higher synchronization-to-work ratio)
     let grain = if profile == "knl" { 2 } else { 6 };
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut runs = Vec::new();
     let mut t = 1;
@@ -36,15 +38,19 @@ fn main() {
     }
 
     bench::warm_caches();
-    println!("# Weak scaling ({profile} profile, Fig. {} analogue): {grain} cells/worker, {steps} steps",
-             if profile == "knl" { 6 } else { 5 });
+    println!(
+        "# Weak scaling ({profile} profile, Fig. {} analogue): {grain} cells/worker, {steps} steps",
+        if profile == "knl" { 6 } else { 5 }
+    );
     println!(
         "{:>8} {:>7} {:>9} {:>11} {:>10} {:>7} | {:>12} {:>7}",
         "cores", "cells", "vol-frac", "#col/#RBC", "total(s)", "eff", "COL+BIEslv", "eff"
     );
     let mut base_total = 0.0;
     let mut base_cb = 0.0;
-    let mut csv = String::from("threads,cells,vol_frac,col_ratio,total,col,bie_solve,bie_fmm,other_fmm,other\n");
+    let mut csv = String::from(
+        "threads,cells,vol_frac,col_ratio,total,col,bie_solve,bie_fmm,other_fmm,other\n",
+    );
     let base_cells = grain; // nominal 1-worker population
     for (k, &nt) in runs.iter().enumerate() {
         let cells_target = grain * nt;
@@ -76,7 +82,14 @@ fn main() {
         let eff_cb = base_cb / cb;
         println!(
             "{:>8} {:>7} {:>8.1}% {:>10.0}% {:>10.2} {:>7.2} | {:>12.2} {:>7.2}",
-            nt, ncells, 100.0 * vf, 100.0 * col_ratio, total, eff, cb, eff_cb
+            nt,
+            ncells,
+            100.0 * vf,
+            100.0 * col_ratio,
+            total,
+            eff,
+            cb,
+            eff_cb
         );
         csv.push_str(&format!(
             "{nt},{ncells},{vf},{col_ratio},{total},{},{},{},{},{}\n",

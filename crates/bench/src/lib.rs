@@ -40,7 +40,8 @@ pub fn build_vessel_suspension(
     let small_r = 1.0;
     let h = 0.9;
     let volume_needed = target_cells.max(2) as f64 * h * h * h * 2.2;
-    let big_r = (volume_needed / (2.0 * std::f64::consts::PI * std::f64::consts::PI * small_r * small_r))
+    let big_r = (volume_needed
+        / (2.0 * std::f64::consts::PI * std::f64::consts::PI * small_r * small_r))
         .max(2.4);
     let nu = ((12.0 * big_r / 4.0) as usize).clamp(8, 48);
     let mut surface = patch::modulated_torus(big_r, small_r, 0.2, 4, nu, 4, 8);
@@ -49,7 +50,11 @@ pub fn build_vessel_suspension(
     }
     let bie = bie::BieOptions {
         backend: bie::MatvecBackend::Dense,
-        gmres: linalg::GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
+        gmres: linalg::GmresOptions {
+            tol: 1e-4,
+            max_iters: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let vessel = Vessel::new(surface.clone(), 1.0, bie, 0.0, 10);

@@ -47,7 +47,10 @@ impl<KS: Kernel, KE: Kernel> SeedFmm<KS, KE> {
         let tree = Octree::build(
             src,
             trg,
-            TreeOptions { leaf_capacity: opts.leaf_capacity, max_depth: opts.max_depth },
+            TreeOptions {
+                leaf_capacity: opts.leaf_capacity,
+                max_depth: opts.max_depth,
+            },
         );
         let src_pts: Vec<Vec3> = tree.src_order.iter().map(|&i| src[i as usize]).collect();
         let trg_pts: Vec<Vec3> = tree.trg_order.iter().map(|&i| trg[i as usize]).collect();
@@ -97,7 +100,11 @@ impl<KS: Kernel, KE: Kernel> SeedFmm<KS, KE> {
 
     /// The seed `Fmm::evaluate`, verbatim up to the operator-store rename.
     pub fn evaluate(&self, src_data: &[f64]) -> Vec<f64> {
-        assert_eq!(src_data.len(), self.src_pts.len() * self.sd, "source data length");
+        assert_eq!(
+            src_data.len(),
+            self.src_pts.len() * self.sd,
+            "source data length"
+        );
         let nd_eq = self.ops.n_surf * self.ops.sdim;
         let nd_chk = self.ops.n_surf * self.ops.vdim;
         let nodes = &self.tree.nodes;
@@ -107,8 +114,7 @@ impl<KS: Kernel, KE: Kernel> SeedFmm<KS, KE> {
         let mut data = vec![0.0; src_data.len()];
         for (pos, &orig) in self.tree.src_order.iter().enumerate() {
             let o = orig as usize * self.sd;
-            data[pos * self.sd..(pos + 1) * self.sd]
-                .copy_from_slice(&src_data[o..o + self.sd]);
+            data[pos * self.sd..(pos + 1) * self.sd].copy_from_slice(&src_data[o..o + self.sd]);
         }
 
         // ---------------- upward pass ----------------
@@ -276,7 +282,8 @@ impl<KS: Kernel, KE: Kernel> SeedFmm<KS, KE> {
                     for (i, &t) in trgs.iter().enumerate() {
                         let o = &mut out[i * self.td..(i + 1) * self.td];
                         for (j, &s) in pts.iter().enumerate() {
-                            self.src_kernel.eval_acc(t, s, &dat[j * self.sd..(j + 1) * self.sd], o);
+                            self.src_kernel
+                                .eval_acc(t, s, &dat[j * self.sd..(j + 1) * self.sd], o);
                         }
                     }
                 }

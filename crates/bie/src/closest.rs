@@ -127,7 +127,11 @@ mod tests {
         assert!(hits[2].is_some());
         let h = hits[0].unwrap();
         // closest point on the sphere along +x
-        assert!((h.point - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-4, "{:?}", h.point);
+        assert!(
+            (h.point - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-4,
+            "{:?}",
+            h.point
+        );
         assert!((h.dist - 0.1 * l).abs() < 1e-4);
         assert!(h.normal.dot(Vec3::new(1.0, 0.0, 0.0)) > 0.999);
     }
@@ -151,7 +155,11 @@ mod tests {
                 let (_, _, d) = p.closest_point(targets[i]);
                 best = best.min(d);
             }
-            assert!((h.dist - best).abs() < 1e-6, "target {i}: {} vs {best}", h.dist);
+            assert!(
+                (h.dist - best).abs() < 1e-6,
+                "target {i}: {} vs {best}",
+                h.dist
+            );
             // true distance to sphere is 0.05
             assert!((h.dist - 0.05).abs() < 1e-3, "target {i}: {}", h.dist);
         }

@@ -26,7 +26,13 @@ impl Default for LcpOptions {
         LcpOptions {
             tol: 1e-10,
             max_newton: 50,
-            gmres: GmresOptions { tol: 1e-10, atol: 1e-14, max_iters: 200, restart: 50, stall_ratio: 0.0 },
+            gmres: GmresOptions {
+                tol: 1e-10,
+                atol: 1e-14,
+                max_iters: 200,
+                restart: 50,
+                stall_ratio: 0.0,
+            },
         }
     }
 }
@@ -53,7 +59,12 @@ pub fn solve_lcp(
 ) -> LcpResult {
     assert_eq!(q.len(), m);
     if m == 0 {
-        return LcpResult { lambda: Vec::new(), residual: 0.0, newton_iters: 0, converged: true };
+        return LcpResult {
+            lambda: Vec::new(),
+            residual: 0.0,
+            newton_iters: 0,
+            converged: true,
+        };
     }
     let mut lambda = vec![0.0; m];
     let mut blam = vec![0.0; m];
@@ -112,7 +123,12 @@ pub fn solve_lcp(
             *v = 0.0;
         }
     }
-    LcpResult { lambda, residual, newton_iters: iters, converged }
+    LcpResult {
+        lambda,
+        residual,
+        newton_iters: iters,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +195,11 @@ mod tests {
             }
             let q: Vec<f64> = (0..m).map(|_| rng.random_range(-2.0..2.0)).collect();
             let res = solve_lcp(m, |x, y| b.matvec_into(x, y), &q, &LcpOptions::default());
-            assert!(res.converged, "trial {trial} (m={m}): residual {}", res.residual);
+            assert!(
+                res.converged,
+                "trial {trial} (m={m}): residual {}",
+                res.residual
+            );
             check_lcp(&b, &q, &res);
         }
     }

@@ -32,7 +32,11 @@ impl TriMesh {
                 vert_area[v as usize] += area / 3.0;
             }
         }
-        TriMesh { verts, tris, vert_area }
+        TriMesh {
+            verts,
+            tris,
+            vert_area,
+        }
     }
 
     /// Replaces vertex positions (same connectivity), refreshing areas.
@@ -95,7 +99,11 @@ impl TriMesh {
         if vert_area.len() != verts.len() {
             return Err(CodecError("vertex-area length mismatch".into()));
         }
-        Ok(TriMesh { verts, tris, vert_area })
+        Ok(TriMesh {
+            verts,
+            tris,
+            vert_area,
+        })
     }
 }
 
@@ -103,7 +111,13 @@ impl TriMesh {
 /// latitude-major) by adding two pole vertices. Used for RBC collision
 /// meshes: for order-16 cells upsampled 2× this yields the paper's 2,112
 /// surface points (33 × 64) plus poles.
-pub fn triangulate_latlon(grid: &[Vec3], nlat: usize, nlon: usize, north: Vec3, south: Vec3) -> TriMesh {
+pub fn triangulate_latlon(
+    grid: &[Vec3],
+    nlat: usize,
+    nlon: usize,
+    north: Vec3,
+    south: Vec3,
+) -> TriMesh {
     assert_eq!(grid.len(), nlat * nlon);
     let mut verts = grid.to_vec();
     let np = verts.len() as u32;
@@ -223,10 +237,20 @@ mod tests {
             let th = std::f64::consts::PI * (i as f64 + 0.5) / nlat as f64;
             for j in 0..nlon {
                 let ph = 2.0 * std::f64::consts::PI * j as f64 / nlon as f64;
-                grid.push(Vec3::new(th.sin() * ph.cos(), th.sin() * ph.sin(), th.cos()));
+                grid.push(Vec3::new(
+                    th.sin() * ph.cos(),
+                    th.sin() * ph.sin(),
+                    th.cos(),
+                ));
             }
         }
-        let mesh = triangulate_latlon(&grid, nlat, nlon, Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 0.0, -1.0));
+        let mesh = triangulate_latlon(
+            &grid,
+            nlat,
+            nlon,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        );
         assert_eq!(mesh.verts.len(), nlat * nlon + 2);
         assert_eq!(mesh.tris.len(), 2 * nlon + 2 * (nlat - 1) * nlon);
         // area close to 4π, Euler characteristic 2 for a sphere
@@ -268,7 +292,9 @@ mod tests {
         let c = Vec3::new(0.0, 1.0, 0.0);
         // interior projection
         let p = Vec3::new(0.25, 0.25, 1.0);
-        assert!((closest_point_on_triangle(p, a, b, c) - Vec3::new(0.25, 0.25, 0.0)).norm() < 1e-14);
+        assert!(
+            (closest_point_on_triangle(p, a, b, c) - Vec3::new(0.25, 0.25, 0.0)).norm() < 1e-14
+        );
         // vertex region
         let p = Vec3::new(-1.0, -1.0, 0.0);
         assert_eq!(closest_point_on_triangle(p, a, b, c), a);
@@ -300,7 +326,11 @@ mod tests {
             ],
             2,
         );
-        let moved: Vec<Vec3> = mesh.verts.iter().map(|&v| v + Vec3::new(0.0, 0.0, 2.0)).collect();
+        let moved: Vec<Vec3> = mesh
+            .verts
+            .iter()
+            .map(|&v| v + Vec3::new(0.0, 0.0, 2.0))
+            .collect();
         let b = mesh.space_time_box(&moved, 0.1);
         assert!(b.contains(Vec3::new(0.5, 0.5, 0.0)));
         assert!(b.contains(Vec3::new(0.5, 0.5, 2.0)));
@@ -312,7 +342,13 @@ mod tests {
         let grid: Vec<Vec3> = (0..12)
             .map(|i| Vec3::new((i % 4) as f64 * 0.3, (i / 4) as f64 * 0.7, (i as f64).sin()))
             .collect();
-        let mesh = triangulate_latlon(&grid, 3, 4, Vec3::new(0.5, 0.5, 2.0), Vec3::new(0.5, 0.5, -2.0));
+        let mesh = triangulate_latlon(
+            &grid,
+            3,
+            4,
+            Vec3::new(0.5, 0.5, 2.0),
+            Vec3::new(0.5, 0.5, -2.0),
+        );
         let mut w = linalg::ByteWriter::new();
         mesh.write_state(&mut w);
         let bytes = w.into_bytes();
@@ -321,7 +357,10 @@ mod tests {
         assert_eq!(r.remaining(), 0);
         assert_eq!(back.tris, mesh.tris);
         for (a, b) in back.verts.iter().zip(&mesh.verts) {
-            assert_eq!((a.x.to_bits(), a.y.to_bits(), a.z.to_bits()), (b.x.to_bits(), b.y.to_bits(), b.z.to_bits()));
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits(), a.z.to_bits()),
+                (b.x.to_bits(), b.y.to_bits(), b.z.to_bits())
+            );
         }
         let a: Vec<u64> = back.vert_area.iter().map(|v| v.to_bits()).collect();
         let b: Vec<u64> = mesh.vert_area.iter().map(|v| v.to_bits()).collect();

@@ -4,7 +4,8 @@
 //! sim-driver list
 //! sim-driver <scenario> [--config FILE] [--steps N] [--checkpoint-every K]
 //!            [--out DIR | --no-output] [--restart CKPT] [--quiet]
-//!            [--assert-contacts N] [--assert-bie-below N] [--set key=value ...]
+//!            [--assert-contacts N] [--assert-bie-below N]
+//!            [--assert-dt-retries N] [--allow-nonfinite] [--set key=value ...]
 //! ```
 //!
 //! `--set` writes into the scenario's config section, overriding the file;
@@ -21,6 +22,17 @@
 //! finished with a non-finite centroid or volume. The CI gate runs one
 //! refined-wall `vessel_flow` step through this to pin the wall-refinement
 //! + FMM-backend path.
+//!
+//! `--assert-dt-retries N` turns the run into an instability smoke test:
+//! it exits nonzero unless the adaptive time stepper performed at least
+//! `N` rollback/retries over the run, every step's max edge stretch was
+//! finite and within the configured bound, and the final state is finite.
+//! The CI gate runs one deliberately oversized-dt step through this to
+//! prove the retry path actually fires and keeps the state sane.
+//!
+//! The run aborts by default the moment any cell's coefficients go
+//! non-finite (naming the step, cell, and coefficient); pass
+//! `--allow-nonfinite` to disable that guard and keep stepping anyway.
 
 use driver::{final_checkpoint_path, run, Doc, RunOptions};
 use sim::Checkpoint;
@@ -38,6 +50,8 @@ struct Args {
     quiet: bool,
     assert_contacts: Option<usize>,
     assert_bie_below: Option<usize>,
+    assert_dt_retries: Option<usize>,
+    allow_nonfinite: bool,
     sets: Vec<String>,
     help: bool,
 }
@@ -47,6 +61,7 @@ fn usage() -> String {
         "usage: sim-driver <scenario|list> [--config FILE] [--steps N] \
          [--checkpoint-every K] [--out DIR | --no-output] [--restart CKPT] \
          [--quiet] [--assert-contacts N] [--assert-bie-below N] \
+         [--assert-dt-retries N] [--allow-nonfinite] \
          [--set key=value ...]\n\nscenarios:\n",
     );
     for s in driver::registry() {
@@ -67,6 +82,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         quiet: false,
         assert_contacts: None,
         assert_bie_below: None,
+        assert_dt_retries: None,
+        allow_nonfinite: false,
         sets: Vec::new(),
         help: false,
     };
@@ -107,6 +124,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--assert-bie-below: {e}"))?,
                 )
             }
+            "--assert-dt-retries" => {
+                args.assert_dt_retries = Some(
+                    value("--assert-dt-retries")?
+                        .parse()
+                        .map_err(|e| format!("--assert-dt-retries: {e}"))?,
+                )
+            }
+            "--allow-nonfinite" => args.allow_nonfinite = true,
             "--set" => args.sets.push(value("--set")?),
             "--help" | "-h" => args.help = true,
             other if other.starts_with('-') => {
@@ -196,6 +221,7 @@ fn main_inner() -> Result<(), String> {
         checkpoint_every: args.checkpoint_every,
         out_dir: out_dir.clone(),
         quiet: args.quiet,
+        fail_on_nonfinite: !args.allow_nonfinite,
     };
     let report = run(&mut built.sim, built.recycle, &opts).map_err(|e| e.to_string())?;
 
@@ -278,6 +304,50 @@ fn main_inner() -> Result<(), String> {
                 "bie smoke OK: max {worst} GMRES iterations < {cap}, final relative \
                  residual {resid:.2e}, all {} cells finite",
                 built.sim.cells.len()
+            );
+        }
+    }
+
+    if let Some(min_retries) = args.assert_dt_retries {
+        let total: usize = report.rows.iter().map(|r| r.stats.dt_retries).sum();
+        if total < min_retries {
+            return Err(format!(
+                "instability smoke: {total} dt retries over {} steps, expected ≥ {min_retries} \
+                 — the oversized step never tripped the health gate",
+                report.rows.len()
+            ));
+        }
+        let bound = built.sim.config.dt_control.max_stretch;
+        for row in &report.rows {
+            let s = row.stats.max_edge_stretch;
+            if !s.is_finite() || s > bound {
+                return Err(format!(
+                    "instability smoke: step {} committed with max edge stretch {s} \
+                     (bound {bound}) — the retry path let a blown-up state through",
+                    row.step
+                ));
+            }
+        }
+        for (ci, cell) in built.sim.cells.iter().enumerate() {
+            for (comp, coeffs) in cell.coeffs.iter().enumerate() {
+                if let Some(k) = coeffs.data.iter().position(|v| !v.is_finite()) {
+                    return Err(format!(
+                        "instability smoke: cell {ci} component {} coefficient {k} \
+                         is not finite after the run",
+                        ["x", "y", "z"][comp]
+                    ));
+                }
+            }
+        }
+        if !args.quiet {
+            let worst = report
+                .rows
+                .iter()
+                .map(|r| r.stats.max_edge_stretch)
+                .fold(0.0f64, f64::max);
+            println!(
+                "instability smoke OK: {total} dt retries ≥ {min_retries}, \
+                 max edge stretch {worst:.3} ≤ {bound}, final state finite"
             );
         }
     }

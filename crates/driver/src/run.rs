@@ -19,6 +19,11 @@ pub struct RunOptions {
     pub out_dir: Option<PathBuf>,
     /// Suppress the per-step progress lines.
     pub quiet: bool,
+    /// Abort the run (with an error naming the step, cell, and coefficient)
+    /// the moment any cell's shape coefficients go non-finite. On by
+    /// default: a NaN that survives the adaptive stepper's own gates means
+    /// the simulation state is garbage and every later step wastes time.
+    pub fail_on_nonfinite: bool,
 }
 
 impl Default for RunOptions {
@@ -29,6 +34,7 @@ impl Default for RunOptions {
             checkpoint_every: 0,
             out_dir: None,
             quiet: false,
+            fail_on_nonfinite: true,
         }
     }
 }
@@ -94,14 +100,14 @@ impl RunReport {
 
 /// Column header of the per-step CSV.
 const CSV_HEADER: &str =
-    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled\n";
+    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells\n";
 
 impl StepRow {
     /// One CSV line (newline-terminated) for this row.
     fn csv_line(&self) -> String {
         let t = self.timers;
         format!(
-            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{}\n",
             self.step,
             t.col,
             t.bie_solve,
@@ -113,8 +119,25 @@ impl StepRow {
             self.stats.contacts,
             self.stats.ncp_iters,
             self.recycled,
+            self.stats.dt_effective,
+            self.stats.dt_retries,
+            self.stats.max_edge_stretch,
+            self.stats.frozen_cells,
         )
     }
+}
+
+/// Scans every cell's shape coefficients for NaN/∞; returns the first
+/// offender as `(cell, component, coefficient index)`.
+fn first_nonfinite(sim: &Simulation) -> Option<(usize, usize, usize)> {
+    for (ci, cell) in sim.cells.iter().enumerate() {
+        for (comp, coeffs) in cell.coeffs.iter().enumerate() {
+            if let Some(k) = coeffs.data.iter().position(|v| !v.is_finite()) {
+                return Some((ci, comp, k));
+            }
+        }
+    }
+    None
 }
 
 fn checkpoint_path(dir: &Path, scenario: &str, step: usize) -> PathBuf {
@@ -160,10 +183,20 @@ pub fn run(sim: &mut Simulation, recycle: bool, opts: &RunOptions) -> io::Result
             sim.config.dt,
             opts.steps
         );
-        println!("step  total(s)  COL(s)  BIE(s)  gmres  contacts  recycled");
+        println!("step  total(s)  COL(s)  BIE(s)  gmres  contacts  recycled  dt_eff  retries");
     }
     for _ in 0..opts.steps {
         let t = sim.step();
+        if opts.fail_on_nonfinite {
+            if let Some((ci, comp, k)) = first_nonfinite(sim) {
+                return Err(io::Error::other(format!(
+                    "non-finite state after step {}: cell {ci}, component {}, \
+                     coefficient {k} (rerun with --allow-nonfinite to continue anyway)",
+                    sim.steps,
+                    ["x", "y", "z"][comp],
+                )));
+            }
+        }
         let recycled = if recycle { sim.recycle_cells() } else { 0 };
         let row = StepRow {
             step: sim.steps,
@@ -174,14 +207,16 @@ pub fn run(sim: &mut Simulation, recycle: bool, opts: &RunOptions) -> io::Result
         report.timers.accumulate(&t);
         if !opts.quiet {
             println!(
-                "{:>4}  {:>8.3}  {:>6.3}  {:>6.3}  {:>5}  {:>8}  {:>8}",
+                "{:>4}  {:>8.3}  {:>6.3}  {:>6.3}  {:>5}  {:>8}  {:>8}  {:>6.4}  {:>7}",
                 row.step,
                 t.total(),
                 t.col,
                 t.bie_solve + t.bie_fmm,
                 row.stats.bie_iterations,
                 row.stats.contacts,
-                recycled
+                recycled,
+                row.stats.dt_effective,
+                row.stats.dt_retries
             );
         }
         if let Some(f) = &mut csv_file {
@@ -223,6 +258,10 @@ mod tests {
             stats: StepStats {
                 bie_iterations: 12,
                 contacts: 3,
+                dt_effective: 0.005,
+                dt_retries: 2,
+                max_edge_stretch: 1.25,
+                frozen_cells: 1,
                 ..Default::default()
             },
             recycled: 1,
@@ -232,5 +271,16 @@ mod tests {
         let csv = report.to_csv();
         assert!(csv.lines().count() == 2);
         assert!(csv.contains(",12,3,"), "{csv}");
+        // the adaptive-dt diagnostics are first-class columns
+        let header = csv.lines().next().unwrap();
+        for col in [
+            "dt_effective",
+            "dt_retries",
+            "max_edge_stretch",
+            "frozen_cells",
+        ] {
+            assert!(header.contains(col), "missing column {col}: {header}");
+        }
+        assert!(csv.contains(",0.00500000,2,1.2500,1"), "{csv}");
     }
 }

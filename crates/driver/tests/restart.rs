@@ -153,17 +153,17 @@ fn old_version_checkpoint_rejected_with_clear_error() {
     let cfg = small_shear_pair_cfg();
     let sim = driver::build("shear_pair", &cfg).unwrap().sim;
     let mut bytes = Checkpoint::capture(&sim, "shear_pair").to_bytes();
-    // a v1 file differs in the version byte of the magic ("RBCCKPT1")
+    // an old file differs only in the version byte of the magic ("RBCCKPT2")
     assert_eq!(&bytes[..7], b"RBCCKPT");
-    bytes[7] = b'1';
-    let err = Checkpoint::from_bytes(&bytes).expect_err("v1 must be rejected");
+    bytes[7] = b'2';
+    let err = Checkpoint::from_bytes(&bytes).expect_err("v2 must be rejected");
     let msg = err.to_string();
     assert!(
-        msg.contains("version 1"),
+        msg.contains("version 2"),
         "error should name the unsupported version: {msg}"
     );
     assert!(
-        msg.contains("version 2"),
+        msg.contains("version 3"),
         "error should name the supported version: {msg}"
     );
 
@@ -198,6 +198,7 @@ fn run_loop_checkpoints_on_cadence_and_restarts() {
         checkpoint_every: 2,
         out_dir: Some(dir.clone()),
         quiet: true,
+        ..Default::default()
     };
     let report = driver::run(&mut built.sim, built.recycle, &opts).unwrap();
     // cadence checkpoints at steps 2 and 4, plus the final one

@@ -42,7 +42,11 @@ pub struct FmmOptions {
 
 impl Default for FmmOptions {
     fn default() -> Self {
-        FmmOptions { order: 6, leaf_capacity: 160, max_depth: 14 }
+        FmmOptions {
+            order: 6,
+            leaf_capacity: 160,
+            max_depth: 14,
+        }
     }
 }
 
@@ -215,7 +219,10 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         let tree = Octree::build(
             src,
             trg,
-            TreeOptions { leaf_capacity: opts.leaf_capacity, max_depth: opts.max_depth },
+            TreeOptions {
+                leaf_capacity: opts.leaf_capacity,
+                max_depth: opts.max_depth,
+            },
         );
         let src_pts: Vec<Vec3> = tree.src_order.iter().map(|&i| src[i as usize]).collect();
         let trg_pts: Vec<Vec3> = tree.trg_order.iter().map(|&i| trg[i as usize]).collect();
@@ -253,15 +260,18 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
     /// `src_dim` entries per source) at every target; returns values in the
     /// original target ordering (`trg_dim` entries per target).
     pub fn evaluate(&self, src_data: &[f64]) -> Vec<f64> {
-        assert_eq!(src_data.len(), self.src_pts.len() * self.sd, "source data length");
+        assert_eq!(
+            src_data.len(),
+            self.src_pts.len() * self.sd,
+            "source data length"
+        );
         let mut guard = self.arenas.lock();
         let ar = &mut *guard;
 
         // permute source data into Morton order
         for (pos, &orig) in self.tree.src_order.iter().enumerate() {
             let o = orig as usize * self.sd;
-            ar.data[pos * self.sd..(pos + 1) * self.sd]
-                .copy_from_slice(&src_data[o..o + self.sd]);
+            ar.data[pos * self.sd..(pos + 1) * self.sd].copy_from_slice(&src_data[o..o + self.sd]);
         }
 
         // pass timers, enabled with FMM_TIMERS=1 (perf diagnostics)
@@ -286,8 +296,7 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         let mut out = vec![0.0; self.n_trg * self.td];
         for (pos, &orig) in self.tree.trg_order.iter().enumerate() {
             let o = orig as usize * self.td;
-            out[o..o + self.td]
-                .copy_from_slice(&ar.out_sorted[pos * self.td..(pos + 1) * self.td]);
+            out[o..o + self.td].copy_from_slice(&ar.out_sorted[pos * self.td..(pos + 1) * self.td]);
         }
         out
     }
@@ -389,7 +398,15 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
                         }
                         // Checkᵀ-block = h^{deg} · Equivᵀ-block · Kᵀ
                         s.yblk[..b * nd_chk].fill(0.0);
-                        gemm_acc(b, nd_chk, nd_eq, lp.scale_m2l, &s.sblk, a_t.data(), &mut s.yblk);
+                        gemm_acc(
+                            b,
+                            nd_chk,
+                            nd_eq,
+                            lp.scale_m2l,
+                            &s.sblk,
+                            a_t.data(),
+                            &mut s.yblk,
+                        );
                         for r in 0..b {
                             let yrow = &s.yblk[r * nd_chk..(r + 1) * nd_chk];
                             for (c, y) in view.row(r).iter_mut().zip(yrow) {
@@ -441,7 +458,9 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
                     return;
                 }
                 if plan.receives[ni] {
-                    self.ops.dc2de.matvec_into(&check[i * nd_chk..(i + 1) * nd_chk], equiv);
+                    self.ops
+                        .dc2de
+                        .matvec_into(&check[i * nd_chk..(i + 1) * nd_chk], equiv);
                     for v in equiv.iter_mut() {
                         *v *= lp.scale_inv;
                     }
@@ -576,7 +595,9 @@ fn build_plan(tree: &Octree, ops: &FmmOperators) -> EvalPlan {
             has_src[ni as usize] = if node.is_leaf {
                 node.nsrc() > 0
             } else {
-                node.children.iter().any(|&c| c != NONE && has_src[c as usize])
+                node.children
+                    .iter()
+                    .any(|&c| c != NONE && has_src[c as usize])
             };
         }
     }
@@ -590,8 +611,7 @@ fn build_plan(tree: &Octree, ops: &FmmOperators) -> EvalPlan {
             let r = node.v_list.iter().any(|&v| has_src[v as usize])
                 || node.x_list.iter().any(|&x| nodes[x as usize].nsrc() > 0);
             receives[ni as usize] = r;
-            has_dn[ni as usize] =
-                r || (node.parent != NONE && has_dn[node.parent as usize]);
+            has_dn[ni as usize] = r || (node.parent != NONE && has_dn[node.parent as usize]);
         }
     }
 
@@ -672,8 +692,10 @@ fn build_plan(tree: &Octree, ops: &FmmOperators) -> EvalPlan {
         let node = &nodes[li as usize];
         if node.ntrg() > 0 {
             leaves.push(li);
-            out_ranges
-                .push((node.trg_range.0 as usize * td, node.trg_range.1 as usize * td));
+            out_ranges.push((
+                node.trg_range.0 as usize * td,
+                node.trg_range.1 as usize * td,
+            ));
         }
     }
 
@@ -738,7 +760,12 @@ mod tests {
     }
 
     fn rel_err(a: &[f64], b: &[f64]) -> f64 {
-        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let num: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
         num / den.max(1e-300)
     }
@@ -748,7 +775,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let src = cloud(&mut rng, 1500, 1.0, Vec3::ZERO);
         let trg = cloud(&mut rng, 700, 1.0, Vec3::ZERO);
-        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..src.len())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let k = LaplaceSL;
         let approx = fmm_evaluate(
             &k,
@@ -756,7 +785,11 @@ mod tests {
             &src,
             &data,
             &trg,
-            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 },
+            FmmOptions {
+                order: 6,
+                leaf_capacity: 60,
+                max_depth: 10,
+            },
         );
         let mut exact = vec![0.0; trg.len()];
         direct_eval(&k, &src, &data, &trg, &mut exact);
@@ -772,7 +805,9 @@ mod tests {
         src.extend(cloud(&mut rng, 600, 0.02, Vec3::new(-0.7, -0.7, -0.7)));
         src.extend(cloud(&mut rng, 100, 1.0, Vec3::ZERO));
         let trg = src.clone();
-        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..src.len())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let k = LaplaceSL;
         let approx = fmm_evaluate(
             &k,
@@ -780,7 +815,11 @@ mod tests {
             &src,
             &data,
             &trg,
-            FmmOptions { order: 6, leaf_capacity: 50, max_depth: 12 },
+            FmmOptions {
+                order: 6,
+                leaf_capacity: 50,
+                max_depth: 12,
+            },
         );
         let mut exact = vec![0.0; trg.len()];
         direct_eval(&k, &src, &data, &trg, &mut exact);
@@ -793,7 +832,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let src = cloud(&mut rng, 900, 1.0, Vec3::ZERO);
         let trg = cloud(&mut rng, 400, 1.0, Vec3::ZERO);
-        let data: Vec<f64> = (0..src.len() * 3).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..src.len() * 3)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let k = StokesSL { mu: 0.7 };
         let approx = fmm_evaluate(
             &k,
@@ -801,7 +842,11 @@ mod tests {
             &src,
             &data,
             &trg,
-            FmmOptions { order: 6, leaf_capacity: 70, max_depth: 10 },
+            FmmOptions {
+                order: 6,
+                leaf_capacity: 70,
+                max_depth: 10,
+            },
         );
         let mut exact = vec![0.0; trg.len() * 3];
         direct_eval(&k, &src, &data, &trg, &mut exact);
@@ -839,7 +884,11 @@ mod tests {
             &src,
             &data,
             &trg,
-            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 },
+            FmmOptions {
+                order: 6,
+                leaf_capacity: 60,
+                max_depth: 10,
+            },
         );
         let mut exact = vec![0.0; trg.len() * 3];
         direct_eval(&sk, &src, &data, &trg, &mut exact);
@@ -852,7 +901,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let src = cloud(&mut rng, 800, 1.0, Vec3::ZERO);
         let trg = cloud(&mut rng, 200, 1.0, Vec3::ZERO);
-        let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..src.len())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let k = LaplaceSL;
         let mut exact = vec![0.0; trg.len()];
         direct_eval(&k, &src, &data, &trg, &mut exact);
@@ -865,7 +916,11 @@ mod tests {
                     &src,
                     &data,
                     &trg,
-                    FmmOptions { order: p, leaf_capacity: 50, max_depth: 10 },
+                    FmmOptions {
+                        order: p,
+                        leaf_capacity: 50,
+                        max_depth: 10,
+                    },
                 );
                 rel_err(&approx, &exact)
             })
@@ -879,7 +934,17 @@ mod tests {
         let src = cloud(&mut rng, 500, 1.0, Vec3::ZERO);
         let trg = cloud(&mut rng, 200, 1.0, Vec3::ZERO);
         let k = LaplaceSL;
-        let fmm = Fmm::new(k, k, &src, &trg, FmmOptions { order: 4, leaf_capacity: 40, max_depth: 10 });
+        let fmm = Fmm::new(
+            k,
+            k,
+            &src,
+            &trg,
+            FmmOptions {
+                order: 4,
+                leaf_capacity: 40,
+                max_depth: 10,
+            },
+        );
         for seed in 0..3 {
             let mut r2 = StdRng::seed_from_u64(100 + seed);
             let data: Vec<f64> = (0..src.len()).map(|_| r2.random_range(-1.0..1.0)).collect();
@@ -898,10 +963,23 @@ mod tests {
         let src = cloud(&mut rng, 600, 1.0, Vec3::ZERO);
         let trg = cloud(&mut rng, 250, 1.0, Vec3::ZERO);
         let k = LaplaceSL;
-        let fmm =
-            Fmm::new(k, k, &src, &trg, FmmOptions { order: 4, leaf_capacity: 40, max_depth: 10 });
-        let da: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
-        let db: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let fmm = Fmm::new(
+            k,
+            k,
+            &src,
+            &trg,
+            FmmOptions {
+                order: 4,
+                leaf_capacity: 40,
+                max_depth: 10,
+            },
+        );
+        let da: Vec<f64> = (0..src.len())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        let db: Vec<f64> = (0..src.len())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let first = fmm.evaluate(&da);
         let _ = fmm.evaluate(&db);
         let again = fmm.evaluate(&da);

@@ -273,8 +273,11 @@ mod tests {
         // cancellation — charges of mixed sign can make the true potential
         // orders of magnitude smaller than the representation scale.)
         let ue = cube_surface(p, Vec3::ZERO, RAD_INNER);
-        let trgs =
-            [Vec3::new(5.0, 0.0, 0.0), Vec3::new(3.5, 3.5, -2.0), Vec3::new(0.0, -6.0, 1.0)];
+        let trgs = [
+            Vec3::new(5.0, 0.0, 0.0),
+            Vec3::new(3.5, 3.5, -2.0),
+            Vec3::new(0.0, -6.0, 1.0),
+        ];
         let mut truth = vec![0.0; trgs.len()];
         direct_eval_serial(&kernel, &srcs, &data, &trgs, &mut truth);
         let mut approx = vec![0.0; trgs.len()];

@@ -57,7 +57,10 @@ mod tests {
     #[test]
     fn point_count_formula() {
         for p in [2usize, 3, 4, 6, 8] {
-            assert_eq!(cube_surface(p, Vec3::ZERO, 1.0).len(), surface_point_count(p));
+            assert_eq!(
+                cube_surface(p, Vec3::ZERO, 1.0).len(),
+                surface_point_count(p)
+            );
         }
         assert_eq!(surface_point_count(2), 8);
         assert_eq!(surface_point_count(4), 56);

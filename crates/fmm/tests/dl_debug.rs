@@ -1,7 +1,7 @@
 //! Diagnostic scan: Stokes double-layer FMM error vs pseudo-inverse
 //! truncation (run with --ignored).
 
-use fmm::{FmmOperators, Fmm, FmmOptions};
+use fmm::{Fmm, FmmOperators, FmmOptions};
 use kernels::{direct_eval, StokesDL, StokesEquiv};
 use linalg::Vec3;
 use rand::prelude::*;
@@ -36,10 +36,25 @@ fn scan_dl_error() {
     direct_eval(&sk, &src, &data, &trg, &mut exact);
     for tol in [1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-3] {
         let ops = Arc::new(FmmOperators::build_with_tol(&ek, 6, tol));
-        let f = Fmm::with_ops(sk, ek, ops, &src, &trg,
-            FmmOptions { order: 6, leaf_capacity: 60, max_depth: 10 });
+        let f = Fmm::with_ops(
+            sk,
+            ek,
+            ops,
+            &src,
+            &trg,
+            FmmOptions {
+                order: 6,
+                leaf_capacity: 60,
+                max_depth: 10,
+            },
+        );
         let approx = f.evaluate(&data);
-        let num: f64 = approx.iter().zip(&exact).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let num: f64 = approx
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = exact.iter().map(|b| b * b).sum::<f64>().sqrt();
         println!("tol {tol:.0e}: rel err {:.3e}", num / den);
     }

@@ -67,7 +67,11 @@ impl QuadForest {
                 is_leaf: true,
             })
             .collect();
-        QuadForest { q: surface.q, root_kinds: surface.kinds.clone(), nodes }
+        QuadForest {
+            q: surface.q,
+            root_kinds: surface.kinds.clone(),
+            nodes,
+        }
     }
 
     /// Number of leaves.
@@ -113,9 +117,15 @@ impl QuadForest {
     /// leaf again. Children must all be leaves.
     pub fn coarsen(&mut self, ni: u32) {
         let children = self.nodes[ni as usize].children;
-        assert!(children.iter().all(|&c| c != NONE), "coarsen: {ni} has no children");
+        assert!(
+            children.iter().all(|&c| c != NONE),
+            "coarsen: {ni} has no children"
+        );
         for &c in &children {
-            assert!(self.nodes[c as usize].is_leaf, "coarsen: child {c} is not a leaf");
+            assert!(
+                self.nodes[c as usize].is_leaf,
+                "coarsen: child {c} is not a leaf"
+            );
             // detach; detached nodes are skipped by leaf iteration
             self.nodes[c as usize].parent = NONE;
             self.nodes[c as usize].is_leaf = false;
@@ -184,13 +194,19 @@ impl QuadForest {
     /// (kind inherited from the root patch).
     pub fn leaf_surface(&self) -> BoundarySurface {
         let ids = self.leaf_ids();
-        let patches: Vec<PolyPatch> =
-            ids.iter().map(|&i| self.nodes[i as usize].patch.clone()).collect();
+        let patches: Vec<PolyPatch> = ids
+            .iter()
+            .map(|&i| self.nodes[i as usize].patch.clone())
+            .collect();
         let kinds = ids
             .iter()
             .map(|&i| self.root_kinds[self.nodes[i as usize].root as usize])
             .collect();
-        BoundarySurface { q: self.q, patches, kinds }
+        BoundarySurface {
+            q: self.q,
+            patches,
+            kinds,
+        }
     }
 
     /// Splits the Morton-ordered leaves into `parts` contiguous chunks of
@@ -224,8 +240,10 @@ impl QuadForest {
             .collect();
         // match midpoints through a spatial hash to avoid O(E²)
         let grid = octree::SpatialHash::new(tol.max(1e-9) * 4.0, Vec3::ZERO);
-        let mut keyed: Vec<(u64, u32, Vec3)> =
-            edges.iter().map(|e| (grid.key_of_point(e.0), e.1, e.0)).collect();
+        let mut keyed: Vec<(u64, u32, Vec3)> = edges
+            .iter()
+            .map(|e| (grid.key_of_point(e.0), e.1, e.0))
+            .collect();
         keyed.sort_unstable_by_key(|k| k.0);
         let mut out = Vec::new();
         let mut i = 0;
@@ -267,7 +285,10 @@ mod tests {
         // polynomial) Jacobian, ~1e-4 at q = 6
         let area = f.leaf_surface().quadrature().total_area();
         let root_area = s.quadrature().total_area();
-        assert!((area - root_area).abs() / root_area < 5e-4, "area {area} vs {root_area}");
+        assert!(
+            (area - root_area).abs() / root_area < 5e-4,
+            "area {area} vs {root_area}"
+        );
     }
 
     #[test]
@@ -333,12 +354,19 @@ mod tests {
 
     #[test]
     fn kinds_inherited_through_refinement() {
-        let line = patch::StraightLine { a: Vec3::ZERO, b: Vec3::new(3.0, 0.0, 0.0) };
+        let line = patch::StraightLine {
+            a: Vec3::ZERO,
+            b: Vec3::new(3.0, 0.0, 0.0),
+        };
         let s = patch::capsule_tube(&line, 0.5, 2, 6);
         let mut f = QuadForest::from_surface(&s);
         f.refine_uniform(1);
         let ls = f.leaf_surface();
-        let inlets = ls.kinds.iter().filter(|k| matches!(k, PatchKind::Inlet(_))).count();
+        let inlets = ls
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, PatchKind::Inlet(_)))
+            .count();
         assert_eq!(inlets, 5 * 4);
     }
 }

@@ -75,8 +75,7 @@ pub fn laplace_dl_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], out: &mut [f
     debug_assert_eq!(out.len(), trgs.len());
     let c = -1.0 / (4.0 * std::f64::consts::PI);
     let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
-    let (mut qs, mut nxs, mut nys, mut nzs) =
-        ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut qs, mut nxs, mut nys, mut nzs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
     for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 4)) {
         load_tile(tile, &mut xs, &mut ys, &mut zs);
         let m = tile.len();

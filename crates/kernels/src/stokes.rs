@@ -185,8 +185,7 @@ pub fn stokes_equiv_block(trgs: &[Vec3], srcs: &[Vec3], data: &[f64], mu: f64, o
     let cs = 1.0 / (8.0 * std::f64::consts::PI * mu);
     let cq = 1.0 / (4.0 * std::f64::consts::PI);
     let (mut xs, mut ys, mut zs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE]);
-    let (mut fxs, mut fys, mut fzs, mut qs) =
-        ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
+    let (mut fxs, mut fys, mut fzs, mut qs) = ([0.0; TILE], [0.0; TILE], [0.0; TILE], [0.0; TILE]);
     for (tile, dt) in srcs.chunks(TILE).zip(data.chunks(TILE * 4)) {
         load_tile(tile, &mut xs, &mut ys, &mut zs);
         let m = tile.len();
@@ -256,7 +255,8 @@ pub fn stresslet_pressure(x: Vec3, y: Vec3, phi: Vec3, n: Vec3, mu: f64) -> f64 
     }
     let rinv3 = 1.0 / (r2 * r2.sqrt());
     let rinv5 = rinv3 / r2;
-    -(mu / (2.0 * std::f64::consts::PI)) * (n.dot(phi) * rinv3 - 3.0 * r.dot(phi) * r.dot(n) * rinv5)
+    -(mu / (2.0 * std::f64::consts::PI))
+        * (n.dot(phi) * rinv3 - 3.0 * r.dot(phi) * r.dot(n) * rinv5)
 }
 
 #[cfg(test)]

@@ -289,8 +289,16 @@ pub fn direct_eval<K: Kernel>(
 ) {
     let sd = kernel.src_dim();
     let td = kernel.trg_dim();
-    assert_eq!(src_data.len(), src_pts.len() * sd, "source data length mismatch");
-    assert_eq!(out.len(), trg_pts.len() * td, "target buffer length mismatch");
+    assert_eq!(
+        src_data.len(),
+        src_pts.len() * sd,
+        "source data length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        trg_pts.len() * td,
+        "target buffer length mismatch"
+    );
     // parallel over target blocks, vectorized eval_block within each block
     const BLK: usize = 64;
     rayon::par::chunks_mut(out, BLK * td, |bi, chunk| {
@@ -360,8 +368,9 @@ mod tests {
             let srcs = random_points(&mut rng, ns);
             let mut trgs = random_points(&mut rng, nt);
             trgs[0] = srcs[0];
-            let data: Vec<f64> =
-                (0..ns * kernel.src_dim()).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let data: Vec<f64> = (0..ns * kernel.src_dim())
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
             let mut blocked = vec![0.1; nt * kernel.trg_dim()];
             let mut scalar = vec![0.1; nt * kernel.trg_dim()];
             kernel.eval_block(&trgs, &srcs, &data, &mut blocked);
@@ -390,7 +399,9 @@ mod tests {
         let srcs = random_points(&mut rng, 40);
         let trgs = random_points(&mut rng, 23);
         let kernel = StokesSL { mu: 1.3 };
-        let data: Vec<f64> = (0..srcs.len() * 3).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..srcs.len() * 3)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let mut out_p = vec![0.0; trgs.len() * 3];
         let mut out_s = vec![0.0; trgs.len() * 3];
         direct_eval(&kernel, &srcs, &data, &trgs, &mut out_p);
@@ -406,7 +417,13 @@ mod tests {
         let trgs = vec![Vec3::ZERO];
         let kernel = LaplaceSL;
         let mut out = vec![5.0];
-        direct_eval_serial(&kernel, &srcs, &[4.0 * std::f64::consts::PI], &trgs, &mut out);
+        direct_eval_serial(
+            &kernel,
+            &srcs,
+            &[4.0 * std::f64::consts::PI],
+            &trgs,
+            &mut out,
+        );
         assert!((out[0] - 6.0).abs() < 1e-14);
     }
 
@@ -461,7 +478,10 @@ mod tests {
 
     #[test]
     fn scale_exponents_mark_source_component() {
-        assert_eq!(StokesEquiv { mu: 1.0 }.src_scale_exponents(), vec![0, 0, 0, 1]);
+        assert_eq!(
+            StokesEquiv { mu: 1.0 }.src_scale_exponents(),
+            vec![0, 0, 0, 1]
+        );
         assert_eq!(StokesSL { mu: 1.0 }.src_scale_exponents(), vec![0, 0, 0]);
         assert_eq!(LaplaceSL.src_scale_exponents(), vec![0]);
     }

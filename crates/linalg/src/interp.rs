@@ -86,11 +86,7 @@ impl Interp1d {
     /// Evaluates the interpolant of the samples `f` at `x`.
     pub fn eval(&self, f: &[f64], x: f64) -> f64 {
         debug_assert_eq!(f.len(), self.nodes.len());
-        self.weights_at(x)
-            .iter()
-            .zip(f)
-            .map(|(w, v)| w * v)
-            .sum()
+        self.weights_at(x).iter().zip(f).map(|(w, v)| w * v).sum()
     }
 
     /// Dense matrix mapping samples on `self.nodes` to values at `targets`.

@@ -18,7 +18,11 @@ pub struct Mat {
 impl Mat {
     /// Creates an `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Mat {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -159,7 +163,15 @@ impl Mat {
     pub fn matmul(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
         let mut c = Mat::zeros(self.rows, b.cols);
-        gemm_acc(self.rows, b.cols, self.cols, 1.0, &self.data, &b.data, &mut c.data);
+        gemm_acc(
+            self.rows,
+            b.cols,
+            self.cols,
+            1.0,
+            &self.data,
+            &b.data,
+            &mut c.data,
+        );
         c
     }
 
@@ -172,7 +184,15 @@ impl Mat {
         assert_eq!(self.cols, b.rows, "matmul_acc: inner dimension mismatch");
         assert_eq!(c.rows, self.rows, "matmul_acc: output rows");
         assert_eq!(c.cols, b.cols, "matmul_acc: output cols");
-        gemm_acc(self.rows, b.cols, self.cols, alpha, &self.data, &b.data, &mut c.data);
+        gemm_acc(
+            self.rows,
+            b.cols,
+            self.cols,
+            alpha,
+            &self.data,
+            &b.data,
+            &mut c.data,
+        );
     }
 
     /// Frobenius norm.
@@ -196,7 +216,11 @@ impl Mat {
             .zip(&b.data)
             .map(|(x, y)| x + alpha * y)
             .collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

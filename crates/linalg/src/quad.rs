@@ -137,7 +137,11 @@ mod tests {
         for d in 0..=max_deg {
             let f: Vec<f64> = rule.nodes.iter().map(|x| x.powi(d as i32)).collect();
             let num = rule.integrate(&f);
-            let exact = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+            let exact = if d % 2 == 0 {
+                2.0 / (d as f64 + 1.0)
+            } else {
+                0.0
+            };
             assert!(
                 (num - exact).abs() < tol,
                 "degree {d}: got {num}, want {exact}"

@@ -29,7 +29,11 @@ impl Svd {
             Self::tall(a)
         } else {
             let s = Self::tall(&a.transpose());
-            Svd { u: s.v, sigma: s.sigma, v: s.u }
+            Svd {
+                u: s.v,
+                sigma: s.sigma,
+                v: s.u,
+            }
         }
     }
 

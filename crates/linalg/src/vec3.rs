@@ -5,7 +5,9 @@
 //! operator overloading so numerical code reads like the formulas in the
 //! paper.
 
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A vector (or point) in `R^3` with `f64` components.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -20,7 +22,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -282,19 +288,28 @@ impl Aabb {
     /// Returns the box grown to contain `p`.
     #[inline]
     pub fn expanded_to(self, p: Vec3) -> Aabb {
-        Aabb { lo: self.lo.min(p), hi: self.hi.max(p) }
+        Aabb {
+            lo: self.lo.min(p),
+            hi: self.hi.max(p),
+        }
     }
 
     /// Returns the union of two boxes.
     #[inline]
     pub fn union(self, other: Aabb) -> Aabb {
-        Aabb { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Aabb {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Returns the box inflated by `d` in every direction.
     #[inline]
     pub fn inflated(self, d: f64) -> Aabb {
-        Aabb { lo: self.lo - Vec3::splat(d), hi: self.hi + Vec3::splat(d) }
+        Aabb {
+            lo: self.lo - Vec3::splat(d),
+            hi: self.hi + Vec3::splat(d),
+        }
     }
 
     /// Center point.

@@ -105,13 +105,21 @@ pub fn box_point_candidates(boxes: &[Aabb], pts: &[Vec3], grid: &SpatialHash) ->
         .flat_map_iter(|(i, b)| {
             let mut keys = Vec::new();
             grid.keys_of_box(*b, &mut keys);
-            keys.into_iter().map(move |key| Entry { key, id: i as u32, is_box: true })
+            keys.into_iter().map(move |key| Entry {
+                key,
+                id: i as u32,
+                is_box: true,
+            })
         })
         .collect();
     entries.extend(
         pts.par_iter()
             .enumerate()
-            .map(|(i, &p)| Entry { key: grid.key_of_point(p), id: i as u32, is_box: false })
+            .map(|(i, &p)| Entry {
+                key: grid.key_of_point(p),
+                id: i as u32,
+                is_box: false,
+            })
             .collect::<Vec<_>>(),
     );
     entries.par_sort_unstable_by_key(|e| (e.key, e.is_box));
@@ -175,7 +183,11 @@ fn raw_box_pairs(a: &[Aabb], b: &[Aabb], grid: &SpatialHash, self_mode: bool) ->
         .flat_map_iter(|(i, bx)| {
             let mut keys = Vec::new();
             grid.keys_of_box(*bx, &mut keys);
-            keys.into_iter().map(move |key| Entry { key, id: i as u32, from_a: true })
+            keys.into_iter().map(move |key| Entry {
+                key,
+                id: i as u32,
+                from_a: true,
+            })
         })
         .collect();
     if !self_mode {
@@ -185,7 +197,11 @@ fn raw_box_pairs(a: &[Aabb], b: &[Aabb], grid: &SpatialHash, self_mode: bool) ->
             .flat_map_iter(|(i, bx)| {
                 let mut keys = Vec::new();
                 grid.keys_of_box(*bx, &mut keys);
-                keys.into_iter().map(move |key| Entry { key, id: i as u32, from_a: false })
+                keys.into_iter().map(move |key| Entry {
+                    key,
+                    id: i as u32,
+                    from_a: false,
+                })
             })
             .collect();
         entries.extend(more);
@@ -307,7 +323,10 @@ mod tests {
         for i in 0..boxes.len() {
             for j in i + 1..boxes.len() {
                 if boxes[i].intersects(boxes[j]) {
-                    assert!(set.contains(&(i as u32, j as u32)), "missed self pair ({i},{j})");
+                    assert!(
+                        set.contains(&(i as u32, j as u32)),
+                        "missed self pair ({i},{j})"
+                    );
                 }
             }
         }

@@ -64,9 +64,14 @@ impl MortonKey {
     /// Builds a key from level-local anchor coordinates in `[0, 2^level)`.
     pub fn from_anchor(level: u32, x: u64, y: u64, z: u64) -> MortonKey {
         debug_assert!(level <= MAX_DEPTH);
-        debug_assert!(x < (1 << level).max(1) && y < (1 << level).max(1) && z < (1 << level).max(1));
+        debug_assert!(
+            x < (1 << level).max(1) && y < (1 << level).max(1) && z < (1 << level).max(1)
+        );
         let shift = MAX_DEPTH - level;
-        MortonKey { level, code: morton_encode(x << shift, y << shift, z << shift) }
+        MortonKey {
+            level,
+            code: morton_encode(x << shift, y << shift, z << shift),
+        }
     }
 
     /// Anchor coordinates in the level-local grid `[0, 2^level)`.
@@ -86,7 +91,10 @@ impl MortonKey {
         // zero out the bits below the parent level
         let mask = !((1u64 << (3 * shift.min(63) as u64)).wrapping_sub(1));
         let mask = if shift >= 21 { 0 } else { mask };
-        MortonKey { level, code: self.code & mask }
+        MortonKey {
+            level,
+            code: self.code & mask,
+        }
     }
 
     /// The eight children, in Morton order.
@@ -131,7 +139,10 @@ impl MortonKey {
         } else {
             !((1u64 << (3 * shift as u64)) - 1)
         };
-        MortonKey { level, code: self.code & mask }
+        MortonKey {
+            level,
+            code: self.code & mask,
+        }
     }
 
     /// Same-level neighbours sharing a face, edge, or corner (≤ 26), clipped
@@ -167,7 +178,11 @@ impl MortonKey {
     /// least a corner) or overlap. Works on the integer anchor geometry.
     pub fn is_adjacent(self, other: MortonKey) -> bool {
         // compare in the finer of the two grids
-        let (a, b) = if self.level >= other.level { (self, other) } else { (other, self) };
+        let (a, b) = if self.level >= other.level {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let shift = a.level - b.level;
         let (ax, ay, az) = a.anchor();
         let (bx, by, bz) = b.anchor();
@@ -211,7 +226,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for (x, y, z) in [(0u64, 0, 0), (1, 2, 3), (100, 2000, 30000), (0x1fffff, 0, 0x1fffff)] {
+        for (x, y, z) in [
+            (0u64, 0, 0),
+            (1, 2, 3),
+            (100, 2000, 30000),
+            (0x1fffff, 0, 0x1fffff),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
         }
     }

@@ -91,7 +91,10 @@ pub struct TreeOptions {
 
 impl Default for TreeOptions {
     fn default() -> Self {
-        TreeOptions { leaf_capacity: 160, max_depth: 12 }
+        TreeOptions {
+            leaf_capacity: 160,
+            max_depth: 12,
+        }
     }
 }
 
@@ -121,15 +124,24 @@ impl Octree {
     /// The root cube is the inflated bounding cube of all points. Either set
     /// may be empty (but not both).
     pub fn build(src: &[Vec3], trg: &[Vec3], opts: TreeOptions) -> Octree {
-        assert!(!src.is_empty() || !trg.is_empty(), "Octree::build: no points");
+        assert!(
+            !src.is_empty() || !trg.is_empty(),
+            "Octree::build: no points"
+        );
         let bbox = Aabb::from_points(src.iter().chain(trg.iter()).copied());
         let ext = bbox.extent();
         let half = (0.5 * ext.max_component()).max(1e-12) * (1.0 + 1e-9) + 1e-300;
         let center = bbox.center();
 
         // Morton codes at max resolution + argsort
-        let mut src_codes: Vec<u64> = src.par_iter().map(|&p| point_morton(p, center, half)).collect();
-        let mut trg_codes: Vec<u64> = trg.par_iter().map(|&p| point_morton(p, center, half)).collect();
+        let mut src_codes: Vec<u64> = src
+            .par_iter()
+            .map(|&p| point_morton(p, center, half))
+            .collect();
+        let mut trg_codes: Vec<u64> = trg
+            .par_iter()
+            .map(|&p| point_morton(p, center, half))
+            .collect();
         let mut src_order: Vec<u32> = (0..src.len() as u32).collect();
         let mut trg_order: Vec<u32> = (0..trg.len() as u32).collect();
         src_order.par_sort_unstable_by_key(|&i| src_codes[i as usize]);
@@ -400,7 +412,11 @@ impl Octree {
         let (x, y, z) = key.anchor();
         let w = 2.0 * self.half / (1u64 << key.level) as f64;
         let lo = self.center - Vec3::splat(self.half);
-        lo + Vec3::new((x as f64 + 0.5) * w, (y as f64 + 0.5) * w, (z as f64 + 0.5) * w)
+        lo + Vec3::new(
+            (x as f64 + 0.5) * w,
+            (y as f64 + 0.5) * w,
+            (z as f64 + 0.5) * w,
+        )
     }
 
     /// Half-width of a node's cube.
@@ -503,13 +519,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let src = random_cloud(&mut rng, 500, 1.0);
         let trg = random_cloud(&mut rng, 300, 1.0);
-        let tree = Octree::build(&src, &trg, TreeOptions { leaf_capacity: 40, max_depth: 10 });
+        let tree = Octree::build(
+            &src,
+            &trg,
+            TreeOptions {
+                leaf_capacity: 40,
+                max_depth: 10,
+            },
+        );
         check_invariants(&tree, 500, 300);
         // leaves respect capacity unless depth-limited
         for li in tree.leaves() {
             let n = &tree.nodes[li as usize];
             if n.key.level < 10 {
-                assert!(n.nsrc() + n.ntrg() <= 40, "leaf overflow: {}", n.nsrc() + n.ntrg());
+                assert!(
+                    n.nsrc() + n.ntrg() <= 40,
+                    "leaf overflow: {}",
+                    n.nsrc() + n.ntrg()
+                );
             }
         }
     }
@@ -520,7 +547,14 @@ mod tests {
         // highly non-uniform: dense cluster + sparse halo
         let mut pts = random_cloud(&mut rng, 800, 0.01);
         pts.extend(random_cloud(&mut rng, 50, 1.0));
-        let tree = Octree::build(&pts, &pts, TreeOptions { leaf_capacity: 30, max_depth: 14 });
+        let tree = Octree::build(
+            &pts,
+            &pts,
+            TreeOptions {
+                leaf_capacity: 30,
+                max_depth: 14,
+            },
+        );
         let leaves = tree.leaves();
         for &a in &leaves {
             for &b in &leaves {
@@ -528,7 +562,12 @@ mod tests {
                 let kb = tree.nodes[b as usize].key;
                 if ka.is_adjacent(kb) {
                     let d = (ka.level as i64 - kb.level as i64).abs();
-                    assert!(d <= 1, "balance violated: levels {} vs {}", ka.level, kb.level);
+                    assert!(
+                        d <= 1,
+                        "balance violated: levels {} vs {}",
+                        ka.level,
+                        kb.level
+                    );
                 }
             }
         }
@@ -538,7 +577,14 @@ mod tests {
     fn u_list_symmetric_and_contains_self() {
         let mut rng = StdRng::seed_from_u64(3);
         let pts = random_cloud(&mut rng, 600, 1.0);
-        let tree = Octree::build(&pts, &pts, TreeOptions { leaf_capacity: 25, max_depth: 10 });
+        let tree = Octree::build(
+            &pts,
+            &pts,
+            TreeOptions {
+                leaf_capacity: 25,
+                max_depth: 10,
+            },
+        );
         for li in tree.leaves() {
             let u = &tree.nodes[li as usize].u_list;
             assert!(u.contains(&li), "U list must contain self");
@@ -560,7 +606,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut pts = random_cloud(&mut rng, 300, 1.0);
         pts.extend(random_cloud(&mut rng, 300, 0.05)); // cluster for adaptivity
-        let tree = Octree::build(&pts, &pts, TreeOptions { leaf_capacity: 20, max_depth: 12 });
+        let tree = Octree::build(
+            &pts,
+            &pts,
+            TreeOptions {
+                leaf_capacity: 20,
+                max_depth: 12,
+            },
+        );
         let n = tree.nodes.len();
 
         // multipole counts: number of sources per node (upward pass)
@@ -571,8 +624,7 @@ mod tests {
 
         // local counts via V and X lists, propagated down (L2L)
         let mut local = vec![0usize; n];
-        let level_order: Vec<u32> =
-            tree.levels.iter().flatten().copied().collect();
+        let level_order: Vec<u32> = tree.levels.iter().flatten().copied().collect();
         for &i in &level_order {
             let node = &tree.nodes[i as usize];
             for &v in &node.v_list {
@@ -618,7 +670,14 @@ mod tests {
     fn node_geometry_contains_its_points() {
         let mut rng = StdRng::seed_from_u64(5);
         let pts = random_cloud(&mut rng, 400, 2.5);
-        let tree = Octree::build(&pts, &[], TreeOptions { leaf_capacity: 15, max_depth: 10 });
+        let tree = Octree::build(
+            &pts,
+            &[],
+            TreeOptions {
+                leaf_capacity: 15,
+                max_depth: 10,
+            },
+        );
         for li in tree.leaves() {
             let c = tree.node_center(li);
             let h = tree.node_half(li) * (1.0 + 1e-9);

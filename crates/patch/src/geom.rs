@@ -24,7 +24,14 @@ use std::f64::consts::PI;
 
 /// Fits one patch of order `q` through samples of a smooth map on the
 /// sub-square `[u0,u1] × [v0,v1]` of the map's parameter domain.
-fn fit_from_map(q: usize, u0: f64, u1: f64, v0: f64, v1: f64, f: &dyn Fn(f64, f64) -> Vec3) -> PolyPatch {
+fn fit_from_map(
+    q: usize,
+    u0: f64,
+    u1: f64,
+    v0: f64,
+    v1: f64,
+    f: &dyn Fn(f64, f64) -> Vec3,
+) -> PolyPatch {
     let nodes = clenshaw_curtis(q).nodes;
     let mut samples = Vec::with_capacity(q * q);
     for &tv in &nodes {
@@ -57,12 +64,12 @@ fn cube_face_maps() -> Vec<Box<dyn Fn(f64, f64) -> Vec3 + Sync>> {
     // each face: (u,v) ∈ [-1,1]² → normalize(face point); orientation chosen
     // so that X_u × X_v points outward
     vec![
-        Box::new(|u, v| Vec3::new(1.0, u, v).normalized()),   // +x
-        Box::new(|u, v| Vec3::new(-1.0, v, u).normalized()),  // -x
-        Box::new(|u, v| Vec3::new(v, 1.0, u).normalized()),   // +y
-        Box::new(|u, v| Vec3::new(u, -1.0, v).normalized()),  // -y
-        Box::new(|u, v| Vec3::new(u, v, 1.0).normalized()),   // +z
-        Box::new(|u, v| Vec3::new(v, u, -1.0).normalized()),  // -z
+        Box::new(|u, v| Vec3::new(1.0, u, v).normalized()), // +x
+        Box::new(|u, v| Vec3::new(-1.0, v, u).normalized()), // -x
+        Box::new(|u, v| Vec3::new(v, 1.0, u).normalized()), // +y
+        Box::new(|u, v| Vec3::new(u, -1.0, v).normalized()), // -y
+        Box::new(|u, v| Vec3::new(u, v, 1.0).normalized()), // +z
+        Box::new(|u, v| Vec3::new(v, u, -1.0).normalized()), // -z
     ]
 }
 
@@ -115,7 +122,10 @@ pub fn modulated_torus(
     nv: usize,
     q: usize,
 ) -> BoundarySurface {
-    assert!(big_r > small_r * (1.0 + amp.abs()), "torus would self-intersect");
+    assert!(
+        big_r > small_r * (1.0 + amp.abs()),
+        "torus would self-intersect"
+    );
     let map = move |alpha: f64, beta: f64| -> Vec3 {
         let r = small_r * (1.0 + amp * (lobes as f64 * alpha).cos());
         let ring = Vec3::new(alpha.cos(), alpha.sin(), 0.0);
@@ -203,7 +213,11 @@ pub struct Helix {
 impl Centerline for Helix {
     fn position(&self, s: f64) -> Vec3 {
         let a = 2.0 * PI * self.turns * s;
-        Vec3::new(self.radius * a.cos(), self.radius * a.sin(), self.pitch * self.turns * s)
+        Vec3::new(
+            self.radius * a.cos(),
+            self.radius * a.sin(),
+            self.pitch * self.turns * s,
+        )
     }
     fn up(&self) -> Vec3 {
         Vec3::new(0.0, 0.0, 1.0)
@@ -214,7 +228,8 @@ impl Centerline for Helix {
 /// from the fixed up vector (valid while the tangent stays away from `up`).
 fn frame(c: &dyn Centerline, s: f64) -> (Vec3, Vec3, Vec3) {
     let h = 1e-5;
-    let t = ((c.position((s + h).min(1.0)) - c.position((s - h).max(0.0))).normalized()).normalized();
+    let t =
+        ((c.position((s + h).min(1.0)) - c.position((s - h).max(0.0))).normalized()).normalized();
     let up = c.up();
     let n = (up - t * up.dot(t)).normalized();
     let b = t.cross(n);
@@ -277,7 +292,11 @@ pub fn capsule_tube(c: &dyn Centerline, r: f64, n_s: usize, q: usize) -> Boundar
             }
         };
         patches.push(fit_from_map(q, -1.0, 1.0, -1.0, 1.0, &polar_oriented));
-        kinds.push(if port == 0 { PatchKind::Inlet(port) } else { PatchKind::Outlet(port) });
+        kinds.push(if port == 0 {
+            PatchKind::Inlet(port)
+        } else {
+            PatchKind::Outlet(port)
+        });
         // four flank faces: from the tube seam (polar angle 90°) to the
         // polar face edge (45°)
         for k in 0..4 {
@@ -303,7 +322,11 @@ pub fn capsule_tube(c: &dyn Centerline, r: f64, n_s: usize, q: usize) -> Boundar
                 }
             };
             patches.push(fit_from_map(q, -1.0, 1.0, -1.0, 1.0, &flank_oriented));
-            kinds.push(if port == 0 { PatchKind::Inlet(port) } else { PatchKind::Outlet(port) });
+            kinds.push(if port == 0 {
+                PatchKind::Inlet(port)
+            } else {
+                PatchKind::Outlet(port)
+            });
         }
     }
 
@@ -367,12 +390,19 @@ mod tests {
                 pos += 1;
             }
         }
-        assert!(pos as f64 > 0.95 * quad.len() as f64, "outward normals: {pos}/{}", quad.len());
+        assert!(
+            pos as f64 > 0.95 * quad.len() as f64,
+            "outward normals: {pos}/{}",
+            quad.len()
+        );
     }
 
     #[test]
     fn straight_capsule_closed_and_capped() {
-        let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(4.0, 0.0, 0.0) };
+        let line = StraightLine {
+            a: Vec3::ZERO,
+            b: Vec3::new(4.0, 0.0, 0.0),
+        };
         let s = capsule_tube(&line, 0.5, 4, 8);
         // 4·4 tube + 2·5 caps
         assert_eq!(s.num_patches(), 26);
@@ -382,15 +412,27 @@ mod tests {
         let exact = 2.0 * PI * 0.5 * 4.0 + 4.0 * PI * 0.25;
         assert!((area - exact).abs() / exact < 1e-3, "{area} vs {exact}");
         // inlet/outlet marked
-        let inlets = s.kinds.iter().filter(|k| matches!(k, PatchKind::Inlet(_))).count();
-        let outlets = s.kinds.iter().filter(|k| matches!(k, PatchKind::Outlet(_))).count();
+        let inlets = s
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, PatchKind::Inlet(_)))
+            .count();
+        let outlets = s
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, PatchKind::Outlet(_)))
+            .count();
         assert_eq!(inlets, 5);
         assert_eq!(outlets, 5);
     }
 
     #[test]
     fn serpentine_capsule_closed() {
-        let c = Serpentine { length: 6.0, amp: 0.8, windings: 1.5 };
+        let c = Serpentine {
+            length: 6.0,
+            amp: 0.8,
+            windings: 1.5,
+        };
         let s = capsule_tube(&c, 0.4, 8, 8);
         check_closed_surface(&c_interior(&c), 2e-2, &s);
         fn c_interior(c: &Serpentine) -> Vec3 {
@@ -409,7 +451,11 @@ mod tests {
 
     #[test]
     fn helix_capsule_closed() {
-        let c = Helix { radius: 2.0, pitch: 1.0, turns: 1.25 };
+        let c = Helix {
+            radius: 2.0,
+            pitch: 1.0,
+            turns: 1.25,
+        };
         let s = capsule_tube(&c, 0.35, 10, 8);
         let quad = s.quadrature();
         let interior = c.position(0.3);

@@ -44,7 +44,11 @@ pub fn write_vtk_quads(
 }
 
 /// Writes a point cloud with optional per-point vectors (e.g. velocities).
-pub fn write_vtk_points(path: &Path, points: &[Vec3], vectors: Option<(&str, &[Vec3])>) -> io::Result<()> {
+pub fn write_vtk_points(
+    path: &Path,
+    points: &[Vec3],
+    vectors: Option<(&str, &[Vec3])>,
+) -> io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "# vtk DataFile Version 3.0")?;
     writeln!(f, "rbcflow points")?;

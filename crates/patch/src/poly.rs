@@ -49,7 +49,9 @@ impl PolyPatch {
         // Build the 1-D Chebyshev Vandermonde at CC nodes and invert once.
         let nodes = clenshaw_curtis(q).nodes;
         let vand = Mat::from_fn(q, q, |i, a| chebyshev_t(a, nodes[i]).0);
-        let inv = linalg::Lu::new(&vand).expect("Chebyshev Vandermonde is nonsingular").inverse();
+        let inv = linalg::Lu::new(&vand)
+            .expect("Chebyshev Vandermonde is nonsingular")
+            .inverse();
         // coefficients: C = inv * F * invᵀ per component (tensor structure)
         let mut coef: [Vec<f64>; 3] = [vec![0.0; q * q], vec![0.0; q * q], vec![0.0; q * q]];
         for c in 0..3 {
@@ -400,7 +402,10 @@ mod tests {
         // a far point clamps to the boundary of the parameter square
         let far = Vec3::new(10.0, 10.0, 0.0);
         let (ue, ve, _) = patch.closest_point(far);
-        assert!(ue.abs() > 0.999 || ve.abs() > 0.999, "expected edge params ({ue},{ve})");
+        assert!(
+            ue.abs() > 0.999 || ve.abs() > 0.999,
+            "expected edge params ({ue},{ve})"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! bit-identically (covered by the `driver` crate's restart test).
 
 use crate::domain::Vessel;
-use crate::stepper::{SimConfig, Simulation};
+use crate::stepper::{DtControl, DtState, SimConfig, Simulation};
 use crate::timers::StepTimers;
 use linalg::{fnv1a64, ByteReader, ByteWriter, CodecError};
 use sphharm::SphBasis;
@@ -25,8 +25,12 @@ use vesicle::{Cell, StepOptions};
 /// File magic: "RBCCKPT" + format version. Version history:
 /// 1 — cells + config + timers (PR 2); 2 — adds the boundary-solve
 /// warm-start density (`bie_warm`), needed for bit-identical restarts now
-/// that the GMRES initial guess carries across steps.
-const MAGIC: &[u8; 8] = b"RBCCKPT2";
+/// that the GMRES initial guess carries across steps; 3 — adds the
+/// adaptive time-step controller ([`DtControl`] in the config,
+/// [`DtState`] as evolving state), so a restart resumes the same backoff
+/// trajectory — restarting mid-recovery with a fresh controller would
+/// retry at the wrong Δt and diverge from the uninterrupted run.
+const MAGIC: &[u8; 8] = b"RBCCKPT3";
 
 /// A captured simulation state, decoupled from the live [`Simulation`].
 #[derive(Clone, Debug)]
@@ -52,6 +56,10 @@ pub struct Checkpoint {
     /// bit-exactly so a restarted run's first GMRES solve starts from the
     /// same iterate as the uninterrupted run.
     pub bie_warm: Option<Vec<f64>>,
+    /// Adaptive time-step controller state (current Δt, clean-step
+    /// counter, per-cell freeze flags) — part of the trajectory since the
+    /// controller's next decision depends on it.
+    pub dt_state: DtState,
 }
 
 /// Deterministic digest of the static vessel state: collision meshes,
@@ -132,6 +140,12 @@ fn write_config(w: &mut ByteWriter, c: &SimConfig) {
     w.put_usize(c.step.gmres.restart);
     w.put_f64(c.step.gmres.stall_ratio);
     w.put_bool(c.disable_collisions);
+    w.put_bool(c.dt_control.enabled);
+    w.put_f64(c.dt_control.dt_min);
+    w.put_usize(c.dt_control.grow_after);
+    w.put_bool(c.dt_control.substep);
+    w.put_f64(c.dt_control.max_stretch);
+    w.put_f64(c.dt_control.max_volume_drift);
 }
 
 fn read_config(r: &mut ByteReader) -> Result<SimConfig, CodecError> {
@@ -158,6 +172,14 @@ fn read_config(r: &mut ByteReader) -> Result<SimConfig, CodecError> {
             },
         },
         disable_collisions: r.get_bool()?,
+        dt_control: DtControl {
+            enabled: r.get_bool()?,
+            dt_min: r.get_f64()?,
+            grow_after: r.get_usize()?,
+            substep: r.get_bool()?,
+            max_stretch: r.get_f64()?,
+            max_volume_drift: r.get_f64()?,
+        },
     })
 }
 
@@ -173,6 +195,7 @@ impl Checkpoint {
             vessel_digest: sim.vessel.as_ref().map(vessel_digest).unwrap_or(0),
             cells: sim.cells.clone(),
             bie_warm: sim.bie_warm.clone(),
+            dt_state: sim.dt_state.clone(),
         }
     }
 
@@ -203,14 +226,21 @@ impl Checkpoint {
             }
             None => w.put_bool(false),
         }
+        w.put_f64(self.dt_state.dt);
+        w.put_usize(self.dt_state.clean_steps);
+        w.put_usize(self.dt_state.frozen.len());
+        for &f in &self.dt_state.frozen {
+            w.put_bool(f);
+        }
         w.into_bytes()
     }
 
     /// Deserializes from bytes written by [`Checkpoint::to_bytes`].
     ///
     /// Rejects files from other format versions with a clear error — a v1
-    /// checkpoint has no warm-start density, so continuing from it could
-    /// not reproduce the original trajectory bit-identically.
+    /// checkpoint has no warm-start density and a v2 checkpoint has no
+    /// adaptive-Δt controller state, so continuing from either could not
+    /// reproduce the original trajectory bit-identically.
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
         let mut r = ByteReader::new(bytes);
         let mut magic = [0u8; 8];
@@ -249,6 +279,20 @@ impl Checkpoint {
         } else {
             None
         };
+        let dt_state = {
+            let dt = r.get_f64()?;
+            let clean_steps = r.get_usize()?;
+            let n_frozen = r.get_usize()?;
+            let mut frozen = Vec::with_capacity(n_frozen.min(1 << 20));
+            for _ in 0..n_frozen {
+                frozen.push(r.get_bool()?);
+            }
+            DtState {
+                dt,
+                clean_steps,
+                frozen,
+            }
+        };
         if r.remaining() != 0 {
             return Err(CodecError(format!("{} trailing bytes", r.remaining())));
         }
@@ -261,6 +305,7 @@ impl Checkpoint {
             vessel_digest,
             cells,
             bie_warm,
+            dt_state,
         })
     }
 
@@ -304,6 +349,8 @@ impl Checkpoint {
         sim.timers = self.timers;
         sim.last_stats = Default::default();
         sim.bie_warm = self.bie_warm.clone();
+        sim.dt_state = self.dt_state.clone();
+        sim.last_health = Vec::new();
         Ok(())
     }
 
@@ -364,6 +411,14 @@ mod tests {
         let mut sim = two_cell_sim();
         sim.steps = 17;
         sim.timers.col = 1.25;
+        // mid-backoff controller state must round-trip bit-exactly
+        sim.dt_state = DtState {
+            dt: 0.015 / 4.0,
+            clean_steps: 3,
+            frozen: vec![true, false],
+        };
+        sim.config.dt_control.dt_min = 1e-4;
+        sim.config.dt_control.substep = true;
         let ckpt = Checkpoint::capture(&sim, "shear_pair");
         let bytes = ckpt.to_bytes();
         let back = Checkpoint::from_bytes(&bytes).unwrap();
@@ -379,6 +434,27 @@ mod tests {
                 assert_eq!(a.coeffs[c].data, b.coeffs[c].data);
             }
         }
+        assert_eq!(back.dt_state.dt, 0.015 / 4.0);
+        assert_eq!(back.dt_state.clean_steps, 3);
+        assert_eq!(back.dt_state.frozen, vec![true, false]);
+        assert_eq!(back.config.dt_control.dt_min, 1e-4);
+        assert!(back.config.dt_control.substep);
+    }
+
+    #[test]
+    fn v2_checkpoint_rejected_with_version_error() {
+        let sim = two_cell_sim();
+        let mut bytes = Checkpoint::capture(&sim, "x").to_bytes();
+        bytes[7] = b'2'; // masquerade as the pre-adaptive-dt format
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err().to_string();
+        assert!(
+            err.contains("version 2"),
+            "error should name the file's version: {err}"
+        );
+        assert!(
+            err.contains("version 3"),
+            "error should name the supported version: {err}"
+        );
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod timers;
 
 pub use checkpoint::{simulation_from_checkpoint, vessel_digest, Checkpoint};
 pub use domain::{Port, Vessel};
-pub use fill::{cells_from_seeds, fill_seeds, Seed};
-pub use stepper::{SimConfig, Simulation, StepStats};
+pub use fill::{cells_from_seeds, fill_seeds, fill_seeds_packed, Seed};
+pub use stepper::{DtControl, DtState, SimConfig, Simulation, StepStats};
 pub use timers::{timed, StepTimers};

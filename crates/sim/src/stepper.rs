@@ -13,7 +13,85 @@ use kernels::{direct_eval_serial, StokesEquiv, StokesSL};
 use linalg::{Mat, Vec3};
 use rayon::prelude::*;
 use sphharm::SphBasis;
-use vesicle::{implicit_step, upsample_matrix, Cell, SelfInteraction, StepOptions};
+use vesicle::{
+    implicit_substep_chain, step_health, upsample_matrix, Cell, CellHealth, SelfInteraction,
+    StepOptions,
+};
+
+/// Adaptive time-step controls: the per-cell blow-up gate and the
+/// deterministic retry/backoff policy [`Simulation::step`] runs behind.
+///
+/// The controller is a pure function of simulation state — every decision
+/// (accept, retry at Δt/2, freeze at `dt_min`, recover toward the target
+/// Δt) depends only on the cells, the config, and [`DtState`], all of
+/// which the checkpoint serializes — so two instances and a restarted run
+/// take bit-identical retry sequences.
+#[derive(Clone, Copy, Debug)]
+pub struct DtControl {
+    /// Master switch. `false` restores the pre-adaptive behavior: one
+    /// attempt per step at the configured Δt, committed regardless of
+    /// health (the health metrics are still computed and reported).
+    pub enabled: bool,
+    /// Smallest Δt the backoff may reach. `≤ 0` means "target Δt / 16"
+    /// (four halvings), resolved at run time so the default tracks the
+    /// scenario's Δt.
+    pub dt_min: f64,
+    /// Consecutive clean steps (no retries, no frozen cells) before the
+    /// controller doubles Δt back toward the target.
+    pub grow_after: usize,
+    /// Retry shape: `false` halves the whole step (the step then advances
+    /// `Δt_current < Δt_target`); `true` keeps the step advancing the full
+    /// target Δt but chains the per-cell implicit update as
+    /// `Δt_target / Δt_current` sub-steps of [`implicit_substep_chain`].
+    pub substep: bool,
+    /// Health bound on [`CellHealth::max_stretch`] (linear stretch of the
+    /// surface element vs the rest configuration).
+    pub max_stretch: f64,
+    /// Health bound on [`CellHealth::volume_drift`] (relative enclosed
+    /// volume change per attempted step).
+    pub max_volume_drift: f64,
+}
+
+impl Default for DtControl {
+    fn default() -> Self {
+        DtControl {
+            enabled: true,
+            dt_min: 0.0,
+            grow_after: 4,
+            substep: false,
+            max_stretch: 10.0,
+            max_volume_drift: 0.25,
+        }
+    }
+}
+
+impl DtControl {
+    /// The absolute `dt_min` in effect for a target step size.
+    pub fn resolved_dt_min(&self, dt_target: f64) -> f64 {
+        if self.dt_min > 0.0 {
+            self.dt_min
+        } else {
+            dt_target / 16.0
+        }
+    }
+}
+
+/// The adaptive controller's evolving state. Part of the trajectory —
+/// a restarted run must resume with the same current Δt and clean-step
+/// counter to reproduce the original retry sequence bit-identically, so
+/// [`crate::Checkpoint`] (format v3) serializes it.
+#[derive(Clone, Debug, Default)]
+pub struct DtState {
+    /// Current controller Δt (`0` = uninitialized, meaning the target Δt).
+    pub dt: f64,
+    /// Consecutive clean steps since the last retry/freeze/recovery.
+    pub clean_steps: usize,
+    /// Per-cell freeze flags from the last step's `dt_min` fallback: `true`
+    /// means that cell's implicit update was skipped (its pre-step
+    /// positions were kept through the implicit stage) because it still
+    /// violated the health bounds at `dt_min`.
+    pub frozen: Vec<bool>,
+}
 
 /// Simulation configuration.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +115,8 @@ pub struct SimConfig {
     /// Skip collision handling entirely (for the convergence reference
     /// runs of Fig. 11).
     pub disable_collisions: bool,
+    /// Adaptive time-step controls (blow-up gate + retry/backoff policy).
+    pub dt_control: DtControl,
 }
 
 impl Default for SimConfig {
@@ -51,6 +131,7 @@ impl Default for SimConfig {
             fmm: fmm::FmmOptions::default(),
             step: StepOptions::default(),
             disable_collisions: false,
+            dt_control: DtControl::default(),
         }
     }
 }
@@ -75,6 +156,20 @@ pub struct StepStats {
     pub ncp_iters: usize,
     /// Whether contact resolution reached a contact-free state.
     pub contact_free: bool,
+    /// Time actually advanced by this step: the (possibly backed-off)
+    /// controller Δt in whole-step-halving mode, the full target Δt in
+    /// sub-stepping mode.
+    pub dt_effective: f64,
+    /// Rolled-back attempts before this step was accepted (0 = clean).
+    pub dt_retries: usize,
+    /// Largest per-cell [`CellHealth::max_stretch`] of the accepted
+    /// attempt — bounded by `DtControl::max_stretch` whenever the
+    /// controller is enabled and no cell had to be frozen.
+    pub max_edge_stretch: f64,
+    /// Cells whose implicit update was frozen this step because they still
+    /// violated the health bounds at `dt_min` (graceful degradation: the
+    /// run stays alive and finite instead of emitting NaNs).
+    pub frozen_cells: usize,
 }
 
 /// The simulation state: cells in an optional vessel.
@@ -98,6 +193,27 @@ pub struct Simulation {
     /// Part of the evolving trajectory state: it is serialized by
     /// [`crate::Checkpoint`] so restarts stay bit-identical.
     pub bie_warm: Option<Vec<f64>>,
+    /// Adaptive time-step controller state (current Δt, clean-step
+    /// counter, per-cell freeze flags). Evolving trajectory state,
+    /// serialized by [`crate::Checkpoint`] (format v3).
+    pub dt_state: DtState,
+    /// Per-cell health metrics of the last accepted step (empty before the
+    /// first step) — the per-cell detail behind
+    /// [`StepStats::max_edge_stretch`], for diagnostics that need to name
+    /// the offending cell.
+    pub last_health: Vec<CellHealth>,
+}
+
+/// One uncommitted step attempt: everything `Simulation::step` needs to
+/// either commit (positions, minus reverted frozen cells) or report
+/// (stats, per-cell health).
+struct Attempt {
+    stats: StepStats,
+    health: Vec<CellHealth>,
+    new_positions: Vec<Vec<Vec3>>,
+    /// Frozen cells whose post-collision positions went non-finite: their
+    /// committed state is the pre-step state (position update discarded).
+    reverts: Vec<bool>,
 }
 
 struct CellMobility<'a> {
@@ -190,6 +306,7 @@ impl Simulation {
         vessel: Option<Vessel>,
         config: SimConfig,
     ) -> Simulation {
+        let n_cells = cells.len();
         Simulation {
             basis,
             cells,
@@ -199,6 +316,12 @@ impl Simulation {
             steps: 0,
             last_stats: StepStats::default(),
             bie_warm: None,
+            dt_state: DtState {
+                dt: config.dt,
+                clean_steps: 0,
+                frozen: vec![false; n_cells],
+            },
+            last_health: Vec::new(),
         }
     }
 
@@ -224,15 +347,136 @@ impl Simulation {
         }
     }
 
-    /// Advances one time step (the algorithm summary of §2.2), returning
-    /// the per-component timers for this step.
+    /// Advances one time step (the algorithm summary of §2.2) as a
+    /// **transaction**: an attempt at the controller's current Δt is
+    /// health-checked after the implicit stage (per-cell edge stretch,
+    /// volume drift, non-finite detection — see [`vesicle::CellHealth`])
+    /// and again (finiteness) after contact resolution; a violating
+    /// attempt is rolled back to the pre-step state and retried at Δt/2
+    /// with exponential backoff down to `dt_min`. At `dt_min` the
+    /// offending cells' implicit updates are frozen for the step
+    /// (graceful degradation: the run stays alive and finite). After
+    /// `grow_after` consecutive clean steps the controller doubles Δt back
+    /// toward the configured target. Returns the per-component timers for
+    /// this step (retried attempts' wall time included).
     pub fn step(&mut self) -> StepTimers {
         let mut t = StepTimers::default();
-        let dt = self.config.dt;
+        let ctl = self.config.dt_control;
+        let dt_target = self.config.dt;
+        let dt_min = ctl.resolved_dt_min(dt_target).min(dt_target);
+        let nc = self.cells.len();
+
+        // controller Δt from serialized state (0 = fresh ⇒ target)
+        let mut dt_now = if self.dt_state.dt > 0.0 {
+            self.dt_state.dt.min(dt_target)
+        } else {
+            dt_target
+        };
+        if !ctl.enabled {
+            dt_now = dt_target;
+        }
+
+        // pre-step snapshot for rollback: exactly the evolving state a
+        // checkpoint captures (cells are bit-exact clones of the same
+        // state the `vesicle::state` hooks serialize; the warm-start
+        // density is the only other field an attempt mutates)
+        let snapshot_cells = self.cells.clone();
+        let snapshot_warm = self.bie_warm.clone();
+
+        let mut frozen = vec![false; nc];
+        let mut retries = 0usize;
+        // freezing only ever grows the frozen set, and an attempt with a
+        // cell frozen cannot re-report it, so the loop terminates after at
+        // most log2(dt_target/dt_min) halvings + nc freezes
+        let (mut stats, health, new_positions, reverts) = loop {
+            let n_sub = if ctl.substep {
+                ((dt_target / dt_now).round() as usize).max(1)
+            } else {
+                1
+            };
+            let dt_total = if ctl.substep { dt_target } else { dt_now };
+            match self.attempt_step(dt_total, n_sub, &frozen, ctl.enabled, &mut t) {
+                Ok(a) => break (a.stats, a.health, a.new_positions, a.reverts),
+                Err(violators) => {
+                    // roll back the attempt
+                    self.cells = snapshot_cells.clone();
+                    self.bie_warm = snapshot_warm.clone();
+                    retries += 1;
+                    if dt_now * 0.5 >= dt_min * (1.0 - 1e-12) {
+                        dt_now *= 0.5;
+                    } else {
+                        // dt_min reached: freeze the offenders for this step
+                        for ci in violators {
+                            frozen[ci] = true;
+                        }
+                    }
+                }
+            }
+        };
+
+        // --- commit (Other) ---
+        let (_, t_commit) = timed(|| {
+            for (ci, pos) in new_positions.iter().enumerate() {
+                if !reverts[ci] {
+                    self.cells[ci].set_positions(&self.basis, pos);
+                }
+            }
+        });
+        t.other += t_commit;
+
+        // controller bookkeeping: recovery toward the target Δt
+        let frozen_cells = frozen.iter().filter(|&&f| f).count();
+        if retries == 0 && frozen_cells == 0 {
+            self.dt_state.clean_steps += 1;
+            if ctl.enabled
+                && dt_now < dt_target
+                && self.dt_state.clean_steps >= ctl.grow_after.max(1)
+            {
+                dt_now = (dt_now * 2.0).min(dt_target);
+                self.dt_state.clean_steps = 0;
+            }
+        } else {
+            self.dt_state.clean_steps = 0;
+        }
+        self.dt_state.dt = dt_now;
+        self.dt_state.frozen = frozen;
+
+        stats.dt_retries = retries;
+        stats.frozen_cells = frozen_cells;
+        stats.max_edge_stretch = health.iter().map(|h| h.max_stretch).fold(0.0f64, f64::max);
+        self.last_health = health;
+
+        self.timers.accumulate(&t);
+        self.steps += 1;
+        self.last_stats = stats;
+        t
+    }
+
+    /// One attempted step at total step size `dt_total`, with the implicit
+    /// stage chained as `n_sub` sub-steps (`n_sub = 1` = plain backward
+    /// Euler) and `frozen` cells' implicit updates skipped. Mutates only
+    /// `self.bie_warm` (the caller's snapshot restores it on rollback);
+    /// positions are returned for the caller to commit. With `gate` set,
+    /// returns `Err(violating cell indices)` when any non-frozen cell
+    /// fails the health bounds after the implicit stage or ends non-finite
+    /// after contact resolution.
+    fn attempt_step(
+        &mut self,
+        dt_total: f64,
+        n_sub: usize,
+        frozen: &[bool],
+        gate: bool,
+        t: &mut StepTimers,
+    ) -> Result<Attempt, Vec<usize>> {
+        let dt = dt_total;
+        let ctl = self.config.dt_control;
         let basis = &self.basis;
         let nc = self.cells.len();
         let n = basis.grid_size();
-        let mut stats = StepStats::default();
+        let mut stats = StepStats {
+            dt_effective: dt_total,
+            ..StepStats::default()
+        };
 
         // --- membrane forces and per-cell data (Other) ---
         let ((geos, forces, selfops), t_other0) = timed(|| {
@@ -418,23 +662,62 @@ impl Simulation {
         }
 
         // --- locally-implicit per-cell update (Other) ---
+        // frozen cells skip the update entirely (their candidate is the
+        // pre-step position grid — §graceful degradation); the rest run
+        // backward Euler at dt_total, chained as n_sub sub-steps when the
+        // controller is in sub-stepping mode
         let (mut new_positions, t_impl) = timed(|| {
             let positions: Vec<Vec<Vec3>> = self
                 .cells
                 .par_iter()
                 .enumerate()
                 .map(|(ci, cell)| {
+                    if frozen[ci] {
+                        return geos[ci].x.clone();
+                    }
                     let opts = StepOptions {
                         dt,
                         ..self.config.step
                     };
-                    let (pos, _res) = implicit_step(basis, cell, &selfops[ci], &b_cells[ci], &opts);
+                    let (pos, _res) = implicit_substep_chain(
+                        basis,
+                        cell,
+                        &selfops[ci],
+                        &b_cells[ci],
+                        &opts,
+                        n_sub,
+                    );
                     pos
                 })
                 .collect();
             positions
         });
         t.other += t_impl;
+
+        // --- step-health gate after the implicit stage (Other) ---
+        // per-cell max edge stretch vs rest length, volume drift, and
+        // non-finite detection; violations roll the whole attempt back
+        let (health, t_health) = timed(|| {
+            let h: Vec<CellHealth> = self
+                .cells
+                .par_iter()
+                .enumerate()
+                .map(|(ci, cell)| step_health(basis, cell, &new_positions[ci], geos[ci].volume()))
+                .collect();
+            h
+        });
+        t.other += t_health;
+        if gate {
+            let violators: Vec<usize> = health
+                .iter()
+                .enumerate()
+                .filter(|(ci, h)| !frozen[*ci] && !h.ok(ctl.max_stretch, ctl.max_volume_drift))
+                .map(|(ci, _)| ci)
+                .collect();
+            if !violators.is_empty() {
+                return Err(violators);
+            }
+        }
 
         // --- collision handling (COL) ---
         if !self.config.disable_collisions {
@@ -531,18 +814,37 @@ impl Simulation {
             stats.contact_free = true;
         }
 
-        // --- commit (Other) ---
-        let (_, t_commit) = timed(|| {
-            for (cell, pos) in self.cells.iter_mut().zip(&new_positions) {
-                cell.set_positions(basis, pos);
+        // --- post-collision finiteness gate ---
+        // contact resolution can amplify a borderline update; a non-frozen
+        // cell going non-finite here re-triggers the backoff, while a
+        // frozen cell's non-finite correction is simply discarded at commit
+        // (revert flag) so the committed state stays finite
+        let mut reverts = vec![false; nc];
+        if gate {
+            let mut violators = Vec::new();
+            for (ci, pos) in new_positions.iter().enumerate() {
+                let finite = pos
+                    .iter()
+                    .all(|p| p.x.is_finite() && p.y.is_finite() && p.z.is_finite());
+                if !finite {
+                    if frozen[ci] {
+                        reverts[ci] = true;
+                    } else {
+                        violators.push(ci);
+                    }
+                }
             }
-        });
-        t.other += t_commit;
+            if !violators.is_empty() {
+                return Err(violators);
+            }
+        }
 
-        self.timers.accumulate(&t);
-        self.steps += 1;
-        self.last_stats = stats;
-        t
+        Ok(Attempt {
+            stats,
+            health,
+            new_positions,
+            reverts,
+        })
     }
 
     /// Recycles cells that reached an outlet region back into the inlet
@@ -598,5 +900,176 @@ impl Simulation {
             }
         }
         moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesicle::{biconcave_coeffs, CellParams};
+
+    fn shear_sim(ctl: DtControl, dt: f64) -> Simulation {
+        let basis = SphBasis::new(6);
+        let params = CellParams {
+            kappa_b: 0.02,
+            ..Default::default()
+        };
+        let cells = vec![Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::ZERO),
+            params,
+        )];
+        let config = SimConfig {
+            dt,
+            shear_rate: 0.8,
+            dt_control: ctl,
+            ..Default::default()
+        };
+        Simulation::new(basis, cells, None, config)
+    }
+
+    fn assert_finite(sim: &Simulation) {
+        for (ci, c) in sim.cells.iter().enumerate() {
+            for comp in 0..3 {
+                assert!(
+                    c.coeffs[comp].data.iter().all(|v| v.is_finite()),
+                    "cell {ci} component {comp} went non-finite"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_dt_recovers_via_halving() {
+        // probe the unconstrained per-step drift so the gate below is
+        // guaranteed to trip at the full dt but pass near dt/2
+        let off = DtControl {
+            enabled: false,
+            ..Default::default()
+        };
+        let mut probe = shear_sim(off, 0.05);
+        probe.step();
+        assert_eq!(probe.last_stats.dt_retries, 0);
+        assert_eq!(probe.last_stats.dt_effective, 0.05);
+        let d1 = probe
+            .last_health
+            .iter()
+            .map(|h| h.volume_drift)
+            .fold(0.0f64, f64::max);
+        assert!(
+            d1 > 0.0 && probe.last_stats.max_edge_stretch > 0.0,
+            "health must be reported even with the controller disabled"
+        );
+
+        // drift scales ~linearly in dt: a bound at 0.7·d1 fails at dt,
+        // passes at dt/2 (≈ 0.5·d1) with margin
+        let ctl = DtControl {
+            max_volume_drift: 0.7 * d1,
+            ..Default::default()
+        };
+        let mut sim = shear_sim(ctl, 0.05);
+        sim.step();
+        let st = sim.last_stats;
+        assert!(st.dt_retries >= 1, "oversized dt must trigger a retry");
+        assert_eq!(
+            st.frozen_cells, 0,
+            "halving should recover without freezing"
+        );
+        assert!(
+            st.dt_effective < 0.05,
+            "whole-step halving advances a reduced dt, got {}",
+            st.dt_effective
+        );
+        assert!(st.max_edge_stretch.is_finite());
+        assert!(sim.dt_state.dt < 0.05, "backed-off dt must carry over");
+        assert_finite(&sim);
+    }
+
+    #[test]
+    fn impossible_bound_freezes_at_dt_min_and_stays_finite() {
+        // max_stretch 0.5 is violated by any configuration (stretch ≈ 1),
+        // and dt_min = dt leaves no halving room: the first violation must
+        // freeze the cell instead of looping
+        let ctl = DtControl {
+            dt_min: 0.02,
+            max_stretch: 0.5,
+            ..Default::default()
+        };
+        let mut sim = shear_sim(ctl, 0.02);
+        sim.step();
+        let st = sim.last_stats;
+        assert_eq!(st.dt_retries, 1);
+        assert_eq!(st.frozen_cells, 1);
+        assert_eq!(sim.dt_state.frozen, vec![true]);
+        assert_finite(&sim);
+        // graceful degradation: the sim keeps stepping
+        sim.step();
+        assert_eq!(sim.last_stats.frozen_cells, 1);
+        assert_finite(&sim);
+    }
+
+    #[test]
+    fn controller_recovers_dt_after_clean_steps() {
+        let ctl = DtControl {
+            grow_after: 2,
+            ..Default::default()
+        };
+        let mut sim = shear_sim(ctl, 0.02);
+        sim.dt_state.dt = 0.005; // as if two halvings happened earlier
+        sim.step();
+        assert_eq!(sim.last_stats.dt_effective, 0.005);
+        assert_eq!(sim.dt_state.clean_steps, 1);
+        sim.step();
+        assert_eq!(
+            sim.dt_state.dt, 0.01,
+            "doubled after grow_after clean steps"
+        );
+        assert_eq!(sim.dt_state.clean_steps, 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.dt_state.dt, 0.02, "recovered to the target dt");
+    }
+
+    #[test]
+    fn substep_mode_advances_full_target_dt() {
+        let ctl = DtControl {
+            substep: true,
+            grow_after: 1,
+            ..Default::default()
+        };
+        let mut sim = shear_sim(ctl, 0.02);
+        sim.dt_state.dt = 0.01; // controller backed off, sub-step chain of 2
+        sim.step();
+        assert_eq!(
+            sim.last_stats.dt_effective, 0.02,
+            "sub-stepping still advances the full target dt"
+        );
+        assert_eq!(sim.last_stats.dt_retries, 0);
+        assert_eq!(sim.dt_state.dt, 0.02, "clean step recovered the controller");
+        assert_finite(&sim);
+    }
+
+    #[test]
+    fn disabled_controller_matches_clean_adaptive_trajectory_bit_exactly() {
+        // a healthy run takes the same single-attempt path whether the gate
+        // is armed or not — the controller must not perturb clean steps
+        let mut on = shear_sim(DtControl::default(), 0.01);
+        let mut off = shear_sim(
+            DtControl {
+                enabled: false,
+                ..Default::default()
+            },
+            0.01,
+        );
+        for _ in 0..2 {
+            on.step();
+            off.step();
+        }
+        assert_eq!(on.last_stats.dt_retries, 0);
+        for (a, b) in on.cells.iter().zip(&off.cells) {
+            for c in 0..3 {
+                assert_eq!(a.coeffs[c].data, b.coeffs[c].data);
+            }
+        }
     }
 }

@@ -53,7 +53,13 @@ mod tests {
 
     #[test]
     fn totals_and_accumulation() {
-        let mut a = StepTimers { col: 1.0, bie_solve: 2.0, bie_fmm: 3.0, other_fmm: 4.0, other: 5.0 };
+        let mut a = StepTimers {
+            col: 1.0,
+            bie_solve: 2.0,
+            bie_fmm: 3.0,
+            other_fmm: 4.0,
+            other: 5.0,
+        };
         assert!((a.total() - 15.0).abs() < 1e-12);
         assert!((a.col_plus_bie_solve() - 3.0).abs() < 1e-12);
         let b = a;

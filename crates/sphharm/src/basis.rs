@@ -50,7 +50,10 @@ pub struct SphCoeffs {
 impl SphCoeffs {
     /// All-zero coefficients at order `p`.
     pub fn zeros(p: usize) -> SphCoeffs {
-        SphCoeffs { p, data: vec![0.0; (p + 1) * (p + 1)] }
+        SphCoeffs {
+            p,
+            data: vec![0.0; (p + 1) * (p + 1)],
+        }
     }
 
     /// Offset of the `m` block inside `data`.
@@ -181,7 +184,7 @@ fn legendre_tables(p: usize, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<V
     let mut q: Vec<Vec<f64>> = (0..=p).map(|m| vec![0.0; (p + 1 - m) * nlat]).collect();
     for (i, &x) in xs.iter().enumerate() {
         let s = (1.0 - x * x).sqrt(); // sin θ > 0 at interior GL nodes
-        // diagonal terms Q_m^m
+                                      // diagonal terms Q_m^m
         let mut qmm = (1.0 / (4.0 * PI)).sqrt();
         for m in 0..=p {
             if m > 0 {
@@ -195,7 +198,8 @@ fn legendre_tables(p: usize, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<V
                 let nf = n as f64;
                 let mf = m as f64;
                 let anm = ((4.0 * nf * nf - 1.0) / (nf * nf - mf * mf)).sqrt();
-                let bnm = (((nf - 1.0) * (nf - 1.0) - mf * mf) / (4.0 * (nf - 1.0) * (nf - 1.0) - 1.0))
+                let bnm = (((nf - 1.0) * (nf - 1.0) - mf * mf)
+                    / (4.0 * (nf - 1.0) * (nf - 1.0) - 1.0))
                     .sqrt();
                 q[m][(n - m) * nlat + i] =
                     anm * (x * q[m][(n - 1 - m) * nlat + i] - bnm * q[m][(n - 2 - m) * nlat + i]);
@@ -216,7 +220,11 @@ fn legendre_tables(p: usize, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<V
             for (i, &x) in xs.iter().enumerate() {
                 let s = (1.0 - x * x).sqrt();
                 let qn = q[m][(n - m) * nlat + i];
-                let qn1 = if n > m { q[m][(n - 1 - m) * nlat + i] } else { 0.0 };
+                let qn1 = if n > m {
+                    q[m][(n - 1 - m) * nlat + i]
+                } else {
+                    0.0
+                };
                 dq[m][(n - m) * nlat + i] = (nf * x * qn - c * qn1) / s;
             }
         }
@@ -233,8 +241,7 @@ fn legendre_tables(p: usize, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<V
                 let s = s2.sqrt();
                 let qn = q[m][(n - m) * nlat + i];
                 let dqn = dq[m][(n - m) * nlat + i];
-                d2q[m][(n - m) * nlat + i] =
-                    -(x / s) * dqn + (mf * mf / s2 - nf * (nf + 1.0)) * qn;
+                d2q[m][(n - m) * nlat + i] = -(x / s) * dqn + (mf * mf / s2 - nf * (nf + 1.0)) * qn;
             }
         }
     }
@@ -252,9 +259,21 @@ impl SphBasis {
         let theta: Vec<f64> = gl.nodes.iter().rev().map(|&x| x.acos()).collect();
         let xs: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
         let glw: Vec<f64> = gl.weights.iter().rev().copied().collect();
-        let phi: Vec<f64> = (0..nlon).map(|j| 2.0 * PI * j as f64 / nlon as f64).collect();
+        let phi: Vec<f64> = (0..nlon)
+            .map(|j| 2.0 * PI * j as f64 / nlon as f64)
+            .collect();
         let (q, dq, d2q) = legendre_tables(p, &xs);
-        SphBasis { p, nlat, nlon, theta, glw, phi, q, dq, d2q }
+        SphBasis {
+            p,
+            nlat,
+            nlon,
+            theta,
+            glw,
+            phi,
+            q,
+            dq,
+            d2q,
+        }
     }
 
     /// Total number of grid points `(p+1)·2p`.
@@ -299,7 +318,11 @@ impl SphBasis {
         }
         // Legendre transform per (n, m) with GL weights
         for m in 0..=self.p {
-            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let norm = if m == 0 {
+                1.0
+            } else {
+                std::f64::consts::SQRT_2
+            };
             for n in m..=self.p {
                 let mut ac = 0.0;
                 let mut bc = 0.0;
@@ -344,7 +367,11 @@ impl SphBasis {
         let mut ga = vec![0.0; (self.p + 1) * nlat];
         let mut gb = vec![0.0; (self.p + 1) * nlat];
         for m in 0..=self.p {
-            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let norm = if m == 0 {
+                1.0
+            } else {
+                std::f64::consts::SQRT_2
+            };
             let tab = table(m);
             for n in m..=self.p {
                 let (an, bn) = if m == 0 {
@@ -378,9 +405,7 @@ impl SphBasis {
                         Deriv::None | Deriv::Dtheta | Deriv::Dtheta2 => {
                             a * ang.cos() + b * ang.sin()
                         }
-                        Deriv::Dphi | Deriv::DthetaDphi => {
-                            mf * (-a * ang.sin() + b * ang.cos())
-                        }
+                        Deriv::Dphi | Deriv::DthetaDphi => mf * (-a * ang.sin() + b * ang.cos()),
                         Deriv::Dphi2 => -mf * mf * (a * ang.cos() + b * ang.sin()),
                     };
                 }
@@ -398,7 +423,11 @@ impl SphBasis {
         let (q, _, _) = legendre_tables(self.p, &[x]);
         let mut v = 0.0;
         for m in 0..=self.p {
-            let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let norm = if m == 0 {
+                1.0
+            } else {
+                std::f64::consts::SQRT_2
+            };
             let ang = m as f64 * phi;
             let (cm, sm) = (ang.cos(), ang.sin());
             for n in m..=self.p {
@@ -570,7 +599,8 @@ mod tests {
         let (i, j) = (2usize, 9usize);
         let t = basis.theta[i];
         let ph = basis.phi[j];
-        let fd = (basis.synthesize_at(&c, t + h, ph + h) - basis.synthesize_at(&c, t + h, ph - h)
+        let fd = (basis.synthesize_at(&c, t + h, ph + h)
+            - basis.synthesize_at(&c, t + h, ph - h)
             - basis.synthesize_at(&c, t - h, ph + h)
             + basis.synthesize_at(&c, t - h, ph - h))
             / (4.0 * h * h);

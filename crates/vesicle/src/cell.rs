@@ -28,7 +28,12 @@ pub struct CellParams {
 
 impl Default for CellParams {
     fn default() -> Self {
-        CellParams { kappa_b: 0.01, k_area: 1.0, mu: 1.0, selfop: SelfOpOptions::default() }
+        CellParams {
+            kappa_b: 0.01,
+            k_area: 1.0,
+            mu: 1.0,
+            selfop: SelfOpOptions::default(),
+        }
     }
 }
 
@@ -49,7 +54,11 @@ impl Cell {
     /// (unstretched) state.
     pub fn new(basis: &SphBasis, coeffs: [SphCoeffs; 3], params: CellParams) -> Cell {
         let geo = surface_geometry(basis, &coeffs);
-        Cell { coeffs, ref_w: geo.w.clone(), params }
+        Cell {
+            coeffs,
+            ref_w: geo.w.clone(),
+            params,
+        }
     }
 
     /// Current surface geometry.
@@ -62,7 +71,9 @@ impl Cell {
         let gx = basis.synthesize(&self.coeffs[0], Deriv::None);
         let gy = basis.synthesize(&self.coeffs[1], Deriv::None);
         let gz = basis.synthesize(&self.coeffs[2], Deriv::None);
-        (0..basis.grid_size()).map(|i| Vec3::new(gx[i], gy[i], gz[i])).collect()
+        (0..basis.grid_size())
+            .map(|i| Vec3::new(gx[i], gy[i], gz[i]))
+            .collect()
     }
 
     /// Replaces positions from grid values.
@@ -91,7 +102,11 @@ impl Cell {
     /// Upsampled collision grid points (order `p_up = upsample · p`) plus
     /// pole points: the lat–long grid the triangle proxy mesh is built on
     /// (2,112 points at the paper's p = 16, 2× upsampling).
-    pub fn collision_points(&self, basis: &SphBasis, upsample: usize) -> (Vec<Vec3>, usize, usize, Vec3, Vec3) {
+    pub fn collision_points(
+        &self,
+        basis: &SphBasis,
+        upsample: usize,
+    ) -> (Vec<Vec3>, usize, usize, Vec3, Vec3) {
         let pu = basis.p * upsample;
         let bu = SphBasis::new(pu);
         let cu: [SphCoeffs; 3] = [
@@ -155,7 +170,12 @@ impl Cell {
 /// `∇_γ·(σ ∇_γ f) = σ Δ_γ f + ∇_γ σ · ∇_γ f` on the grid. Both factors are
 /// smooth scalar fields, so the product-rule form avoids spectrally
 /// differentiating non-smooth flux intermediates.
-pub fn weighted_div_grad(basis: &SphBasis, geo: &SurfaceGeometry, sigma: &[f64], f: &[f64]) -> Vec<f64> {
+pub fn weighted_div_grad(
+    basis: &SphBasis,
+    geo: &SurfaceGeometry,
+    sigma: &[f64],
+    f: &[f64],
+) -> Vec<f64> {
     let n = basis.grid_size();
     let lap = geo.laplace_beltrami(basis, f);
     let gd = geo.grad_dot(basis, sigma, f);
@@ -175,7 +195,13 @@ impl Default for StepOptions {
     fn default() -> Self {
         StepOptions {
             dt: 1e-3,
-            gmres: GmresOptions { tol: 1e-8, atol: 1e-14, max_iters: 60, restart: 60, stall_ratio: 0.0 },
+            gmres: GmresOptions {
+                tol: 1e-8,
+                atol: 1e-14,
+                max_iters: 60,
+                restart: 60,
+                stall_ratio: 0.0,
+            },
         }
     }
 }
@@ -201,7 +227,9 @@ pub fn implicit_step(
     let ka = cell.params.k_area;
 
     // frozen geometric factors
-    let sigma0: Vec<f64> = (0..n).map(|i| ka * (geo.w[i] / cell.ref_w[i] - 1.0)).collect();
+    let sigma0: Vec<f64> = (0..n)
+        .map(|i| ka * (geo.w[i] / cell.ref_w[i] - 1.0))
+        .collect();
 
     // linearized force: f_lin(X⁺) = κ_b Δ0(H_lin(X⁺)) n0 + ∇·(σ0 ∇ X⁺)
     // where H_lin uses frozen first-form and normals.
@@ -281,6 +309,128 @@ pub fn implicit_step(
     (pos, res)
 }
 
+/// Per-cell step-health metrics: what the adaptive time-step controller in
+/// `sim` inspects after the implicit stage to decide whether a candidate
+/// update is acceptable or must be rolled back and retried at a smaller Δt.
+///
+/// All three metrics are pure functions of (cell, candidate positions), so
+/// the controller built on them is deterministic: two instances evaluating
+/// the same state reach bit-identical accept/retry decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct CellHealth {
+    /// Maximum local stretch ratio vs the rest configuration,
+    /// `max_i √(W_i / W_ref,i)` — the linear stretch of the surface element
+    /// against the reference metric captured at [`Cell::new`]. Edge lengths
+    /// of any surface-sampled mesh (including the upsampled collision
+    /// proxy) scale with this factor, so it is the spectral-grid stand-in
+    /// for the "edges stretching ~10⁴×" blow-up signature of a diverging
+    /// implicit update. ∞ when the candidate positions are non-finite.
+    pub max_stretch: f64,
+    /// Relative enclosed-volume change over the candidate step,
+    /// `|V⁺ − V| / |V|`. A locally-implicit update that is merely stiff
+    /// wobbles the surface; one that is diverging inflates or collapses the
+    /// cell, which this catches even before the stretch bound trips.
+    pub volume_drift: f64,
+    /// Whether every candidate position is finite. `false` means the solve
+    /// itself produced NaN/∞ and nothing downstream of it can be trusted.
+    pub finite: bool,
+}
+
+impl CellHealth {
+    /// Whether this candidate update passes the controller's bounds.
+    pub fn ok(&self, max_stretch: f64, max_volume_drift: f64) -> bool {
+        self.finite && self.max_stretch <= max_stretch && self.volume_drift <= max_volume_drift
+    }
+}
+
+/// Evaluates the step-health of candidate grid positions `pos_new` for
+/// `cell`, against the pre-step enclosed volume `vol_before` (computed from
+/// the geometry the step started from, so callers that already have it
+/// don't pay for it twice).
+pub fn step_health(basis: &SphBasis, cell: &Cell, pos_new: &[Vec3], vol_before: f64) -> CellHealth {
+    if !pos_new.iter().all(|p| p.is_finite()) {
+        return CellHealth {
+            max_stretch: f64::INFINITY,
+            volume_drift: f64::INFINITY,
+            finite: false,
+        };
+    }
+    let n = basis.grid_size();
+    let gx: Vec<f64> = pos_new.iter().map(|p| p.x).collect();
+    let gy: Vec<f64> = pos_new.iter().map(|p| p.y).collect();
+    let gz: Vec<f64> = pos_new.iter().map(|p| p.z).collect();
+    let coeffs = [basis.analyze(&gx), basis.analyze(&gy), basis.analyze(&gz)];
+    let geo = surface_geometry(basis, &coeffs);
+    let mut max_stretch = 0.0f64;
+    for i in 0..n {
+        let ratio = (geo.w[i] / cell.ref_w[i]).abs().sqrt();
+        max_stretch = max_stretch.max(ratio);
+    }
+    let vol_new = geo.volume();
+    let volume_drift = if vol_before.abs() > 0.0 {
+        (vol_new - vol_before).abs() / vol_before.abs()
+    } else {
+        vol_new.abs()
+    };
+    if !max_stretch.is_finite() || !volume_drift.is_finite() {
+        // non-finite metrics from finite positions (degenerate geometry)
+        return CellHealth {
+            max_stretch: f64::INFINITY,
+            volume_drift: f64::INFINITY,
+            finite: false,
+        };
+    }
+    CellHealth {
+        max_stretch,
+        volume_drift,
+        finite: true,
+    }
+}
+
+/// Chains `n_sub` locally-implicit backward-Euler updates of `Δt / n_sub`
+/// each — the sub-stepping entry point of the adaptive time-step
+/// controller. The explicit velocity `b_grid` is held constant over the
+/// sub-steps (its time dependence is resolved by the outer loop, exactly
+/// as [`sdc2_step`] treats it), while the linearization point — geometry
+/// *and* the singular self-interaction operator — is rebuilt between
+/// sub-steps, which is what makes two chained half-steps stabler than one
+/// full step for the same arithmetic cost profile.
+///
+/// `n_sub = 1` delegates to [`implicit_step`] and is bit-identical to it.
+/// Returns the final positions and the GMRES stats of the *last* sub-step.
+pub fn implicit_substep_chain(
+    basis: &SphBasis,
+    cell: &Cell,
+    selfop: &SelfInteraction,
+    b_grid: &[Vec3],
+    opts: &StepOptions,
+    n_sub: usize,
+) -> (Vec<Vec3>, GmresResult) {
+    assert!(n_sub >= 1, "n_sub must be ≥ 1");
+    if n_sub == 1 {
+        return implicit_step(basis, cell, selfop, b_grid, opts);
+    }
+    let sub_opts = StepOptions {
+        dt: opts.dt / n_sub as f64,
+        ..*opts
+    };
+    let (mut pos, mut res) = implicit_step(basis, cell, selfop, b_grid, &sub_opts);
+    let mut work = cell.clone();
+    for _ in 1..n_sub {
+        work.set_positions(basis, &pos);
+        // a sub-step that already went non-finite cannot be continued; stop
+        // and let the caller's health gate reject the chain
+        if !pos.iter().all(|p| p.is_finite()) {
+            return (pos, res);
+        }
+        let sub_selfop = work.self_interaction(basis);
+        let (p, r) = implicit_step(basis, &work, &sub_selfop, b_grid, &sub_opts);
+        pos = p;
+        res = r;
+    }
+    (pos, res)
+}
+
 /// One step of a two-stage spectral-deferred-correction-style corrector
 /// (the §5.3 extension: "spectral deferred correction (SDC) can be
 /// incorporated into the algorithm exactly as in the 2D version described
@@ -356,32 +506,55 @@ mod tests {
     fn bending_relaxes_perturbed_sphere() {
         let p = 10;
         let basis = SphBasis::new(p);
-        let params = CellParams { kappa_b: 0.05, k_area: 0.0, ..Default::default() };
-        let mut cell = Cell::new(&basis, bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.04), params);
+        let params = CellParams {
+            kappa_b: 0.05,
+            k_area: 0.0,
+            ..Default::default()
+        };
+        let mut cell = Cell::new(
+            &basis,
+            bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.04),
+            params,
+        );
         let e0 = perturbation_energy(&basis, &cell.geometry(&basis));
-        let opts = StepOptions { dt: 2e-2, ..Default::default() };
+        let opts = StepOptions {
+            dt: 2e-2,
+            ..Default::default()
+        };
         let zero = vec![Vec3::ZERO; basis.grid_size()];
         for _ in 0..8 {
             let selfop = cell.self_interaction(&basis);
             let (pos, res) = implicit_step(&basis, &cell, &selfop, &zero, &opts);
-            assert!(res.rel_residual < 1e-6, "implicit solve residual {}", res.rel_residual);
+            assert!(
+                res.rel_residual < 1e-6,
+                "implicit solve residual {}",
+                res.rel_residual
+            );
             cell.set_positions(&basis, &pos);
         }
         let e1 = perturbation_energy(&basis, &cell.geometry(&basis));
-        assert!(
-            e1 < 0.8 * e0,
-            "perturbation should decay: {e0} -> {e1}"
-        );
+        assert!(e1 < 0.8 * e0, "perturbation should decay: {e0} -> {e1}");
     }
 
     #[test]
     fn tension_penalty_conserves_area() {
         let p = 10;
         let basis = SphBasis::new(p);
-        let params = CellParams { kappa_b: 0.02, k_area: 5.0, ..Default::default() };
-        let mut cell = Cell::new(&basis, bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.03), params);
+        let params = CellParams {
+            kappa_b: 0.02,
+            k_area: 5.0,
+            ..Default::default()
+        };
+        let mut cell = Cell::new(
+            &basis,
+            bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.03),
+            params,
+        );
         let a0 = cell.geometry(&basis).area();
-        let opts = StepOptions { dt: 1e-2, ..Default::default() };
+        let opts = StepOptions {
+            dt: 1e-2,
+            ..Default::default()
+        };
         let zero = vec![Vec3::ZERO; basis.grid_size()];
         for _ in 0..5 {
             let selfop = cell.self_interaction(&basis);
@@ -389,12 +562,7 @@ mod tests {
             cell.set_positions(&basis, &pos);
         }
         let a1 = cell.geometry(&basis).area();
-        assert!(
-            (a1 - a0).abs() / a0 < 2e-2,
-            "area drift {} -> {}",
-            a0,
-            a1
-        );
+        assert!((a1 - a0).abs() / a0 < 2e-2, "area drift {} -> {}", a0, a1);
     }
 
     #[test]
@@ -437,22 +605,32 @@ mod tests {
         // corrected step stays stable and keeps the invariants
         let p = 8;
         let basis = SphBasis::new(p);
-        let params = CellParams { kappa_b: 0.02, k_area: 0.0, ..Default::default() };
-        let cell = Cell::new(&basis, bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.02), params);
+        let params = CellParams {
+            kappa_b: 0.02,
+            k_area: 0.0,
+            ..Default::default()
+        };
+        let cell = Cell::new(
+            &basis,
+            bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.02),
+            params,
+        );
         let selfop = cell.self_interaction(&basis);
         let b = vec![Vec3::new(0.5, 0.0, 0.0); basis.grid_size()];
-        let opts = StepOptions { dt: 1e-2, ..Default::default() };
+        let opts = StepOptions {
+            dt: 1e-2,
+            ..Default::default()
+        };
         let (pos, res) = sdc2_step(&basis, &cell, &selfop, &b, &opts);
         assert!(res.rel_residual < 1e-6);
         // advection component exact: mean displacement = dt·b
         let geo0 = cell.geometry(&basis);
-        let mean: Vec3 = pos
-            .iter()
-            .zip(&geo0.x)
-            .map(|(a, b)| *a - *b)
-            .sum::<Vec3>()
-            / basis.grid_size() as f64;
-        assert!((mean - Vec3::new(5e-3, 0.0, 0.0)).norm() < 1e-4, "mean {mean:?}");
+        let mean: Vec3 =
+            pos.iter().zip(&geo0.x).map(|(a, b)| *a - *b).sum::<Vec3>() / basis.grid_size() as f64;
+        assert!(
+            (mean - Vec3::new(5e-3, 0.0, 0.0)).norm() < 1e-4,
+            "mean {mean:?}"
+        );
         // positions stay finite and near the sphere
         for q in &pos {
             assert!(q.is_finite());
@@ -461,15 +639,122 @@ mod tests {
     }
 
     #[test]
+    fn step_health_reports_stretch_drift_and_nonfinite() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let cell = Cell::new(
+            &basis,
+            sphere_coeffs(&basis, 1.0, Vec3::ZERO),
+            CellParams::default(),
+        );
+        let geo = cell.geometry(&basis);
+        let vol0 = geo.volume();
+
+        // unchanged positions: stretch ≈ 1, no drift
+        let h = step_health(&basis, &cell, &geo.x, vol0);
+        assert!(h.finite);
+        assert!((h.max_stretch - 1.0).abs() < 1e-8, "{}", h.max_stretch);
+        assert!(h.volume_drift < 1e-10);
+        assert!(h.ok(10.0, 0.25));
+
+        // uniformly scaled ×3: stretch ≈ 3, volume drift ≈ 26×
+        let scaled: Vec<Vec3> = geo.x.iter().map(|p| *p * 3.0).collect();
+        let h = step_health(&basis, &cell, &scaled, vol0);
+        assert!(h.finite);
+        assert!((h.max_stretch - 3.0).abs() < 1e-6, "{}", h.max_stretch);
+        assert!((h.volume_drift - 26.0).abs() < 1e-6, "{}", h.volume_drift);
+        assert!(!h.ok(2.0, 0.25) && h.ok(4.0, 30.0));
+
+        // one NaN vertex: non-finite, never ok
+        let mut bad = geo.x.clone();
+        bad[7] = Vec3::new(f64::NAN, 0.0, 0.0);
+        let h = step_health(&basis, &cell, &bad, vol0);
+        assert!(!h.finite);
+        assert!(!h.ok(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn substep_chain_of_one_matches_implicit_step_bit_exactly() {
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let params = CellParams {
+            kappa_b: 0.02,
+            k_area: 1.0,
+            ..Default::default()
+        };
+        let cell = Cell::new(
+            &basis,
+            bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.03),
+            params,
+        );
+        let selfop = cell.self_interaction(&basis);
+        let b = vec![Vec3::new(0.2, -0.1, 0.05); basis.grid_size()];
+        let opts = StepOptions {
+            dt: 1e-2,
+            ..Default::default()
+        };
+        let (a, _) = implicit_step(&basis, &cell, &selfop, &b, &opts);
+        let (c, _) = implicit_substep_chain(&basis, &cell, &selfop, &b, &opts, 1);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.x.to_bits(), y.x.to_bits());
+            assert_eq!(x.y.to_bits(), y.y.to_bits());
+            assert_eq!(x.z.to_bits(), y.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn substep_chain_advects_and_stays_healthy() {
+        // uniform background, two sub-steps: advection remains exact
+        // (b frozen ⇒ each half-step moves Δt/2·b) and the chained update
+        // keeps the relaxation behavior of the single step
+        let p = 8;
+        let basis = SphBasis::new(p);
+        let params = CellParams {
+            kappa_b: 0.02,
+            k_area: 0.5,
+            ..Default::default()
+        };
+        let cell = Cell::new(
+            &basis,
+            bumpy_sphere_coeffs(&basis, 1.0, Vec3::ZERO, 0.02),
+            params,
+        );
+        let selfop = cell.self_interaction(&basis);
+        let b = vec![Vec3::new(1.0, 0.0, 0.0); basis.grid_size()];
+        let opts = StepOptions {
+            dt: 2e-2,
+            ..Default::default()
+        };
+        let (pos, res) = implicit_substep_chain(&basis, &cell, &selfop, &b, &opts, 2);
+        assert!(res.rel_residual < 1e-6);
+        let geo0 = cell.geometry(&basis);
+        let mean: Vec3 =
+            pos.iter().zip(&geo0.x).map(|(a, b)| *a - *b).sum::<Vec3>() / basis.grid_size() as f64;
+        assert!(
+            (mean - Vec3::new(2e-2, 0.0, 0.0)).norm() < 1e-4,
+            "mean {mean:?}"
+        );
+        let h = step_health(&basis, &cell, &pos, geo0.volume());
+        assert!(h.finite && h.max_stretch < 2.0 && h.volume_drift < 0.1);
+    }
+
+    #[test]
     fn drag_translation_under_uniform_background() {
         // b = const velocity with no forces: X⁺ = X + Δt·b exactly
         let p = 8;
         let basis = SphBasis::new(p);
-        let params = CellParams { kappa_b: 0.0, k_area: 0.0, ..Default::default() };
+        let params = CellParams {
+            kappa_b: 0.0,
+            k_area: 0.0,
+            ..Default::default()
+        };
         let cell = Cell::new(&basis, sphere_coeffs(&basis, 1.0, Vec3::ZERO), params);
         let selfop = cell.self_interaction(&basis);
         let b = vec![Vec3::new(1.0, 2.0, 3.0); basis.grid_size()];
-        let opts = StepOptions { dt: 0.1, ..Default::default() };
+        let opts = StepOptions {
+            dt: 0.1,
+            ..Default::default()
+        };
         let (pos, _) = implicit_step(&basis, &cell, &selfop, &b, &opts);
         let geo = cell.geometry(&basis);
         for (p1, p0) in pos.iter().zip(&geo.x) {

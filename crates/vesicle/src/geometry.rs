@@ -221,7 +221,10 @@ mod tests {
         let geo = surface_geometry(&basis, &coeffs);
         let area = geo.area();
         let exact_area = 4.0 * PI * 1.5 * 1.5;
-        assert!((area - exact_area).abs() / exact_area < 1e-10, "area {area}");
+        assert!(
+            (area - exact_area).abs() / exact_area < 1e-10,
+            "area {area}"
+        );
         let vol = geo.volume();
         let exact_vol = 4.0 / 3.0 * PI * 1.5_f64.powi(3);
         assert!((vol - exact_vol).abs() / exact_vol < 1e-10, "vol {vol}");

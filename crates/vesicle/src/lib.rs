@@ -20,7 +20,12 @@ pub mod selfop;
 pub mod shape;
 pub mod state;
 
-pub use cell::{implicit_step, sdc2_step, weighted_div_grad, Cell, CellParams, StepOptions};
+pub use cell::{
+    implicit_step, implicit_substep_chain, sdc2_step, step_health, weighted_div_grad, Cell,
+    CellHealth, CellParams, StepOptions,
+};
 pub use geometry::{surface_geometry, SurfaceGeometry};
 pub use selfop::{upsample_matrix, SelfInteraction, SelfOpOptions};
-pub use shape::{biconcave_coeffs, bumpy_sphere_coeffs, rotated_coeffs, shape_from_radial, sphere_coeffs};
+pub use shape::{
+    biconcave_coeffs, bumpy_sphere_coeffs, rotated_coeffs, shape_from_radial, sphere_coeffs,
+};

@@ -36,7 +36,12 @@ pub struct SelfOpOptions {
 
 impl Default for SelfOpOptions {
     fn default() -> Self {
-        SelfOpOptions { upsample: 2, p_extrap: 8, big_r: 2.0, small_r: 1.0 }
+        SelfOpOptions {
+            upsample: 2,
+            p_extrap: 8,
+            big_r: 2.0,
+            small_r: 1.0,
+        }
     }
 }
 
@@ -146,11 +151,17 @@ impl SelfInteraction {
             .collect();
         for (i, row) in rows {
             for a in 0..3 {
-                k_mat.row_mut(3 * i + a)
+                k_mat
+                    .row_mut(3 * i + a)
                     .copy_from_slice(&row[a * 3 * nu..(a + 1) * 3 * nu]);
             }
         }
-        SelfInteraction { k_mat, upsample, n, nu }
+        SelfInteraction {
+            k_mat,
+            upsample,
+            n,
+            nu,
+        }
     }
 
     /// Applies `S_i` to a force density on the coarse grid (xyz-interleaved,

@@ -24,7 +24,11 @@ pub fn biconcave_coeffs(basis: &SphBasis, radius: f64, center: Vec3) -> [SphCoef
         let th = basis.theta[i];
         let rho = th.sin();
         let zmag = 0.5 * (1.0 - rho * rho).abs().sqrt() * (c0 + c1 * rho * rho + c2 * rho.powi(4));
-        let z = if th < std::f64::consts::FRAC_PI_2 { zmag } else { -zmag };
+        let z = if th < std::f64::consts::FRAC_PI_2 {
+            zmag
+        } else {
+            -zmag
+        };
         for j in 0..basis.nlon {
             let ph = basis.phi[j];
             let idx = basis.grid_index(i, j);
@@ -62,7 +66,12 @@ pub fn shape_from_radial(
 
 /// Perturbed sphere: `r = a (1 + amp·Y-like bump)`, used by relaxation and
 /// convergence tests.
-pub fn bumpy_sphere_coeffs(basis: &SphBasis, radius: f64, center: Vec3, amp: f64) -> [SphCoeffs; 3] {
+pub fn bumpy_sphere_coeffs(
+    basis: &SphBasis,
+    radius: f64,
+    center: Vec3,
+    amp: f64,
+) -> [SphCoeffs; 3] {
     shape_from_radial(basis, center, |th, ph| {
         radius * (1.0 + amp * (2.0 * th).sin() * (2.0 * ph).cos())
     })

@@ -22,16 +22,35 @@ fn scan() {
     }
     for upsample in [2usize, 3] {
         for pe in [4usize, 6, 8] {
-            for (br, sr) in [(1.0, 0.5), (1.5, 0.5), (2.0, 0.5), (2.0, 1.0), (3.0, 1.0), (1.0, 0.25)] {
-                let op = SelfInteraction::build(&basis, &coeffs, mu,
-                    SelfOpOptions { upsample, p_extrap: pe, big_r: br, small_r: sr });
+            for (br, sr) in [
+                (1.0, 0.5),
+                (1.5, 0.5),
+                (2.0, 0.5),
+                (2.0, 1.0),
+                (3.0, 1.0),
+                (1.0, 0.25),
+            ] {
+                let op = SelfInteraction::build(
+                    &basis,
+                    &coeffs,
+                    mu,
+                    SelfOpOptions {
+                        upsample,
+                        p_extrap: pe,
+                        big_r: br,
+                        small_r: sr,
+                    },
+                );
                 let u = op.apply(&f);
                 let mut e = 0.0_f64;
                 for i in 0..n {
-                    let got = Vec3::new(u[3*i], u[3*i+1], u[3*i+2]);
+                    let got = Vec3::new(u[3 * i], u[3 * i + 1], u[3 * i + 2]);
                     e = e.max((got - u_ref).norm());
                 }
-                println!("up={upsample} pe={pe} R={br} r={sr}: err {:.2e}", e / u_ref.norm());
+                println!(
+                    "up={upsample} pe={pe} R={br} r={sr}: err {:.2e}",
+                    e / u_ref.norm()
+                );
             }
         }
     }

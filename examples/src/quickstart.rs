@@ -14,15 +14,27 @@ use vesicle::{biconcave_coeffs, Cell, CellParams};
 fn main() {
     let p = 12; // spherical-harmonic order (paper production: 16)
     let basis = SphBasis::new(p);
-    let params = CellParams { kappa_b: 0.02, k_area: 1.0, ..Default::default() };
+    let params = CellParams {
+        kappa_b: 0.02,
+        k_area: 1.0,
+        ..Default::default()
+    };
 
     // two cells, close enough to interact hydrodynamically
     let cells = vec![
         Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::ZERO), params),
-        Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::new(2.6, 0.0, 0.3)), params),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::new(2.6, 0.0, 0.3)),
+            params,
+        ),
     ];
 
-    let config = SimConfig { dt: 5e-3, collision_delta: 0.05, ..Default::default() };
+    let config = SimConfig {
+        dt: 5e-3,
+        collision_delta: 0.05,
+        ..Default::default()
+    };
     let mut sim = Simulation::new(basis, cells, None, config);
 
     println!("step  area[0]    vol[0]     area[1]    vol[1]     centroid gap");

@@ -66,11 +66,27 @@ echo "== collision smoke (sedimentation-like, 1 step, contact + finite-volume as
 # (driver/tests/determinism.rs pins the same configuration high-contact):
 # COL-stage regressions (broad phase, CSR assembly, batched mobility) fail
 # here in seconds instead of only at the slow full-step bench — including
-# partial ones that would still find a contact or two
+# partial ones that would still find a contact or two.
+# dt_adaptive=false: the adaptive stepper (on by default) retries this
+# config's first step at a reduced dt, which defuses the contact burst
+# this smoke needs — the gate is pinned off so the COL pipeline still
+# sees the full many-contact workload (the instability smoke below
+# covers the controller itself)
 cargo run --release -q -p driver -- sedimentation --steps 1 \
     --set tube_segments=1 --set patch_order=6 --set order=6 \
-    --set fill_h=1.1 --set col_m=6 \
+    --set fill_h=1.1 --set col_m=6 --set dt_adaptive=false \
     --no-output --quiet --assert-contacts 10
+
+echo "== instability smoke (shear_pair, 1 oversized-dt step, retry + finite-state assert)"
+# one deliberately oversized step (10x the scenario dt) with a volume-drift
+# gate tight enough that the first attempt must fail: asserts the adaptive
+# stepper actually rolled back and retried (dt_retries >= 1), every
+# committed step's max edge stretch stayed finite and within the bound,
+# and the final coefficients are finite — i.e. the transactional
+# retry/backoff path works, not just the happy path
+cargo run --release -q -p driver -- shear_pair --steps 1 \
+    --set order=6 --set dt=0.2 --set dt_max_vol_drift=1e-4 \
+    --no-output --quiet --assert-dt-retries 1
 
 echo "== refined-vessel smoke (vessel_flow, 1 step, wall_refine=1 + FMM backend)"
 # one confined-flow step on a refined wall through the FMM matvec backend:

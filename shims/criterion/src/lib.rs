@@ -37,7 +37,11 @@ impl Default for Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
@@ -73,9 +77,12 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.text);
-        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -89,10 +96,14 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
     }
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -145,7 +156,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
             return;
         }
     }
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{full_name:<50} (no samples)");

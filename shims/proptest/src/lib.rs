@@ -6,8 +6,8 @@
 use std::ops::Range;
 
 pub mod prelude {
-    pub use crate::{ProptestConfig, Strategy, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
 }
 
 /// Configuration subset: number of sampled cases.
@@ -35,7 +35,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0xA076_1D64_78BD_642F }
+        TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
     }
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -45,7 +45,9 @@ pub trait SeedableRng: Sized {
 impl SeedableRng for rngs::StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         // one warmup step decorrelates small consecutive seeds
-        let mut rng = rngs::StdRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B };
+        let mut rng = rngs::StdRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        };
         let _ = rng.next_u64();
         rng
     }

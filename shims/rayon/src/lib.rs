@@ -144,7 +144,9 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
-        Ok(ThreadPool { num_threads: self.num_threads })
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
     }
 }
 

@@ -41,7 +41,9 @@ pub fn num_threads() -> usize {
                 }
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
@@ -114,7 +116,11 @@ struct Pool {
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
-        state: Mutex::new(PoolState { job: None, active: 0, workers: 0 }),
+        state: Mutex::new(PoolState {
+            job: None,
+            active: 0,
+            workers: 0,
+        }),
         work: Condvar::new(),
         done: Condvar::new(),
     })
@@ -241,11 +247,7 @@ pub fn map_indexed<R: Send, F: Fn(usize) -> R + Sync>(n: usize, f: F) -> Vec<R> 
 /// Splits `data` into chunks of `chunk_size` and runs `f(chunk_index,
 /// chunk)` across the worker threads. Chunks are disjoint, so each worker
 /// gets exclusive mutable access.
-pub fn chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
-    data: &mut [T],
-    chunk_size: usize,
-    f: F,
-) {
+pub fn chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], chunk_size: usize, f: F) {
     assert!(chunk_size > 0, "chunks_mut: zero chunk size");
     let len = data.len();
     let n = len.div_ceil(chunk_size);
@@ -285,7 +287,10 @@ impl<T> RowBlock<'_, T> {
     pub fn row(&mut self, i: usize) -> &mut [T] {
         let r = self.rows[i] as usize;
         let start = r * self.row_len;
-        assert!(start + self.row_len <= self.data_len, "row index out of bounds");
+        assert!(
+            start + self.row_len <= self.data_len,
+            "row index out of bounds"
+        );
         // SAFETY: in bounds (checked); rows are globally unique (checked by
         // the caller in debug builds) and blocks partition them, so no two
         // live references alias; &mut self prevents holding two rows from
@@ -325,7 +330,12 @@ pub fn for_each_row_block<T: Send, F>(
     for_each_index(nblocks, |bi| {
         let start = bi * block_size;
         let end = (start + block_size).min(rows.len());
-        let mut view = RowBlock { base, data_len, row_len, rows: &rows[start..end] };
+        let mut view = RowBlock {
+            base,
+            data_len,
+            row_len,
+            rows: &rows[start..end],
+        };
         f(start, &mut view);
     });
 }
@@ -342,7 +352,10 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     for &(s, e) in ranges {
-        assert!(s <= e && e <= data.len(), "for_each_disjoint_range: out of bounds");
+        assert!(
+            s <= e && e <= data.len(),
+            "for_each_disjoint_range: out of bounds"
+        );
     }
     #[cfg(debug_assertions)]
     {
@@ -350,7 +363,10 @@ where
             ranges.iter().copied().filter(|(s, e)| s != e).collect();
         sorted.sort_unstable();
         for w in sorted.windows(2) {
-            assert!(w[0].1 <= w[1].0, "for_each_disjoint_range: overlapping ranges");
+            assert!(
+                w[0].1 <= w[1].0,
+                "for_each_disjoint_range: overlapping ranges"
+            );
         }
     }
     let base = SendPtr(data.as_mut_ptr());
@@ -411,7 +427,11 @@ mod tests {
             }
         });
         for r in 0..12u32 {
-            let expect = if rows.contains(&r) { r as f64 + 1.0 } else { 0.0 };
+            let expect = if rows.contains(&r) {
+                r as f64 + 1.0
+            } else {
+                0.0
+            };
             for c in 0..4 {
                 assert_eq!(data[r as usize * 4 + c], expect, "row {r}");
             }

@@ -10,7 +10,11 @@ use vesicle::{biconcave_coeffs, Cell, CellParams};
 #[test]
 fn single_cell_in_shear_conserves_area_and_volume() {
     let basis = SphBasis::new(10);
-    let params = CellParams { kappa_b: 0.02, k_area: 2.0, ..Default::default() };
+    let params = CellParams {
+        kappa_b: 0.02,
+        k_area: 2.0,
+        ..Default::default()
+    };
     let cells = vec![Cell::new(
         &basis,
         biconcave_coeffs(&basis, 1.0, Vec3::ZERO),
@@ -18,7 +22,11 @@ fn single_cell_in_shear_conserves_area_and_volume() {
     )];
     let g0 = cells[0].geometry(&basis);
     let (a0, v0) = (g0.area(), g0.volume());
-    let config = SimConfig { dt: 0.01, shear_rate: 0.5, ..Default::default() };
+    let config = SimConfig {
+        dt: 0.01,
+        shear_rate: 0.5,
+        ..Default::default()
+    };
     let mut sim = Simulation::new(basis, cells, None, config);
     for _ in 0..10 {
         sim.step();
@@ -51,7 +59,11 @@ fn cell_tank_treads_in_shear() {
         biconcave_coeffs(&basis, 0.8, Vec3::new(0.0, 0.0, z0)),
         params,
     )];
-    let config = SimConfig { dt: 0.02, shear_rate: 1.0, ..Default::default() };
+    let config = SimConfig {
+        dt: 0.02,
+        shear_rate: 1.0,
+        ..Default::default()
+    };
     let mut sim = Simulation::new(basis, cells, None, config);
     let c0 = sim.cells[0].geometry(&sim.basis).centroid();
     for _ in 0..5 {

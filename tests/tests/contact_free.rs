@@ -25,13 +25,25 @@ fn min_separation_ok(sim: &Simulation, delta: f64) -> bool {
 #[test]
 fn shear_pair_never_interpenetrates() {
     let basis = SphBasis::new(8);
-    let params = CellParams { kappa_b: 0.02, k_area: 2.0, ..Default::default() };
+    let params = CellParams {
+        kappa_b: 0.02,
+        k_area: 2.0,
+        ..Default::default()
+    };
     // the upstream cell sits above the midplane so the shear u = [z,0,0]
     // carries it into the downstream cell; without contact handling the
     // surfaces would interpenetrate
     let cells = vec![
-        Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::new(-0.8, 0.0, 0.3)), params),
-        Cell::new(&basis, biconcave_coeffs(&basis, 1.0, Vec3::new(0.8, 0.0, -0.3)), params),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::new(-0.8, 0.0, 0.3)),
+            params,
+        ),
+        Cell::new(
+            &basis,
+            biconcave_coeffs(&basis, 1.0, Vec3::new(0.8, 0.0, -0.3)),
+            params,
+        ),
     ];
     let delta = 0.06;
     let config = SimConfig {

@@ -20,7 +20,11 @@ fn make(force_fmm: bool) -> Simulation {
         shear_rate: 0.3,
         // force the FMM path or the direct path
         fmm_pair_threshold: if force_fmm { 0.0 } else { f64::INFINITY },
-        fmm: fmm::FmmOptions { order: 6, leaf_capacity: 80, max_depth: 10 },
+        fmm: fmm::FmmOptions {
+            order: 6,
+            leaf_capacity: 80,
+            max_depth: 10,
+        },
         ..Default::default()
     };
     Simulation::new(basis, cells, None, config)
@@ -82,7 +86,11 @@ fn stokes_double_layer_fmm_accuracy_orders_4_and_6() {
             &src,
             &data,
             &trg,
-            fmm::FmmOptions { order, leaf_capacity: 60, max_depth: 10 },
+            fmm::FmmOptions {
+                order,
+                leaf_capacity: 60,
+                max_depth: 10,
+            },
         );
         let num: f64 = approx
             .iter()
@@ -94,7 +102,10 @@ fn stokes_double_layer_fmm_accuracy_orders_4_and_6() {
     }
     assert!(errs[0] < 5e-3, "order 4 relative error {}", errs[0]);
     assert!(errs[1] < 1e-4, "order 6 relative error {}", errs[1]);
-    assert!(errs[1] < errs[0] * 0.5, "order 6 must beat order 4: {errs:?}");
+    assert!(
+        errs[1] < errs[0] * 0.5,
+        "order 6 must beat order 4: {errs:?}"
+    );
 }
 
 #[test]

@@ -12,10 +12,17 @@ fn confined_stokes_solution_reproduced() {
     let opts = BieOptions {
         eta: 2,
         p_extrap: 8,
-        check: CheckSpec::Linear { big_r: 0.15, small_r: 0.15 },
+        check: CheckSpec::Linear {
+            big_r: 0.15,
+            small_r: 0.15,
+        },
         backend: MatvecBackend::Dense,
         null_space: true,
-        gmres: GmresOptions { tol: 5e-5, max_iters: 60, ..Default::default() },
+        gmres: GmresOptions {
+            tol: 5e-5,
+            max_iters: 60,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let solver = DoubleLayerSolver::new(surface, StokesDL, StokesEquiv { mu: 1.0 }, opts);

@@ -12,11 +12,18 @@ use vesicle::CellParams;
 
 #[test]
 fn cells_advance_through_tube_without_escaping() {
-    let line = StraightLine { a: Vec3::ZERO, b: Vec3::new(6.0, 0.0, 0.0) };
+    let line = StraightLine {
+        a: Vec3::ZERO,
+        b: Vec3::new(6.0, 0.0, 0.0),
+    };
     let surface = capsule_tube(&line, 1.0, 3, 8);
     let bie = bie::BieOptions {
         backend: bie::MatvecBackend::Dense,
-        gmres: GmresOptions { tol: 1e-4, max_iters: 30, ..Default::default() },
+        gmres: GmresOptions {
+            tol: 1e-4,
+            max_iters: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let vessel = Vessel::new(surface.clone(), 1.0, bie, 1.0, 8);
@@ -26,7 +33,11 @@ fn cells_advance_through_tube_without_escaping() {
     let mut rng = StdRng::seed_from_u64(5);
     let cells = cells_from_seeds(&basis, &seeds, CellParams::default(), &mut rng);
     let n_cells = cells.len();
-    let config = SimConfig { dt: 0.02, collision_delta: 0.05, ..Default::default() };
+    let config = SimConfig {
+        dt: 0.02,
+        collision_delta: 0.05,
+        ..Default::default()
+    };
     let mut sim = Simulation::new(basis, cells, Some(vessel), config);
     let x_before: f64 = sim
         .cells
