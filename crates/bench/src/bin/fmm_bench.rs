@@ -6,9 +6,16 @@
 //! machine-readable `BENCH_fmm.json` so the numbers are tracked across
 //! PRs.
 //!
+//! A second section times the *persistent-plan* path the wall FMM runs on
+//! (`Fmm::frozen` + `evaluate_at`): stresslet sources on a tube surface,
+//! moving targets in the lumen — one frozen-tree build, then a target-only
+//! replan + evaluate per call, against the fresh build-per-call cost it
+//! replaced, with a `leaf_capacity` sweep at the production order 4.
+//!
 //! Usage: `cargo run --release -p bench --bin fmm_bench [--quick]`
-//! (`--quick` runs one evaluate repetition instead of three and skips
-//! order 6 — used by `scripts/check.sh` as a smoke test).
+//! (`--quick` runs one evaluate repetition instead of three, skips
+//! order 6, and runs a single replan row — used by `scripts/check.sh`
+//! as a smoke test).
 
 use bench::cloud;
 use bench::seed_fmm::SeedFmm;
@@ -110,6 +117,112 @@ fn run_case<KS: Kernel + Clone, KE: Kernel + Clone>(
     r
 }
 
+struct ReplanResult {
+    n_src: usize,
+    n_trg: usize,
+    order: usize,
+    leaf_capacity: usize,
+    /// One-time frozen source-tree build (no targets).
+    frozen_build_s: f64,
+    /// Per-call cost on the persistent plan: target replan + evaluate.
+    replan_eval_s: f64,
+    /// The cost this replaced: fresh frozen build + evaluate per call.
+    fresh_eval_s: f64,
+    speedup: f64,
+    /// Max abs difference of the replanned result vs the fresh build's —
+    /// identical tree + plan, so this must sit at roundoff (≤ 1e-12).
+    agree: f64,
+}
+
+/// Wall-FMM microbench: stresslet sources frozen on a tube surface,
+/// per-call target replans for drifting lumen targets (the geometry of
+/// `bie::DoubleLayerSolver::eval_at` inside a vessel step).
+fn run_replan_case(
+    n_src: usize,
+    n_trg: usize,
+    order: usize,
+    leaf_capacity: usize,
+    reps: usize,
+) -> ReplanResult {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (r, len) = (1.0, 4.0);
+    let src: Vec<linalg::Vec3> = (0..n_src)
+        .map(|_| {
+            let th = rng.random_range(0.0..std::f64::consts::TAU);
+            let z = rng.random_range(-0.5 * len..0.5 * len);
+            linalg::Vec3::new(r * th.cos(), r * th.sin(), z)
+        })
+        .collect();
+    let lumen = |rng: &mut StdRng, n: usize| -> Vec<linalg::Vec3> {
+        (0..n)
+            .map(|_| {
+                let th = rng.random_range(0.0..std::f64::consts::TAU);
+                let rr = r * rng.random_range(0.0..0.85f64).sqrt();
+                let z = rng.random_range(-0.45 * len..0.45 * len);
+                linalg::Vec3::new(rr * th.cos(), rr * th.sin(), z)
+            })
+            .collect()
+    };
+    let sk = StokesDL;
+    let ek = StokesEquiv { mu: 1.0 };
+    let data: Vec<f64> = (0..n_src * sk.src_dim())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let opts = FmmOptions {
+        order,
+        leaf_capacity,
+        max_depth: 14,
+    };
+    let _ = fmm::cached_operators(&ek, order);
+
+    let (frozen_build_s, mut f) = time(1, || Fmm::frozen(sk, ek, &src, &[], opts));
+    // two target sets, alternated so every timed call replans
+    let trg_a = lumen(&mut rng, n_trg);
+    let trg_b = lumen(&mut rng, n_trg);
+    // prime the persistent arenas, then time replan + evaluate
+    let _ = f.evaluate_at(&data, &trg_b);
+    let mut flip = false;
+    let (replan_eval_s, _) = time(reps.max(2), || {
+        flip = !flip;
+        f.evaluate_at(&data, if flip { &trg_a } else { &trg_b })
+    });
+    // the cost this replaced: a throwaway frozen build + evaluate per call
+    let (fresh_eval_s, fresh) = time(reps, || {
+        let g = Fmm::frozen(sk, ek, &src, &trg_b, opts);
+        g.evaluate(&data)
+    });
+    let replanned = f.evaluate_at(&data, &trg_b);
+    let agree = replanned
+        .iter()
+        .zip(&fresh)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let res = ReplanResult {
+        n_src,
+        n_trg,
+        order,
+        leaf_capacity,
+        frozen_build_s,
+        replan_eval_s,
+        fresh_eval_s,
+        speedup: fresh_eval_s / replan_eval_s,
+        agree,
+    };
+    println!(
+        "replan stokes_dl           Nsrc={:<6} Ntrg={:<5} p={} leaf={:<4} build {:>8.1} ms   replan+eval {:>8.2} ms   fresh {:>9.2} ms   speedup {:>5.2}x   agree {:.1e}",
+        res.n_src,
+        res.n_trg,
+        res.order,
+        res.leaf_capacity,
+        res.frozen_build_s * 1e3,
+        res.replan_eval_s * 1e3,
+        res.fresh_eval_s * 1e3,
+        res.speedup,
+        res.agree
+    );
+    res
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 1 } else { 3 };
@@ -139,6 +252,20 @@ fn main() {
         }
     }
 
+    // persistent-plan section: one frozen build, target-only replans, at
+    // the production wall configuration (stresslet kernel, order 4).
+    // The full run sweeps leaf_capacity around the library default to
+    // keep the chosen default honest against the replan workload.
+    let mut replans = Vec::new();
+    if quick {
+        replans.push(run_replan_case(8000, 1500, 4, 120, 1));
+    } else {
+        for leaf in [60, 120, 240] {
+            replans.push(run_replan_case(20000, 3000, 4, leaf, reps));
+        }
+        replans.push(run_replan_case(20000, 3000, 6, 120, reps));
+    }
+
     // hand-rolled JSON (no serde in the environment)
     let mut json = String::from("{\n  \"bench\": \"fmm_evaluate\",\n  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -154,6 +281,23 @@ fn main() {
             r.speedup,
             r.rel_diff,
             if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"target_replan\": [\n");
+    for (i, r) in replans.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"stokes_dl\", \"n_src\": {}, \"n_trg\": {}, \"order\": {}, \"leaf_capacity\": {}, \"frozen_build_s\": {:.6}, \"replan_eval_s\": {:.6}, \"fresh_eval_s\": {:.6}, \"speedup\": {:.3}, \"max_abs_diff_vs_fresh\": {:.3e}}}{}\n",
+            r.n_src,
+            r.n_trg,
+            r.order,
+            r.leaf_capacity,
+            r.frozen_build_s,
+            r.replan_eval_s,
+            r.fresh_eval_s,
+            r.speedup,
+            r.agree,
+            if i + 1 < replans.len() { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");
@@ -178,5 +322,13 @@ fn main() {
     assert!(
         worst_agree < 1e-8,
         "new engine disagrees with seed engine: {worst_agree:.3e}"
+    );
+    // a replanned persistent plan runs the identical tree + operators as a
+    // fresh frozen build — disagreement above roundoff means target-side
+    // state leaked between replans
+    let worst_replan = replans.iter().map(|r| r.agree).fold(0.0, f64::max);
+    assert!(
+        worst_replan <= 1e-12,
+        "replanned persistent FMM disagrees with fresh build: {worst_replan:.3e}"
     );
 }

@@ -22,4 +22,5 @@ pub mod solver;
 pub use closest::{closest_points, ClosestHit};
 pub use fine::FineDiscretization;
 pub use precond::CoarseGridPrecond;
+pub use fmm::FmmOptions;
 pub use solver::{BieOptions, CheckSpec, DoubleLayerSolver, LayerKernel, MatvecBackend};

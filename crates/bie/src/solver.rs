@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A double-layer kernel usable by the Nyström solver: packs a density
 /// value, surface normal and quadrature weight into FMM source data.
-pub trait LayerKernel: Kernel + Clone + Sync {
+pub trait LayerKernel: Kernel + Clone + Sync + Send {
     /// Components of the layer density (3 for Stokes, 1 for Laplace).
     fn value_dim(&self) -> usize;
     /// Packs `weight · density` and the normal into the kernel's source
@@ -203,7 +203,7 @@ struct ApplyScratch {
 }
 
 /// The Nyström double-layer solver on a fixed boundary surface.
-pub struct DoubleLayerSolver<K: LayerKernel, KE: Kernel + Clone + Sync> {
+pub struct DoubleLayerSolver<K: LayerKernel, KE: Kernel + Clone + Sync + Send> {
     /// The boundary.
     pub surface: BoundarySurface,
     /// Coarse discretization (the Nyström nodes `y_ℓ`).
@@ -231,9 +231,19 @@ pub struct DoubleLayerSolver<K: LayerKernel, KE: Kernel + Clone + Sync> {
     /// Nanoseconds spent in far-field summation (FMM or direct) — the
     /// paper's "BIE-FMM" timer category; reset with [`Self::take_fmm_nanos`].
     fmm_nanos: AtomicU64,
+    /// Persistent FMM for [`Self::eval_at`]-style moving-target summation:
+    /// frozen once over the (static) fine sources, then target-only
+    /// replanned per call. Lazily built on the first FMM-routed
+    /// `summation` call; dropped by [`Self::invalidate_eval_fmm`].
+    eval_fmm: Mutex<Option<Fmm<K, KE>>>,
+    /// Frozen-tree constructions of `eval_fmm` (plan-reuse telemetry: stays
+    /// at 1 across a run unless the cache is invalidated).
+    eval_fmm_builds: AtomicU64,
+    /// Target-only replans on `eval_fmm` (one per FMM-routed `summation`).
+    eval_fmm_replans: AtomicU64,
 }
 
-impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
+impl<K: LayerKernel, KE: Kernel + Clone + Sync + Send> DoubleLayerSolver<K, KE> {
     /// Builds the solver: coarse/fine discretizations, check points, and
     /// the (static-geometry) FMM for the GMRES matvec.
     pub fn new(surface: BoundarySurface, kernel: K, eq_kernel: KE, opts: BieOptions) -> Self {
@@ -294,6 +304,9 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
             precond,
             scratch: Mutex::new(ApplyScratch::default()),
             fmm_nanos: AtomicU64::new(0),
+            eval_fmm: Mutex::new(None),
+            eval_fmm_builds: AtomicU64::new(0),
+            eval_fmm_replans: AtomicU64::new(0),
         }
     }
 
@@ -355,12 +368,18 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
 
     /// Evaluates the layer potential of packed sources at arbitrary
     /// targets, choosing FMM or direct summation by problem size.
+    ///
+    /// The FMM path runs on a *persistent* [`Fmm::frozen`] plan: the tree,
+    /// interaction lists, and operators are built once over the static
+    /// fine sources (lazily, on the first FMM-routed call) and each call
+    /// only replans the moving targets — the per-step throwaway build this
+    /// replaced dominated the refined-vessel step time.
     fn summation(&self, src_data: &[f64], targets: &[Vec3]) -> Vec<f64> {
         let t0 = std::time::Instant::now();
         // `Auto` resolves by patch count like the solve matvec, but only
-        // once the target set is big enough to amortize the tree/operator
-        // setup of a throwaway Fmm (eval_at geometry changes every call,
-        // so this one cannot be cached like `solve_fmm`)
+        // once the target set is big enough for the FMM to beat direct
+        // summation (small unrefined problems stay dense — and
+        // bit-identical to the pre-backend code)
         let use_fmm = match self.opts.backend {
             MatvecBackend::Dense => false,
             MatvecBackend::Fmm => true,
@@ -370,14 +389,22 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
             }
         };
         let out = if use_fmm {
-            let f = Fmm::new(
-                self.kernel.clone(),
-                self.eq_kernel.clone(),
-                &self.fine.points,
-                targets,
-                self.opts.fmm,
-            );
-            f.evaluate(src_data)
+            let mut guard = self.eval_fmm.lock();
+            if guard.is_none() {
+                *guard = Some(Fmm::frozen(
+                    self.kernel.clone(),
+                    self.eq_kernel.clone(),
+                    &self.fine.points,
+                    &[],
+                    self.opts.fmm,
+                ));
+                self.eval_fmm_builds.fetch_add(1, Ordering::Relaxed);
+            }
+            self.eval_fmm_replans.fetch_add(1, Ordering::Relaxed);
+            guard
+                .as_mut()
+                .expect("eval_fmm just built")
+                .evaluate_at(src_data, targets)
         } else {
             let mut out = vec![0.0; targets.len() * self.kernel.trg_dim()];
             direct_eval(&self.kernel, &self.fine.points, src_data, targets, &mut out);
@@ -386,6 +413,26 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
         self.fmm_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
+    }
+
+    /// Returns and resets the persistent-eval-FMM activity counters
+    /// `(frozen-tree builds, target replans)` — the plan-reuse telemetry
+    /// behind `StepStats::{wall_fmm_builds, wall_fmm_replans}`. A healthy
+    /// steady state is builds = 0 (the tree was built on an earlier step)
+    /// and one replan per `eval_at`/`summation` call.
+    pub fn take_eval_fmm_counters(&self) -> (u64, u64) {
+        (
+            self.eval_fmm_builds.swap(0, Ordering::Relaxed),
+            self.eval_fmm_replans.swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Drops the persistent eval FMM; the next FMM-routed summation
+    /// rebuilds it from the current fine sources. Callers invalidate when
+    /// the surface the solver was built over changes identity (e.g. the
+    /// vessel digest changes).
+    pub fn invalidate_eval_fmm(&self) {
+        *self.eval_fmm.lock() = None;
     }
 
     /// Applies the discrete boundary operator `A = (1/2 I + D)|_interior
@@ -599,11 +646,11 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync> DoubleLayerSolver<K, KE> {
     }
 }
 
-struct SolverOperator<'a, K: LayerKernel, KE: Kernel + Clone + Sync> {
+struct SolverOperator<'a, K: LayerKernel, KE: Kernel + Clone + Sync + Send> {
     solver: &'a DoubleLayerSolver<K, KE>,
 }
 
-impl<K: LayerKernel, KE: Kernel + Clone + Sync> LinearOperator for SolverOperator<'_, K, KE> {
+impl<K: LayerKernel, KE: Kernel + Clone + Sync + Send> LinearOperator for SolverOperator<'_, K, KE> {
     fn dim(&self) -> usize {
         self.solver.dim()
     }

@@ -151,6 +151,14 @@ fn refined_tube_stokes_error_below_threshold_with_fmm() {
                 stall_ratio: 0.9,
                 ..Default::default()
             },
+            // the scenario-default refined matvec order: 4 — this test
+            // pins the end-to-end refined accuracy at the *production*
+            // order, so lowering the default below the quadrature floor
+            // would fail here, not in a scenario run
+            fmm: fmm::FmmOptions {
+                order: 4,
+                ..Default::default()
+            },
             // the scenario-default refined fine order q + 4
             ..tube_opts(refine, q + 4, MatvecBackend::Fmm)
         },
@@ -198,11 +206,16 @@ fn dense_and_fmm_backends_apply_the_same_operator() {
     // tolerance tied to the FMM truncation order. The check targets sit
     // right against the source surface (R = 0.15 L̂), so the agreement is
     // set by the near-field translation accuracy, not the far-field
-    // "5–6 digits at order 6" figure: measured 4.1e-4 at order 6 and
-    // 2.0e-5 at order 8 on this geometry. Assert each order's bound and
-    // that the distance tightens with order.
+    // "5–6 digits at order 6" figure: measured 1.6e-2 at order 4, 4.1e-4
+    // at order 6, and 2.0e-5 at order 8 on this geometry. Assert each
+    // order's bound and that the distance tightens with order; order 4
+    // heads the ladder because it is the refined-path matvec default
+    // (driver `bie_fmm_order`) — a ~2-digit operator perturbation that
+    // GMRES absorbs without moving the end-to-end interior error off the
+    // quadrature floor (pinned at the default order by
+    // `refined_tube_stokes_error_below_threshold_with_fmm` above).
     let mut dist = Vec::new();
-    for (order, bound) in [(6usize, 1.5e-3), (8, 1e-4)] {
+    for (order, bound) in [(4usize, 3e-2), (6, 1.5e-3), (8, 1e-4)] {
         let fmm_solver = DoubleLayerSolver::new(
             tube(q, refine),
             StokesDL,
@@ -236,8 +249,10 @@ fn dense_and_fmm_backends_apply_the_same_operator() {
         );
         dist.push(diff);
     }
-    assert!(
-        dist[1] < dist[0],
-        "FMM operator distance did not tighten with order: {dist:?}"
-    );
+    for w in dist.windows(2) {
+        assert!(
+            w[1] < w[0],
+            "FMM operator distance did not tighten with order: {dist:?}"
+        );
+    }
 }

@@ -5,7 +5,8 @@
 //! sim-driver <scenario> [--config FILE] [--steps N] [--checkpoint-every K]
 //!            [--out DIR | --no-output] [--restart CKPT] [--quiet]
 //!            [--assert-contacts N] [--assert-bie-below N]
-//!            [--assert-dt-retries N] [--allow-nonfinite] [--set key=value ...]
+//!            [--assert-dt-retries N] [--assert-fmm-rebuilds N]
+//!            [--allow-nonfinite] [--set key=value ...]
 //! ```
 //!
 //! `--set` writes into the scenario's config section, overriding the file;
@@ -30,6 +31,14 @@
 //! The CI gate runs one deliberately oversized-dt step through this to
 //! prove the retry path actually fires and keeps the state sane.
 //!
+//! `--assert-fmm-rebuilds N` turns the run into a plan-reuse smoke test:
+//! it exits nonzero unless the persistent wall FMM was built at most `N`
+//! times over the whole run while every step still routed its boundary
+//! evaluation through it (≥ 1 target replan per step). The CI gate runs a
+//! multi-step refined-wall `vessel_flow` through this with `N = 1` to
+//! prove steps after the first reuse the frozen source tree instead of
+//! rebuilding the FMM from scratch each step.
+//!
 //! The run aborts by default the moment any cell's coefficients go
 //! non-finite (naming the step, cell, and coefficient); pass
 //! `--allow-nonfinite` to disable that guard and keep stepping anyway.
@@ -51,6 +60,7 @@ struct Args {
     assert_contacts: Option<usize>,
     assert_bie_below: Option<usize>,
     assert_dt_retries: Option<usize>,
+    assert_fmm_rebuilds: Option<usize>,
     allow_nonfinite: bool,
     sets: Vec<String>,
     help: bool,
@@ -61,8 +71,8 @@ fn usage() -> String {
         "usage: sim-driver <scenario|list> [--config FILE] [--steps N] \
          [--checkpoint-every K] [--out DIR | --no-output] [--restart CKPT] \
          [--quiet] [--assert-contacts N] [--assert-bie-below N] \
-         [--assert-dt-retries N] [--allow-nonfinite] \
-         [--set key=value ...]\n\nscenarios:\n",
+         [--assert-dt-retries N] [--assert-fmm-rebuilds N] \
+         [--allow-nonfinite] [--set key=value ...]\n\nscenarios:\n",
     );
     for s in driver::registry() {
         u.push_str(&format!("  {:<18} {}\n", s.name, s.summary));
@@ -83,6 +93,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         assert_contacts: None,
         assert_bie_below: None,
         assert_dt_retries: None,
+        assert_fmm_rebuilds: None,
         allow_nonfinite: false,
         sets: Vec::new(),
         help: false,
@@ -129,6 +140,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value("--assert-dt-retries")?
                         .parse()
                         .map_err(|e| format!("--assert-dt-retries: {e}"))?,
+                )
+            }
+            "--assert-fmm-rebuilds" => {
+                args.assert_fmm_rebuilds = Some(
+                    value("--assert-fmm-rebuilds")?
+                        .parse()
+                        .map_err(|e| format!("--assert-fmm-rebuilds: {e}"))?,
                 )
             }
             "--allow-nonfinite" => args.allow_nonfinite = true,
@@ -304,6 +322,38 @@ fn main_inner() -> Result<(), String> {
                 "bie smoke OK: max {worst} GMRES iterations < {cap}, final relative \
                  residual {resid:.2e}, all {} cells finite",
                 built.sim.cells.len()
+            );
+        }
+    }
+
+    if let Some(max_builds) = args.assert_fmm_rebuilds {
+        if built.sim.vessel.is_none() {
+            return Err("fmm-reuse smoke: scenario has no vessel (no wall FMM runs)".into());
+        }
+        let builds: usize = report.rows.iter().map(|r| r.stats.wall_fmm_builds).sum();
+        if builds > max_builds {
+            return Err(format!(
+                "fmm-reuse smoke: {builds} wall-FMM builds over {} steps (max {max_builds}) \
+                 — the persistent plan is being rebuilt instead of reused",
+                report.rows.len()
+            ));
+        }
+        for row in &report.rows {
+            if row.stats.wall_fmm_replans == 0 {
+                return Err(format!(
+                    "fmm-reuse smoke: step {} did not route its boundary evaluation \
+                     through the wall FMM (0 target replans) — the smoke is not \
+                     exercising the persistent plan (check bie_backend / problem size)",
+                    row.step
+                ));
+            }
+        }
+        if !args.quiet {
+            let replans: usize = report.rows.iter().map(|r| r.stats.wall_fmm_replans).sum();
+            println!(
+                "fmm-reuse smoke OK: {builds} wall-FMM build(s) ≤ {max_builds}, \
+                 {replans} target replans over {} steps",
+                report.rows.len()
             );
         }
     }

@@ -100,14 +100,14 @@ impl RunReport {
 
 /// Column header of the per-step CSV.
 const CSV_HEADER: &str =
-    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells\n";
+    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells,wall_fmm_builds,wall_fmm_replans\n";
 
 impl StepRow {
     /// One CSV line (newline-terminated) for this row.
     fn csv_line(&self) -> String {
         let t = self.timers;
         format!(
-            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{}\n",
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{},{},{}\n",
             self.step,
             t.col,
             t.bie_solve,
@@ -123,6 +123,8 @@ impl StepRow {
             self.stats.dt_retries,
             self.stats.max_edge_stretch,
             self.stats.frozen_cells,
+            self.stats.wall_fmm_builds,
+            self.stats.wall_fmm_replans,
         )
     }
 }
@@ -262,6 +264,8 @@ mod tests {
                 dt_retries: 2,
                 max_edge_stretch: 1.25,
                 frozen_cells: 1,
+                wall_fmm_builds: 1,
+                wall_fmm_replans: 4,
                 ..Default::default()
             },
             recycled: 1,
@@ -278,9 +282,11 @@ mod tests {
             "dt_retries",
             "max_edge_stretch",
             "frozen_cells",
+            "wall_fmm_builds",
+            "wall_fmm_replans",
         ] {
             assert!(header.contains(col), "missing column {col}: {header}");
         }
-        assert!(csv.contains(",0.00500000,2,1.2500,1"), "{csv}");
+        assert!(csv.contains(",0.00500000,2,1.2500,1,1,4"), "{csv}");
     }
 }

@@ -140,9 +140,12 @@ fn cell_params(cfg: &Doc, sec: &str, kappa_b: f64, k_area: f64) -> CellParams {
 
 /// Reads the `wall_refine` knob of a vessel scenario: the number of
 /// [`patch::BoundarySurface::refine`] levels applied to the vessel surface
-/// (0 = the coarse registry layout; each level splits every patch in 4).
-fn wall_refine(cfg: &Doc, sec: &str) -> u32 {
-    cfg.usize_or(sec, "wall_refine", 0) as u32
+/// (`default` = the scenario's registry level; each level splits every
+/// patch in 4). Most scenarios default to the coarse layout (0);
+/// `vessel_flow` — the headline confined-flow run — defaults to 1 now that
+/// the persistent wall FMM makes the refined operator affordable per step.
+fn wall_refine(cfg: &Doc, sec: &str, default: usize) -> u32 {
+    cfg.usize_or(sec, "wall_refine", default) as u32
 }
 
 /// Collision-mesh sampling per patch under refinement: halve `col_m` per
@@ -210,6 +213,23 @@ fn bie_options(cfg: &Doc, sec: &str, q: usize, refine: u32) -> Result<bie::BieOp
     let refined = refine > 0;
     let check_r = cfg.f64_or(sec, "bie_check_r", if refined { 0.15 } else { 0.06 });
     let qf = cfg.usize_or(sec, "bie_qf", if refined { q + 4 } else { 0 });
+    // matvec/eval FMM tuning. The refined path defaults to order 4: the
+    // quadrature floor sits near 1e-3, so the ~4e-4 operator error of
+    // order 6 buys nothing over order 4's (see the per-order ladder in
+    // crates/bie/tests/tube.rs), while the smaller equivalent surfaces
+    // roughly halve the M2L work per solve. Unrefined solves keep the
+    // library default (order 6), whose extra digits are free at those
+    // patch counts because they run dense anyway.
+    let fmm_default = bie::FmmOptions::default();
+    let fmm = bie::FmmOptions {
+        order: cfg.usize_or(
+            sec,
+            "bie_fmm_order",
+            if refined { 4 } else { fmm_default.order },
+        ),
+        leaf_capacity: cfg.usize_or(sec, "bie_fmm_leaf_capacity", fmm_default.leaf_capacity),
+        max_depth: fmm_default.max_depth,
+    };
     let backend = match cfg.str_or(sec, "bie_backend", "auto") {
         "auto" => bie::MatvecBackend::Auto,
         "dense" => bie::MatvecBackend::Dense,
@@ -223,6 +243,7 @@ fn bie_options(cfg: &Doc, sec: &str, q: usize, refine: u32) -> Result<bie::BieOp
     Ok(bie::BieOptions {
         backend,
         qf,
+        fmm,
         gmres: GmresOptions {
             tol: cfg.f64_or(sec, "bie_tol", if refined { 2e-3 } else { 1e-5 }),
             max_iters: cfg.usize_or(sec, "bie_max_iters", 30),
@@ -287,7 +308,7 @@ fn build_sedimentation(cfg: &Doc) -> Result<Built, String> {
         a: Vec3::ZERO,
         b: Vec3::new(0.0, 0.0, length),
     };
-    let refine = wall_refine(cfg, sec);
+    let refine = wall_refine(cfg, sec, 0);
     let q = cfg.usize_or(sec, "patch_order", 8);
     // cells are seeded from the *unrefined* surface: refinement reproduces
     // the same geometry, but keeping the seed lattice's accept/reject tests
@@ -342,7 +363,7 @@ fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
         amp: cfg.f64_or(sec, "amp", 0.7),
         windings: cfg.f64_or(sec, "windings", 1.0),
     };
-    let refine = wall_refine(cfg, sec);
+    let refine = wall_refine(cfg, sec, 1);
     let q = cfg.usize_or(sec, "patch_order", 8);
     // seeded from the unrefined surface; see build_sedimentation
     let coarse = capsule_tube(
@@ -387,7 +408,7 @@ fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
 /// the flow is driven purely by gravity / cell interactions).
 fn build_dense_fill(cfg: &Doc) -> Result<Built, String> {
     let sec = "dense_fill";
-    let refine = wall_refine(cfg, sec);
+    let refine = wall_refine(cfg, sec, 0);
     let q = cfg.usize_or(sec, "patch_order", 8);
     // seeded from the unrefined surface; see build_sedimentation
     let coarse = modulated_torus(
@@ -473,7 +494,7 @@ fn build_dense_fill_packed(cfg: &Doc) -> Result<Built, String> {
         a: Vec3::ZERO,
         b: Vec3::new(0.0, 0.0, length),
     };
-    let refine = wall_refine(cfg, sec);
+    let refine = wall_refine(cfg, sec, 0);
     let q = cfg.usize_or(sec, "patch_order", 6);
     let segments = cfg.usize_or(
         sec,
@@ -531,7 +552,7 @@ fn build_poiseuille_train(cfg: &Doc) -> Result<Built, String> {
         a: Vec3::ZERO,
         b: Vec3::new(length, 0.0, 0.0),
     };
-    let refine = wall_refine(cfg, sec);
+    let refine = wall_refine(cfg, sec, 0);
     let q = cfg.usize_or(sec, "patch_order", 8);
     let surface =
         capsule_tube(&line, tube_r, cfg.usize_or(sec, "tube_segments", 4), q).refine(refine);
@@ -820,6 +841,78 @@ mod tests {
         assert_eq!(vr.solver.opts.gmres.tol, 2e-3);
         assert_eq!(vr.solver.opts.qf, 10);
         assert_eq!(vb.solver.opts.qf, 0);
+    }
+
+    #[test]
+    fn vessel_flow_defaults_to_refined_wall_with_order_4_fmm() {
+        // small geometry so the refined build stays cheap in unit tests
+        let mut cfg = Doc::default();
+        cfg.set("vessel_flow", "order", crate::toml::Value::Int(6));
+        cfg.set("vessel_flow", "patch_order", crate::toml::Value::Int(6));
+        cfg.set("vessel_flow", "tube_segments", crate::toml::Value::Int(1));
+        cfg.set("vessel_flow", "fill_h", crate::toml::Value::Float(1.5));
+        let refined = build("vessel_flow", &cfg).unwrap();
+        let vr = refined.sim.vessel.as_ref().unwrap();
+        // the registry default flipped to wall_refine = 1: refined bie
+        // defaults (finer quadrature, attainable tol, order-4 matvec FMM)
+        assert_eq!(vr.solver.opts.qf, 10);
+        assert_eq!(vr.solver.opts.gmres.tol, 2e-3);
+        assert_eq!(vr.solver.opts.fmm.order, 4);
+        // explicit opt-out restores the coarse wall and the library-default
+        // FMM order
+        cfg.set("vessel_flow", "wall_refine", crate::toml::Value::Int(0));
+        let coarse = build("vessel_flow", &cfg).unwrap();
+        let vc = coarse.sim.vessel.as_ref().unwrap();
+        assert_eq!(
+            4 * vc.solver.surface.num_patches(),
+            vr.solver.surface.num_patches()
+        );
+        assert_eq!(vc.solver.opts.fmm.order, 6);
+        // seeding is from the unrefined surface, so the flip does not move
+        // the initial packing
+        assert_eq!(coarse.sim.cells.len(), refined.sim.cells.len());
+    }
+
+    #[test]
+    fn bie_fmm_knobs_plumb_into_solver_options() {
+        let mut cfg = Doc::default();
+        cfg.set("poiseuille_train", "order", crate::toml::Value::Int(6));
+        cfg.set(
+            "poiseuille_train",
+            "patch_order",
+            crate::toml::Value::Int(6),
+        );
+        cfg.set(
+            "poiseuille_train",
+            "tube_segments",
+            crate::toml::Value::Int(1),
+        );
+        cfg.set("poiseuille_train", "bie_fmm_order", crate::toml::Value::Int(5));
+        cfg.set(
+            "poiseuille_train",
+            "bie_fmm_leaf_capacity",
+            crate::toml::Value::Int(99),
+        );
+        let built = build("poiseuille_train", &cfg).unwrap();
+        let v = built.sim.vessel.as_ref().unwrap();
+        assert_eq!(v.solver.opts.fmm.order, 5);
+        assert_eq!(v.solver.opts.fmm.leaf_capacity, 99);
+        // defaults: unrefined scenarios keep the library default order
+        let mut plain = Doc::default();
+        plain.set("poiseuille_train", "order", crate::toml::Value::Int(6));
+        plain.set(
+            "poiseuille_train",
+            "patch_order",
+            crate::toml::Value::Int(6),
+        );
+        plain.set(
+            "poiseuille_train",
+            "tube_segments",
+            crate::toml::Value::Int(1),
+        );
+        let built = build("poiseuille_train", &plain).unwrap();
+        let v = built.sim.vessel.as_ref().unwrap();
+        assert_eq!(v.solver.opts.fmm.order, bie::FmmOptions::default().order);
     }
 
     #[test]

@@ -69,3 +69,58 @@ fn two_instances_step_bit_identically() {
         "configuration is no longer high-contact ({total_contacts} ≤ 10); the test lost its teeth"
     );
 }
+
+/// Instance determinism through the *persistent wall FMM*: two
+/// independently built refined-wall `vessel_flow` instances (wall_refine
+/// defaults to 1, FMM backend forced) must step bit-identically while the
+/// plan-reuse telemetry confirms the persistent plan actually carried the
+/// evaluations — one frozen-tree build on the first step, zero after,
+/// one target replan per step.
+#[test]
+fn refined_fmm_vessel_instances_step_bit_identically() {
+    let mut cfg = Doc::default();
+    let sec = "vessel_flow";
+    cfg.set(sec, "tube_segments", Value::Int(1));
+    cfg.set(sec, "patch_order", Value::Int(6));
+    cfg.set(sec, "order", Value::Int(6));
+    cfg.set(sec, "bie_backend", Value::Str("fmm".into()));
+    cfg.set(sec, "bie_qf", Value::Int(6)); // keep the refined solve fast
+    cfg.set(sec, "fill_h", Value::Float(1.5));
+    let mut a = driver::build("vessel_flow", &cfg).unwrap().sim;
+    let mut b = driver::build("vessel_flow", &cfg).unwrap().sim;
+    // the registry default is the refined wall (4× the coarse patches)
+    assert_eq!(a.vessel.as_ref().unwrap().solver.opts.fmm.order, 4);
+    for step in 1..=2 {
+        a.step();
+        b.step();
+        let expected_builds = if step == 1 { 1 } else { 0 };
+        for (label, sim) in [("a", &a), ("b", &b)] {
+            assert_eq!(
+                sim.last_stats.wall_fmm_builds, expected_builds,
+                "instance {label} step {step}: wall FMM rebuilt instead of reused"
+            );
+            assert!(
+                sim.last_stats.wall_fmm_replans >= 1,
+                "instance {label} step {step}: boundary eval did not route \
+                 through the persistent FMM"
+            );
+        }
+        let da = coeff_bits(&a);
+        let db = coeff_bits(&b);
+        let diffs = da.iter().zip(&db).filter(|(x, y)| x != y).count();
+        assert_eq!(
+            diffs,
+            0,
+            "step {step}: {diffs}/{} coefficient words differ between instances",
+            da.len()
+        );
+        let wa = a.bie_warm.as_ref().unwrap();
+        let wb = b.bie_warm.as_ref().unwrap();
+        let wdiffs = wa
+            .iter()
+            .zip(wb)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(wdiffs, 0, "step {step}: warm-start densities differ");
+    }
+}

@@ -148,6 +148,70 @@ fn vessel_warm_start_round_trips_bit_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Restart through the *persistent wall FMM* cache: a refined-wall
+/// `vessel_flow` run (wall_refine defaults to 1, FMM backend forced)
+/// interrupted and restarted must continue bit-identically. The cache is
+/// deliberately not serialized — the resumed instance rebuilds the frozen
+/// source tree on its first step (asserted via the telemetry) and must
+/// land on the exact bits of the uninterrupted run, which is what licenses
+/// treating the plan as derived state rather than trajectory state.
+#[test]
+fn refined_fmm_vessel_restart_round_trips_bit_identically() {
+    let mut cfg = Doc::default();
+    let sec = "vessel_flow";
+    cfg.set(sec, "tube_segments", Value::Int(1));
+    cfg.set(sec, "patch_order", Value::Int(6));
+    cfg.set(sec, "order", Value::Int(6));
+    cfg.set(sec, "bie_backend", Value::Str("fmm".into()));
+    cfg.set(sec, "bie_qf", Value::Int(6)); // keep the refined solve fast
+    cfg.set(sec, "fill_h", Value::Float(1.5));
+
+    // uninterrupted reference: 3 steps
+    let mut reference = driver::build("vessel_flow", &cfg).unwrap().sim;
+    for _ in 0..3 {
+        reference.step();
+    }
+    let ref_bits = coeff_bits(&reference);
+
+    // interrupted: 2 steps, checkpoint through a file
+    let mut first = driver::build("vessel_flow", &cfg).unwrap().sim;
+    for _ in 0..2 {
+        first.step();
+    }
+    // steady state before the interrupt: the plan was reused, not rebuilt
+    assert_eq!(first.last_stats.wall_fmm_builds, 0);
+    assert!(first.last_stats.wall_fmm_replans >= 1);
+    let dir = std::env::temp_dir().join(format!("driver_fmm_restart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("vessel_flow.ckpt");
+    Checkpoint::write(&first, "vessel_flow", &path).unwrap();
+
+    // fresh process-equivalent: rebuild, restore, continue one step
+    let loaded = Checkpoint::load(&path).unwrap();
+    let mut resumed = driver::build("vessel_flow", &cfg).unwrap().sim;
+    loaded.restore_into(&mut resumed).unwrap();
+    resumed.step();
+    assert_eq!(resumed.steps, 3);
+    // the resumed instance's first step pays exactly one frozen-tree build
+    assert_eq!(resumed.last_stats.wall_fmm_builds, 1);
+
+    let resumed_bits = coeff_bits(&resumed);
+    assert_eq!(ref_bits.len(), resumed_bits.len());
+    let diffs = ref_bits
+        .iter()
+        .zip(&resumed_bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        diffs,
+        0,
+        "{diffs}/{} coefficient words differ after refined-FMM restart",
+        ref_bits.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn old_version_checkpoint_rejected_with_clear_error() {
     let cfg = small_shear_pair_cfg();

@@ -22,7 +22,7 @@ use crate::ops::{cached_operators, m2l_class, FmmOperators};
 use crate::surface::{cube_surface, RAD_INNER, RAD_OUTER};
 use kernels::Kernel;
 use linalg::{gemm_acc, Vec3};
-use octree::{Octree, TreeOptions, NONE};
+use octree::{MortonKey, Octree, TreeOptions, MAX_DEPTH, NONE};
 use parking_lot::Mutex;
 use rayon::par;
 use std::cell::RefCell;
@@ -137,8 +137,35 @@ struct Arenas {
     /// Downward check values of the level currently being processed
     /// (`max_level_len · nd_chk`).
     check: Vec<f64>,
-    /// Results in Morton target order (`n_trg · td`).
+    /// Results for leaf-resident targets, in Morton target order.
     out_sorted: Vec<f64>,
+    /// Results for virtual targets, grouped per [`VirtGroup`].
+    virt_out: Vec<f64>,
+}
+
+/// Targets of one internal "virtual leaf" owner on a frozen source tree.
+///
+/// A source-only tree prunes source-free regions, so a target placed there
+/// by [`Fmm::set_targets`] has an *internal* deepest covering node. Its
+/// potential is assembled exactly like a leaf's — L2T from the owner's
+/// downward equivalent, P2P over adjacent leaves, M2T from the W-style
+/// near list — plus a recursive sweep over the owner's own subtree (the
+/// part a real leaf covers via its own U-list entry).
+struct VirtGroup {
+    /// Internal node that covers every target of the group.
+    owner: u32,
+    /// Adjacent leaves (exact P2P), excluding the owner.
+    u_list: Vec<u32>,
+    /// Non-adjacent subtrees with adjacent parents (multipole at target).
+    w_list: Vec<u32>,
+    /// Original target indices, Morton-ordered.
+    idx: Vec<u32>,
+    /// Target points, aligned with `idx`.
+    pts: Vec<Vec3>,
+    /// Deep Morton codes, aligned with `idx` (sorted ascending).
+    codes: Vec<u64>,
+    /// `[start, end)` range of the group in the `virt_out` arena.
+    out_range: (usize, usize),
 }
 
 /// Per-worker scratch (check values during S2M, gather/result blocks of
@@ -180,6 +207,15 @@ pub struct Fmm<KS: Kernel, KE: Kernel> {
     td: usize,
     plan: EvalPlan,
     arenas: Mutex<Arenas>,
+    /// Virtual-target groups of the current target set (empty unless the
+    /// tree was frozen on sources only and targets fell in pruned regions).
+    virt: Vec<VirtGroup>,
+    /// `[start, end)` ranges into `virt_out`, aligned with `virt`.
+    virt_ranges: Vec<(usize, usize)>,
+    /// Original indices of targets outside the root cube…
+    outside_idx: Vec<u32>,
+    /// …and their points, evaluated by exact direct summation.
+    outside_pts: Vec<Vec3>,
 }
 
 impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
@@ -224,6 +260,56 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
                 max_depth: opts.max_depth,
             },
         );
+        Self::from_tree(src_kernel, eq_kernel, ops, src, trg, tree)
+    }
+
+    /// Builds a *persistent-plan* FMM: the tree is frozen on the sources
+    /// alone, then the targets are bound with [`Fmm::set_targets`].
+    ///
+    /// Unlike [`Fmm::new`], whose tree shape depends on both point sets,
+    /// the frozen tree, interaction lists, operators, and arenas are
+    /// target-independent — [`Fmm::set_targets`] / [`Fmm::evaluate_at`]
+    /// re-bin a moving target set in O(targets · depth) without rebuilding
+    /// anything source-side. Two frozen instances over the same sources
+    /// produce bit-identical results for the same targets and densities,
+    /// which is what makes a long-lived replanned instance a drop-in for a
+    /// fresh per-call build.
+    pub fn frozen(
+        src_kernel: KS,
+        eq_kernel: KE,
+        src: &[Vec3],
+        trg: &[Vec3],
+        opts: FmmOptions,
+    ) -> Self {
+        assert_eq!(
+            src_kernel.trg_dim(),
+            eq_kernel.trg_dim(),
+            "source and equivalent kernels must produce the same values"
+        );
+        let ops = cached_operators(&eq_kernel, opts.order);
+        let tree = Octree::build(
+            src,
+            &[],
+            TreeOptions {
+                leaf_capacity: opts.leaf_capacity,
+                max_depth: opts.max_depth,
+            },
+        );
+        let mut fmm = Self::from_tree(src_kernel, eq_kernel, ops, src, &[], tree);
+        fmm.set_targets(trg);
+        fmm
+    }
+
+    /// Shared tail of the constructors: permutes points, lays out the plan
+    /// and arenas over an already-built tree.
+    fn from_tree(
+        src_kernel: KS,
+        eq_kernel: KE,
+        ops: Arc<FmmOperators>,
+        src: &[Vec3],
+        trg: &[Vec3],
+        tree: Octree,
+    ) -> Self {
         let src_pts: Vec<Vec3> = tree.src_order.iter().map(|&i| src[i as usize]).collect();
         let trg_pts: Vec<Vec3> = tree.trg_order.iter().map(|&i| trg[i as usize]).collect();
         let sd = src_kernel.src_dim();
@@ -235,6 +321,7 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
             dn: vec![0.0; plan.level_ofs[plan.levels.len()] * plan.nd_eq],
             check: vec![0.0; plan.max_level_len * plan.nd_chk],
             out_sorted: vec![0.0; trg.len() * td],
+            virt_out: Vec::new(),
         });
         Fmm {
             src_kernel,
@@ -248,7 +335,95 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
             td,
             plan,
             arenas,
+            virt: Vec::new(),
+            virt_ranges: Vec::new(),
+            outside_idx: Vec::new(),
+            outside_pts: Vec::new(),
         }
+    }
+
+    /// Re-bins a new target set onto the frozen source tree: a target-only
+    /// replan. The tree structure, interaction lists, operator tables,
+    /// upward/downward arenas, and the whole source side are untouched;
+    /// only the per-leaf output ranges, the virtual-target groups, and the
+    /// output arenas are refreshed.
+    ///
+    /// Targets in pruned (source-free) regions are grouped under their
+    /// internal covering node and evaluated through the virtual-leaf path;
+    /// targets outside the root cube are evaluated by direct summation.
+    pub fn set_targets(&mut self, trg: &[Vec3]) {
+        let ret = self.tree.retarget(trg);
+        self.trg_pts = self
+            .tree
+            .trg_order
+            .iter()
+            .map(|&i| trg[i as usize])
+            .collect();
+        self.n_trg = trg.len();
+        let td = self.td;
+
+        // refresh the leaf output ranges (the only target-dependent plan
+        // state; `has_dn`/`receives`/`has_src` are all source-side)
+        self.plan.leaves.clear();
+        self.plan.out_ranges.clear();
+        for li in self.tree.leaves() {
+            let node = &self.tree.nodes[li as usize];
+            if node.ntrg() > 0 {
+                self.plan.leaves.push(li);
+                self.plan.out_ranges.push((
+                    node.trg_range.0 as usize * td,
+                    node.trg_range.1 as usize * td,
+                ));
+            }
+        }
+
+        // group virtual targets by owner (ret.virt is sorted by owner)
+        self.virt.clear();
+        self.virt_ranges.clear();
+        let mut ofs = 0usize;
+        let mut i = 0usize;
+        while i < ret.virt.len() {
+            let owner = ret.virt[i].0;
+            let mut j = i;
+            while j < ret.virt.len() && ret.virt[j].0 == owner {
+                j += 1;
+            }
+            let (u_list, w_list) = self.tree.near_lists(owner);
+            let idx: Vec<u32> = ret.virt[i..j].iter().map(|&(_, _, t)| t).collect();
+            let codes: Vec<u64> = ret.virt[i..j].iter().map(|&(_, c, _)| c).collect();
+            let pts: Vec<Vec3> = idx.iter().map(|&t| trg[t as usize]).collect();
+            let nt = j - i;
+            let out_range = (ofs * td, (ofs + nt) * td);
+            self.virt.push(VirtGroup {
+                owner,
+                u_list,
+                w_list,
+                idx,
+                pts,
+                codes,
+                out_range,
+            });
+            self.virt_ranges.push(out_range);
+            ofs += nt;
+            i = j;
+        }
+        self.outside_idx = ret.outside;
+        self.outside_pts = self
+            .outside_idx
+            .iter()
+            .map(|&t| trg[t as usize])
+            .collect();
+
+        let mut ar = self.arenas.lock();
+        ar.out_sorted.resize(self.tree.trg_order.len() * td, 0.0);
+        ar.virt_out.resize(ofs * td, 0.0);
+    }
+
+    /// [`Fmm::set_targets`] followed by [`Fmm::evaluate`]: evaluates the
+    /// potential of `src_data` at a fresh target set on the frozen plan.
+    pub fn evaluate_at(&mut self, src_data: &[f64], trg: &[Vec3]) -> Vec<f64> {
+        self.set_targets(trg);
+        self.evaluate(src_data)
     }
 
     /// The underlying octree (e.g. for statistics).
@@ -282,6 +457,9 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         self.downward(&ar.data, &ar.up, &mut ar.dn, &mut ar.check);
         let t2 = std::time::Instant::now();
         self.leaf_eval(&ar.data, &ar.up, &ar.dn, &mut ar.out_sorted);
+        if !self.virt.is_empty() {
+            self.virtual_eval(&ar.data, &ar.up, &ar.dn, &mut ar.virt_out);
+        }
         if timers {
             let t3 = std::time::Instant::now();
             eprintln!(
@@ -297,6 +475,23 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
         for (pos, &orig) in self.tree.trg_order.iter().enumerate() {
             let o = orig as usize * self.td;
             out[o..o + self.td].copy_from_slice(&ar.out_sorted[pos * self.td..(pos + 1) * self.td]);
+        }
+        for g in &self.virt {
+            for (k, &orig) in g.idx.iter().enumerate() {
+                let o = orig as usize * self.td;
+                let s = g.out_range.0 + k * self.td;
+                out[o..o + self.td].copy_from_slice(&ar.virt_out[s..s + self.td]);
+            }
+        }
+        if !self.outside_idx.is_empty() {
+            // out-of-cube targets: exact direct summation over all sources
+            let mut tmp = vec![0.0; self.outside_pts.len() * self.td];
+            self.src_kernel
+                .eval_block(&self.outside_pts, &self.src_pts, &ar.data, &mut tmp);
+            for (k, &orig) in self.outside_idx.iter().enumerate() {
+                let o = orig as usize * self.td;
+                out[o..o + self.td].copy_from_slice(&tmp[k * self.td..(k + 1) * self.td]);
+            }
         }
         out
     }
@@ -540,6 +735,142 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
                 }
             });
         });
+    }
+
+    /// Evaluation at virtual targets: exactly the leaf contribution paths
+    /// with the internal owner playing the leaf's role — L2T from the
+    /// owner's downward equivalent, P2P over its adjacent leaves, M2T from
+    /// its W-style list — plus [`Fmm::near_rec`] over the owner's own
+    /// subtree (the sources a real leaf covers via its self U-list entry).
+    fn virtual_eval(&self, data: &[f64], up: &[f64], dn: &[f64], virt_out: &mut [f64]) {
+        let plan = &self.plan;
+        let nodes = &self.tree.nodes;
+        let nd_eq = plan.nd_eq;
+        let sdim = self.ops.sdim;
+        virt_out.fill(0.0);
+        par::for_each_disjoint_range(virt_out, &self.virt_ranges, |i, out| {
+            let g = &self.virt[i];
+            let trgs = &g.pts[..];
+
+            // P2P over adjacent leaves
+            for &u in &g.u_list {
+                let un = &nodes[u as usize];
+                let (a, b) = (un.src_range.0 as usize, un.src_range.1 as usize);
+                if a == b {
+                    continue;
+                }
+                self.src_kernel.eval_block(
+                    trgs,
+                    &self.src_pts[a..b],
+                    &data[a * self.sd..b * self.sd],
+                    out,
+                );
+            }
+
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                // L2T: the owner's downward equivalent is valid anywhere
+                // inside the owner's cube
+                let oi = g.owner as usize;
+                if plan.has_dn[oi] {
+                    let slot = plan.slot[oi] as usize;
+                    let lp = &plan.levels[nodes[oi].key.level as usize];
+                    let h = self.tree.node_half(g.owner);
+                    let center = self.tree.node_center(g.owner);
+                    fill_surface(&plan.unit_surf, center, RAD_OUTER * h, &mut s.surf);
+                    let row = &dn[slot * nd_eq..(slot + 1) * nd_eq];
+                    let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
+                    self.eq_kernel.eval_block(trgs, &s.surf, dens, out);
+                }
+                // M2T: W-style multipoles (non-adjacent to the owner, so
+                // at least three half-widths from any interior target)
+                for &w in &g.w_list {
+                    if !plan.has_src[w as usize] {
+                        continue;
+                    }
+                    let slot = plan.slot[w as usize] as usize;
+                    let lp = &plan.levels[nodes[w as usize].key.level as usize];
+                    let h = self.tree.node_half(w);
+                    let center = self.tree.node_center(w);
+                    fill_surface(&plan.unit_surf, center, RAD_INNER * h, &mut s.surf);
+                    let row = &up[slot * nd_eq..(slot + 1) * nd_eq];
+                    let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
+                    self.eq_kernel.eval_block(trgs, &s.surf, dens, out);
+                }
+                // sources inside the owner's own subtree
+                for &c in &nodes[oi].children {
+                    if c != NONE {
+                        self.near_rec(g, c, 0, g.pts.len(), data, up, out, s);
+                    }
+                }
+            });
+        });
+    }
+
+    /// Recursive near-field sweep of subtree `m` against the Morton-sorted
+    /// target run `[lo, hi)` of group `g`.
+    ///
+    /// Targets are partitioned into runs sharing their (virtual) cell at
+    /// `m`'s level. A run whose cell is not adjacent to `m` takes `m`'s
+    /// multipole directly (same-level non-adjacency gives the same ≥ 3·h
+    /// margin as the V/W lists); an adjacent leaf is summed exactly; an
+    /// adjacent internal node recurses into its children.
+    #[allow(clippy::too_many_arguments)]
+    fn near_rec(
+        &self,
+        g: &VirtGroup,
+        m: u32,
+        lo: usize,
+        hi: usize,
+        data: &[f64],
+        up: &[f64],
+        out: &mut [f64],
+        s: &mut Scratch,
+    ) {
+        let plan = &self.plan;
+        let mnode = &self.tree.nodes[m as usize];
+        let level = mnode.key.level;
+        let (nd_eq, sdim, td) = (plan.nd_eq, self.ops.sdim, self.td);
+        let mut a = lo;
+        while a < hi {
+            let cell = MortonKey {
+                level: MAX_DEPTH,
+                code: g.codes[a],
+            }
+            .ancestor_at(level);
+            let ub = cell.code + (1u64 << (3 * (MAX_DEPTH - level) as u64).min(63));
+            let b = a + g.codes[a..hi].partition_point(|&c| c < ub);
+            if !mnode.key.is_adjacent(cell) {
+                if plan.has_src[m as usize] {
+                    let slot = plan.slot[m as usize] as usize;
+                    let lp = &plan.levels[level as usize];
+                    let h = self.tree.node_half(m);
+                    let center = self.tree.node_center(m);
+                    fill_surface(&plan.unit_surf, center, RAD_INNER * h, &mut s.surf);
+                    let row = &up[slot * nd_eq..(slot + 1) * nd_eq];
+                    let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
+                    self.eq_kernel
+                        .eval_block(&g.pts[a..b], &s.surf, dens, &mut out[a * td..b * td]);
+                }
+            } else if mnode.is_leaf {
+                let (sa, sb) = (mnode.src_range.0 as usize, mnode.src_range.1 as usize);
+                if sa < sb {
+                    self.src_kernel.eval_block(
+                        &g.pts[a..b],
+                        &self.src_pts[sa..sb],
+                        &data[sa * self.sd..sb * self.sd],
+                        &mut out[a * td..b * td],
+                    );
+                }
+            } else {
+                for &c in &mnode.children {
+                    if c != NONE {
+                        self.near_rec(g, c, a, b, data, up, out, s);
+                    }
+                }
+            }
+            a = b;
+        }
     }
 }
 

@@ -19,4 +19,4 @@ pub use hashgrid::{
     SpatialHash,
 };
 pub use morton::{morton_decode, morton_encode, point_morton, MortonKey, MAX_DEPTH};
-pub use tree::{Node, Octree, TreeOptions, NONE};
+pub use tree::{Node, Octree, Retarget, TreeOptions, NONE};

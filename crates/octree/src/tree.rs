@@ -23,6 +23,24 @@ use std::collections::HashMap;
 /// Sentinel for "no node".
 pub const NONE: u32 = u32::MAX;
 
+/// Result of [`Octree::retarget`]: targets that could not be assigned to a
+/// leaf of the frozen (source-built) tree.
+///
+/// A source-only tree prunes boxes that hold no sources, so a target may
+/// land in a region with no leaf — its deepest covering node is *internal*
+/// (a "virtual leaf" position). Targets outside the root cube cannot be
+/// Morton-binned at all and are listed separately.
+#[derive(Clone, Debug, Default)]
+pub struct Retarget {
+    /// Original indices of targets outside the root cube.
+    pub outside: Vec<u32>,
+    /// `(owner node, deep Morton code, original index)` for each target
+    /// whose deepest covering node is internal, sorted by that tuple — so
+    /// entries sharing an owner are contiguous and Morton-ordered within
+    /// the owner.
+    pub virt: Vec<(u32, u64, u32)>,
+}
+
 /// A node of the octree.
 #[derive(Clone, Debug)]
 pub struct Node {
@@ -276,6 +294,84 @@ impl Octree {
         self.key_to_node.get(&key).copied()
     }
 
+    /// Re-bins a new target set onto the existing (frozen) tree without
+    /// touching its structure, sources, or interaction lists.
+    ///
+    /// Targets that land in a leaf are Morton-sorted into `trg_order` and
+    /// the per-node `trg_range`s are rebuilt top-down. Targets whose
+    /// deepest covering node is internal (their region was pruned at build
+    /// time) and targets outside the root cube are returned in the
+    /// [`Retarget`] — the caller must evaluate those separately.
+    pub fn retarget(&mut self, trg: &[Vec3]) -> Retarget {
+        let mut ret = Retarget::default();
+        let mut regular: Vec<(u64, u32)> = Vec::with_capacity(trg.len());
+        for (i, &p) in trg.iter().enumerate() {
+            // `point_morton` clamps to the cube, so outside-ness must be
+            // tested explicitly
+            let d = p - self.center;
+            if d.x.abs() > self.half || d.y.abs() > self.half || d.z.abs() > self.half {
+                ret.outside.push(i as u32);
+                continue;
+            }
+            let code = point_morton(p, self.center, self.half);
+            let deep = MortonKey {
+                level: MAX_DEPTH,
+                code,
+            };
+            let mut cur = 0u32;
+            loop {
+                let node = &self.nodes[cur as usize];
+                if node.is_leaf {
+                    regular.push((code, i as u32));
+                    break;
+                }
+                let ci = deep.ancestor_at(node.key.level + 1).child_index();
+                let child = node.children[ci];
+                if child == NONE {
+                    ret.virt.push((cur, code, i as u32));
+                    break;
+                }
+                cur = child;
+            }
+        }
+        ret.virt.sort_unstable();
+        regular.sort_unstable();
+        self.trg_codes = regular.iter().map(|&(c, _)| c).collect();
+        self.trg_order = regular.iter().map(|&(_, i)| i).collect();
+
+        // rebuild target ranges top-down in level order (a node's range is
+        // fixed before its children partition it)
+        for n in &mut self.nodes {
+            n.trg_range = (0, 0);
+        }
+        self.nodes[0].trg_range = (0, self.trg_order.len() as u32);
+        let level_order: Vec<u32> = self.levels.iter().flatten().copied().collect();
+        for &ni in &level_order {
+            if self.nodes[ni as usize].is_leaf {
+                continue;
+            }
+            let (t0, t1) = self.nodes[ni as usize].trg_range;
+            let child_keys = self.nodes[ni as usize].key.children();
+            let children = self.nodes[ni as usize].children;
+            let mut t_lo = t0 as usize;
+            for (ci, ck) in child_keys.iter().enumerate() {
+                let t_hi = upper_bound(
+                    &self.trg_codes[..t1 as usize],
+                    t_lo,
+                    child_code_upper_bound(*ck),
+                );
+                if children[ci] != NONE {
+                    self.nodes[children[ci] as usize].trg_range = (t_lo as u32, t_hi as u32);
+                } else {
+                    // targets in pruned regions were routed to `virt` above
+                    debug_assert_eq!(t_lo, t_hi);
+                }
+                t_lo = t_hi;
+            }
+        }
+        ret
+    }
+
     /// Builds the level lists, the key map, and all interaction lists.
     fn finalize(&mut self) {
         let max_level = self.nodes.iter().map(|n| n.key.level).max().unwrap_or(0);
@@ -346,38 +442,54 @@ impl Octree {
     }
 
     /// Computes the U and W lists of leaf `li`.
+    fn compute_u_w(&self, li: u32) -> (Vec<u32>, Vec<u32>) {
+        let (mut u, w) = self.near_lists(li);
+        u.push(li);
+        u.sort_unstable();
+        u.dedup();
+        (u, w)
+    }
+
+    /// Near-field lists of *any* node (leaf or internal), excluding the
+    /// node itself: adjacent leaves (U-style, exact P2P) and non-adjacent
+    /// subtrees whose parent is adjacent (W-style, multipole-at-target).
     ///
     /// Walks the (≤26) same-level neighbour regions. For each region we find
     /// the covering node: a coarser-or-equal leaf goes straight to U; an
     /// internal node is descended, collecting adjacent leaves into U and
     /// non-adjacent child subtrees (whose parent is adjacent) into W.
-    fn compute_u_w(&self, li: u32) -> (Vec<u32>, Vec<u32>) {
-        let key = self.nodes[li as usize].key;
-        let mut u = vec![li];
+    ///
+    /// For a leaf this is its U (minus self) and W lists. For an internal
+    /// node it gives the near field of a point anywhere inside the node —
+    /// the W margin is the same as for a leaf (a W member at level `l` is
+    /// non-adjacent to the node, so any interior point is at least three
+    /// level-`l` half-widths from the member's centre). Sources inside the
+    /// node's own subtree are *not* covered and must be handled by the
+    /// caller.
+    pub fn near_lists(&self, ni: u32) -> (Vec<u32>, Vec<u32>) {
+        let key = self.nodes[ni as usize].key;
+        let mut u = Vec::new();
         let mut w = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
         for nb in key.neighbors() {
-            match self.deepest_node_covering(nb) {
-                Some(ci) => {
-                    let cn = &self.nodes[ci as usize];
-                    if cn.key.level < nb.level {
-                        // coarser covering node: if it's a leaf it is adjacent
-                        if cn.is_leaf {
-                            u.push(ci);
-                        }
-                        // an internal coarser cover means the region holds no
-                        // points (child absent) -> nothing to do
-                    } else if cn.is_leaf {
+            if let Some(ci) = self.deepest_node_covering(nb) {
+                let cn = &self.nodes[ci as usize];
+                if cn.key.level < nb.level {
+                    // coarser covering node: if it's a leaf it is adjacent
+                    if cn.is_leaf {
                         u.push(ci);
-                    } else {
-                        stack.push(ci);
                     }
+                    // an internal coarser cover means the region holds no
+                    // points (child absent) -> nothing to do
+                } else if cn.is_leaf {
+                    u.push(ci);
+                } else {
+                    stack.push(ci);
                 }
-                None => {}
             }
         }
-        while let Some(ni) = stack.pop() {
-            for &c in &self.nodes[ni as usize].children {
+        while let Some(si) = stack.pop() {
+            for &c in &self.nodes[si as usize].children {
                 if c == NONE {
                     continue;
                 }
@@ -698,5 +810,202 @@ mod tests {
         assert_eq!(tree.nodes.len(), 1);
         assert!(tree.nodes[0].is_leaf);
         assert_eq!(tree.node_sources(0), &[0]);
+    }
+
+    /// A frozen source-only tree re-binned onto a new target set must
+    /// account for every target exactly once: in a leaf, as a virtual
+    /// target of an internal owner, or as outside the root cube.
+    #[test]
+    fn retarget_partitions_every_target_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // shell-like sources (pruned interior) so virtual owners appear
+        let src: Vec<Vec3> = (0..700)
+            .map(|_| {
+                let d = Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+                .normalized();
+                d * rng.random_range(0.9..1.0)
+            })
+            .collect();
+        let mut tree = Octree::build(
+            &src,
+            &[],
+            TreeOptions {
+                leaf_capacity: 20,
+                max_depth: 10,
+            },
+        );
+        // targets throughout the interior + a few outside the cube
+        let mut trg = random_cloud(&mut rng, 400, 0.8);
+        trg.extend(random_cloud(&mut rng, 10, 5.0));
+        let ret = tree.retarget(&trg);
+
+        let mut seen = vec![0usize; trg.len()];
+        for li in tree.leaves() {
+            for &t in tree.node_targets(li) {
+                seen[t as usize] += 1;
+            }
+        }
+        for &(owner, code, t) in &ret.virt {
+            let node = &tree.nodes[owner as usize];
+            assert!(!node.is_leaf, "virtual owner must be internal");
+            let deep = MortonKey {
+                level: MAX_DEPTH,
+                code,
+            };
+            assert!(node.key.is_ancestor_of(deep.ancestor_at(node.key.level)));
+            // the child cell holding the target really is absent
+            let ci = deep.ancestor_at(node.key.level + 1).child_index();
+            assert_eq!(node.children[ci], NONE);
+            seen[t as usize] += 1;
+        }
+        for &t in &ret.outside {
+            let d = trg[t as usize] - tree.center;
+            assert!(
+                d.x.abs() > tree.half || d.y.abs() > tree.half || d.z.abs() > tree.half,
+                "outside target is inside the cube"
+            );
+            seen[t as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "targets not partitioned");
+        assert!(!ret.virt.is_empty(), "test geometry produced no virtual targets");
+        assert!(ret.outside.len() >= 1, "test geometry produced no outside targets");
+
+        // per-node target ranges still partition parents
+        for (i, n) in tree.nodes.iter().enumerate() {
+            if !n.is_leaf {
+                let nt: usize = n
+                    .children
+                    .iter()
+                    .filter(|&&c| c != NONE)
+                    .map(|&c| tree.nodes[c as usize].ntrg())
+                    .sum();
+                assert_eq!(nt, n.ntrg(), "node {i} target partition");
+            }
+        }
+
+        // re-binning a second target set and then the first again must
+        // reproduce the first assignment exactly
+        let order1 = tree.trg_order.clone();
+        let ranges1: Vec<(u32, u32)> = tree.nodes.iter().map(|n| n.trg_range).collect();
+        let other = random_cloud(&mut rng, 123, 0.5);
+        let _ = tree.retarget(&other);
+        let ret2 = tree.retarget(&trg);
+        assert_eq!(order1, tree.trg_order);
+        assert_eq!(
+            ranges1,
+            tree.nodes.iter().map(|n| n.trg_range).collect::<Vec<_>>()
+        );
+        assert_eq!(ret.outside, ret2.outside);
+        assert_eq!(ret.virt, ret2.virt);
+    }
+
+    /// The virtual-owner evaluation identity: for an internal owner `n`,
+    /// local(n) (V/X of `n` and its ancestors) + near_lists(n) + subtree(n)
+    /// must cover every source exactly once — the same counting-kernel
+    /// check `interaction_lists_cover_all_pairs_exactly_once` runs for
+    /// leaves.
+    #[test]
+    fn virtual_owner_lists_cover_all_sources_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let src: Vec<Vec3> = (0..900)
+            .map(|_| {
+                let d = Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+                .normalized();
+                d * rng.random_range(0.85..1.0)
+            })
+            .collect();
+        let mut tree = Octree::build(
+            &src,
+            &[],
+            TreeOptions {
+                leaf_capacity: 15,
+                max_depth: 12,
+            },
+        );
+        let trg = random_cloud(&mut rng, 300, 0.9);
+        let ret = tree.retarget(&trg);
+        assert!(!ret.virt.is_empty(), "no virtual owners to check");
+
+        // local counts via V and X lists, propagated down (as in the leaf
+        // coverage test; an internal node's nsrc() is its subtree count)
+        let n = tree.nodes.len();
+        let mut local = vec![0usize; n];
+        let level_order: Vec<u32> = tree.levels.iter().flatten().copied().collect();
+        for &i in &level_order {
+            let node = &tree.nodes[i as usize];
+            for &v in &node.v_list {
+                local[i as usize] += tree.nodes[v as usize].nsrc();
+            }
+            for &x in &node.x_list {
+                local[i as usize] += tree.nodes[x as usize].nsrc();
+            }
+        }
+        for &i in &level_order {
+            let node = &tree.nodes[i as usize];
+            if !node.is_leaf {
+                for &c in &node.children {
+                    if c != NONE {
+                        local[c as usize] += local[i as usize];
+                    }
+                }
+            }
+        }
+
+        let total = tree.nodes[0].nsrc();
+        let mut owners: Vec<u32> = ret.virt.iter().map(|&(o, _, _)| o).collect();
+        owners.dedup();
+        for owner in owners {
+            let (u, w) = tree.near_lists(owner);
+            assert!(!u.contains(&owner), "near_lists must exclude self");
+            let mut count = local[owner as usize] + tree.nodes[owner as usize].nsrc();
+            for &ui in &u {
+                assert!(tree.nodes[ui as usize].is_leaf);
+                count += tree.nodes[ui as usize].nsrc();
+            }
+            for &wi in &w {
+                assert!(!tree.nodes[wi as usize].key.is_adjacent(tree.nodes[owner as usize].key));
+                count += tree.nodes[wi as usize].nsrc();
+            }
+            assert_eq!(
+                count, total,
+                "owner {owner}: covered {count} of {total} sources"
+            );
+        }
+    }
+
+    /// `near_lists` on a leaf must agree with its stored U (minus self)
+    /// and W lists.
+    #[test]
+    fn near_lists_matches_leaf_u_w() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let pts = random_cloud(&mut rng, 500, 1.0);
+        let tree = Octree::build(
+            &pts,
+            &pts,
+            TreeOptions {
+                leaf_capacity: 25,
+                max_depth: 10,
+            },
+        );
+        for li in tree.leaves() {
+            let (u, w) = tree.near_lists(li);
+            let mut expect: Vec<u32> = tree.nodes[li as usize]
+                .u_list
+                .iter()
+                .copied()
+                .filter(|&x| x != li)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(u, expect, "leaf {li} U mismatch");
+            assert_eq!(w, tree.nodes[li as usize].w_list, "leaf {li} W mismatch");
+        }
     }
 }

@@ -170,6 +170,14 @@ pub struct StepStats {
     /// violated the health bounds at `dt_min` (graceful degradation: the
     /// run stays alive and finite instead of emitting NaNs).
     pub frozen_cells: usize,
+    /// Persistent wall-FMM plans *built* during this step's boundary
+    /// evaluations. Healthy steady state is 0: the frozen source tree is
+    /// reused across steps, so only the first vessel step (or a step after
+    /// a vessel digest change) pays a build.
+    pub wall_fmm_builds: usize,
+    /// Target-only replans of the persistent wall FMM during this step
+    /// (one per `eval_at` call on the FMM backend; 0 on the dense path).
+    pub wall_fmm_replans: usize,
 }
 
 /// The simulation state: cells in an optional vessel.
@@ -202,6 +210,12 @@ pub struct Simulation {
     /// [`StepStats::max_edge_stretch`], for diagnostics that need to name
     /// the offending cell.
     pub last_health: Vec<CellHealth>,
+    /// Digest of the vessel configuration the solver's persistent wall FMM
+    /// was built against ([`crate::vessel_digest`]); `None` before the
+    /// first vessel step. When the digest changes mid-run (e.g. a scenario
+    /// swaps the vessel or retunes the solver), the cached evaluation plan
+    /// is invalidated so the next step rebuilds against the new wall.
+    wall_digest: Option<u64>,
 }
 
 /// One uncommitted step attempt: everything `Simulation::step` needs to
@@ -322,6 +336,7 @@ impl Simulation {
                 frozen: vec![false; n_cells],
             },
             last_health: Vec::new(),
+            wall_digest: None,
         }
     }
 
@@ -562,6 +577,15 @@ impl Simulation {
 
         // --- boundary solve for u_Γ (BIE-solve / BIE-FMM) ---
         if let Some(vessel) = &self.vessel {
+            // the persistent wall FMM is keyed to the vessel configuration:
+            // if the digest moved since the plan was built (vessel swapped
+            // or solver retuned mid-run), drop the cached plan so this
+            // step's evaluation rebuilds against the current wall
+            let digest = crate::checkpoint::vessel_digest(vessel);
+            if self.wall_digest != Some(digest) {
+                vessel.solver.invalidate_eval_fmm();
+                self.wall_digest = Some(digest);
+            }
             // warm start from the previous step's density (the boundary
             // data changes little between steps, so the previous solution
             // is a much better initial iterate than zero)
@@ -622,6 +646,9 @@ impl Simulation {
             stats.bie_iterations = bie_iters;
             stats.bie_converged = bie_converged;
             stats.bie_residual = bie_residual;
+            let (builds, replans) = vessel.solver.take_eval_fmm_counters();
+            stats.wall_fmm_builds = builds as usize;
+            stats.wall_fmm_replans = replans as usize;
             let fmm_part = vessel.solver.take_fmm_nanos();
             t.bie_fmm += fmm_part;
             t.bie_solve += (t_bie - fmm_part).max(0.0);

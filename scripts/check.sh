@@ -88,21 +88,26 @@ cargo run --release -q -p driver -- shear_pair --steps 1 \
     --set order=6 --set dt=0.2 --set dt_max_vol_drift=1e-4 \
     --no-output --quiet --assert-dt-retries 1
 
-echo "== refined-vessel smoke (vessel_flow, 1 step, wall_refine=1 + FMM backend)"
-# one confined-flow step on a refined wall through the FMM matvec backend:
-# asserts the boundary solve stays below its iteration cap and every cell
-# ends finite, so wall-refinement / backend regressions fail the gate in
+echo "== refined-vessel smoke (vessel_flow, 2 steps, wall_refine default + FMM backend)"
+# two confined-flow steps on a refined wall (the vessel_flow registry
+# default) through the FMM matvec backend: asserts the boundary solve
+# stays below its iteration cap, every cell ends finite, AND the
+# persistent wall FMM is actually reused — at most one frozen-tree build
+# across both steps with >= 1 target replan per step, so a regression
+# that silently falls back to per-step rebuilds fails the gate in
 # seconds instead of only at the full-step bench
 # (bie_qf=6 keeps the smoke fast. This guards the *plumbing* — refined
 # surface build, FMM-backed matvec inside a full step, iteration cap,
-# finite state; solver *accuracy* cannot be asserted here because port
-# boundary conditions floor the residual at O(0.1) regardless of the
-# operator — it is pinned instead by the cell-free analytic-tube suite
-# in crates/bie/tests/tube.rs, which the test stage above runs)
-cargo run --release -q -p driver -- vessel_flow --steps 1 \
+# finite state, plan reuse; solver *accuracy* cannot be asserted here
+# because port boundary conditions floor the residual at O(0.1)
+# regardless of the operator — it is pinned instead by the cell-free
+# analytic-tube suite in crates/bie/tests/tube.rs, which the test stage
+# above runs)
+cargo run --release -q -p driver -- vessel_flow --steps 2 \
     --set tube_segments=1 --set patch_order=6 --set order=6 \
-    --set wall_refine=1 --set bie_backend=fmm --set bie_qf=6 \
-    --set fill_h=1.5 --no-output --quiet --assert-bie-below 30
+    --set bie_backend=fmm --set bie_qf=6 \
+    --set fill_h=1.5 --no-output --quiet --assert-bie-below 30 \
+    --assert-fmm-rebuilds 1
 
 echo "== driver smoke run (shear_pair, 2 steps + checkpoint restart)"
 SMOKE_OUT=target/driver/check-smoke
