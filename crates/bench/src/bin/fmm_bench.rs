@@ -269,9 +269,9 @@ fn main() {
     // hand-rolled JSON (no serde in the environment)
     let mut json = String::from("{\n  \"bench\": \"fmm_evaluate\",\n  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"order\": {}, \"setup_s\": {:.6}, \"eval_s\": {:.6}, \"seed_eval_s\": {:.6}, \"speedup\": {:.3}, \"rel_diff_vs_seed\": {:.3e}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"order\": {}, \"setup_s\": {:.6}, \"eval_s\": {:.6}, \"seed_eval_s\": {:.6}, \"speedup\": {:.3}, \"rel_diff_vs_seed\": {:.3e}}}{}",
             r.name,
             r.n,
             r.order,
@@ -285,9 +285,9 @@ fn main() {
     }
     json.push_str("  ],\n  \"target_replan\": [\n");
     for (i, r) in replans.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "    {{\"kernel\": \"stokes_dl\", \"n_src\": {}, \"n_trg\": {}, \"order\": {}, \"leaf_capacity\": {}, \"frozen_build_s\": {:.6}, \"replan_eval_s\": {:.6}, \"fresh_eval_s\": {:.6}, \"speedup\": {:.3}, \"max_abs_diff_vs_fresh\": {:.3e}}}{}\n",
+            "    {{\"kernel\": \"stokes_dl\", \"n_src\": {}, \"n_trg\": {}, \"order\": {}, \"leaf_capacity\": {}, \"frozen_build_s\": {:.6}, \"replan_eval_s\": {:.6}, \"fresh_eval_s\": {:.6}, \"speedup\": {:.3}, \"max_abs_diff_vs_fresh\": {:.3e}}}{}",
             r.n_src,
             r.n_trg,
             r.order,

@@ -8,6 +8,12 @@
 //! Scenario settings mirror `scenarios/step_bench.toml` (scaled down from
 //! the paper's production sizes so the bench finishes in ~a minute).
 //!
+//! The two heaviest scenarios (sedimentation, vessel_flow_refined) also
+//! record a full-step thread-count curve (1/2/4/8 workers via the
+//! `SimConfig::threads` knob) in their `thread_curve` column; the
+//! top-level `host_cores` field documents the bench box so a flat curve
+//! on a small host isn't read as a scaling regression.
+//!
 //! Usage: `cargo run --release -p bench --bin step_bench [--quick]`
 //! (`--quick` runs fewer steps on the free-space case only and writes
 //! `BENCH_step_quick.json` so smoke runs never clobber the trajectory.)
@@ -42,12 +48,22 @@ struct CaseResult {
     /// per-step wall-time outliers that are otherwise invisible in the
     /// stage split.
     dt_retries: Vec<usize>,
+    /// Worker count the measured steps ran at (the `SimConfig::threads`
+    /// knob; 0 = ambient parallelism of the bench host).
+    threads: usize,
+    /// Full-step thread-count curve, `(workers, total seconds per step)`:
+    /// the same warmed instance steps once per entry with
+    /// `config.threads` pinned. Trajectories are bit-identical across
+    /// thread counts, so consecutive steps time the same pipeline on a
+    /// slightly evolving workload. Empty for unswept scenarios.
+    thread_curve: Vec<(usize, f64)>,
 }
 
 /// Runs `steps` timed steps of registry scenario `name`, reported under
 /// `label` (labels diverge from the registry name for config variants,
-/// e.g. `vessel_flow_refined`).
-fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
+/// e.g. `vessel_flow_refined`). `curve` lists worker counts to sweep the
+/// full step over afterwards (one extra step each, on the same instance).
+fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize, curve: &[usize]) -> CaseResult {
     let mut built = driver::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
     let mut timers = StepTimers::default();
     let mut bie_iters = Vec::with_capacity(steps);
@@ -63,7 +79,7 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         .sim
         .vessel
         .is_some()
-        .then(|| built.sim.last_stats.bie_iterations);
+        .then_some(built.sim.last_stats.bie_iterations);
     for _ in 0..steps {
         let t = built.sim.step();
         if built.recycle {
@@ -76,6 +92,17 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         dt_retries.push(built.sim.last_stats.dt_retries);
         timers.accumulate(&t);
     }
+    let ambient = built.sim.config.threads;
+    let mut thread_curve = Vec::with_capacity(curve.len());
+    for &nt in curve {
+        built.sim.config.threads = nt;
+        let t = built.sim.step();
+        if built.recycle {
+            built.sim.recycle_cells();
+        }
+        thread_curve.push((nt, t.total()));
+    }
+    built.sim.config.threads = ambient;
     let r = CaseResult {
         name: label.to_string(),
         cells: built.sim.cells.len(),
@@ -86,6 +113,8 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
         bie_iters,
         col_contacts,
         dt_retries,
+        threads: ambient,
+        thread_curve,
     };
     let t = &r.timers;
     let n = steps as f64;
@@ -100,6 +129,14 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize) -> CaseResult {
     if r.dt_retries.iter().any(|&v| v > 0) {
         println!("{:<18} dt retries per step: {:?}", "", r.dt_retries);
     }
+    if !r.thread_curve.is_empty() {
+        let pts: Vec<String> = r
+            .thread_curve
+            .iter()
+            .map(|(nt, s)| format!("{nt}t {s:.3}s"))
+            .collect();
+        println!("{:<18} thread curve per step: {}", "", pts.join("  "));
+    }
     r
 }
 
@@ -112,19 +149,30 @@ fn main() {
     let cfg = Doc::parse(include_str!("../../../../scenarios/step_bench.toml"))
         .expect("scenarios/step_bench.toml must parse");
 
+    // the full-step thread sweep (workers pinned via `SimConfig::threads`);
+    // recorded per swept scenario so the scaling trajectory lives next to
+    // the stage split it explains
+    const CURVE: &[usize] = &[1, 2, 4, 8];
+
     let mut results = Vec::new();
     if quick {
-        results.push(run_case("shear_pair", "shear_pair", &cfg, 2));
+        results.push(run_case("shear_pair", "shear_pair", &cfg, 2, &[]));
     } else {
-        results.push(run_case("shear_pair", "shear_pair", &cfg, 5));
-        results.push(run_case("sedimentation", "sedimentation", &cfg, 2));
-        results.push(run_case("poiseuille_train", "poiseuille_train", &cfg, 2));
+        results.push(run_case("shear_pair", "shear_pair", &cfg, 5, &[]));
+        results.push(run_case("sedimentation", "sedimentation", &cfg, 2, CURVE));
+        results.push(run_case("poiseuille_train", "poiseuille_train", &cfg, 2, &[]));
         // the high-hematocrit stress case: a ~40% volume-fraction rouleau
         // column in a snug tube, stepping under the adaptive-dt controller
         // (its dt_retries_per_step column is the point — retry activity at
         // paper-scale packing is the robustness trajectory this bench pins)
-        results.push(run_case("dense_fill_packed", "dense_fill_packed", &cfg, 2));
-        results.push(run_case("vessel_flow", "vessel_flow", &cfg, 2));
+        results.push(run_case(
+            "dense_fill_packed",
+            "dense_fill_packed",
+            &cfg,
+            2,
+            &[],
+        ));
+        results.push(run_case("vessel_flow", "vessel_flow", &cfg, 2, &[]));
         // the resolved-wall variant: 2 refinement levels multiply the
         // patch count 16×, the check spec tightens to the paper's
         // production values, and the Auto backend crosses over to the FMM
@@ -136,11 +184,22 @@ fn main() {
         // single warm count
         let mut refined = cfg.clone();
         refined.set("vessel_flow", "wall_refine", driver::Value::Int(2));
-        results.push(run_case("vessel_flow_refined", "vessel_flow", &refined, 1));
+        results.push(run_case(
+            "vessel_flow_refined",
+            "vessel_flow",
+            &refined,
+            1,
+            CURVE,
+        ));
     }
 
-    // hand-rolled JSON (no serde in the environment)
-    let mut json = String::from("{\n  \"bench\": \"simulation_step\",\n  \"cases\": [\n");
+    // hand-rolled JSON (no serde in the environment); host_cores records
+    // the bench box's parallelism so flat thread curves measured on a
+    // small host aren't mistaken for a scaling regression
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = format!(
+        "{{\n  \"bench\": \"simulation_step\",\n  \"host_cores\": {host_cores},\n  \"cases\": [\n"
+    );
     for (i, r) in results.iter().enumerate() {
         let t = &r.timers;
         let n = r.steps as f64;
@@ -150,17 +209,24 @@ fn main() {
         let cold = r
             .bie_iters_cold
             .map_or("null".to_string(), |v| v.to_string());
+        let curve: Vec<String> = r
+            .thread_curve
+            .iter()
+            .map(|(nt, s)| format!("{{\"threads\": {nt}, \"total_s\": {s:.6}}}"))
+            .collect();
         let _ = writeln!(
             json,
-            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"col_contacts_per_step\": [{}], \"dt_retries_per_step\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"dofs\": {}, \"steps\": {}, \"threads\": {}, \"bie_iters_cold\": {}, \"bie_iters_per_step\": [{}], \"col_contacts_per_step\": [{}], \"dt_retries_per_step\": [{}], \"thread_curve\": [{}], \"per_step_s\": {{\"col\": {:.6}, \"bie_solve\": {:.6}, \"bie_fmm\": {:.6}, \"other_fmm\": {:.6}, \"other\": {:.6}, \"total\": {:.6}}}}}{}",
             r.name,
             r.cells,
             r.dofs,
             r.steps,
+            r.threads,
             cold,
             iters.join(", "),
             contacts.join(", "),
             retries.join(", "),
+            curve.join(", "),
             t.col / n,
             t.bie_solve / n,
             t.bie_fmm / n,

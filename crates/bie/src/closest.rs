@@ -73,33 +73,34 @@ pub fn closest_points(
             s = i;
         }
     }
-    let hits: Vec<(u32, Option<ClosestHit>)> = runs
-        .par_iter()
-        .map(|&(a, b)| {
-            let t = cands[a].1;
-            let x = targets[t as usize];
-            let mut best: Option<ClosestHit> = None;
-            for &(pi, _) in &cands[a..b] {
-                let patch = &surface.patches[pi as usize];
-                let (u, v, dist) = patch.closest_point(x);
-                if dist <= d_eps[pi as usize] {
-                    let better = best.map(|h| dist < h.dist).unwrap_or(true);
-                    if better {
-                        let (p, xu, xv) = patch.eval_jet(u, v);
-                        best = Some(ClosestHit {
-                            patch: pi,
-                            u,
-                            v,
-                            dist,
-                            point: p,
-                            normal: xu.cross(xv).normalized(),
-                        });
-                    }
+    // one slot per run (= per target with candidates), committed in run
+    // order; within a run the candidate reduction order is fixed by the
+    // sorted candidate list, so the result is thread-count-deterministic
+    let hits: Vec<(u32, Option<ClosestHit>)> = rayon::par::map_indexed(runs.len(), |ri| {
+        let (a, b) = runs[ri];
+        let t = cands[a].1;
+        let x = targets[t as usize];
+        let mut best: Option<ClosestHit> = None;
+        for &(pi, _) in &cands[a..b] {
+            let patch = &surface.patches[pi as usize];
+            let (u, v, dist) = patch.closest_point(x);
+            if dist <= d_eps[pi as usize] {
+                let better = best.map(|h| dist < h.dist).unwrap_or(true);
+                if better {
+                    let (p, xu, xv) = patch.eval_jet(u, v);
+                    best = Some(ClosestHit {
+                        patch: pi,
+                        u,
+                        v,
+                        dist,
+                        point: p,
+                        normal: xu.cross(xv).normalized(),
+                    });
                 }
             }
-            (t, best)
-        })
-        .collect();
+        }
+        (t, best)
+    });
     for (t, h) in hits {
         result[t as usize] = h;
     }

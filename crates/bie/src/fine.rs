@@ -7,7 +7,6 @@
 
 use linalg::{clenshaw_curtis, Mat, Vec3};
 use patch::{patch_interp_matrix, BoundarySurface};
-use rayon::prelude::*;
 
 /// Fine (upsampled) quadrature nodes for near-singular integration.
 #[derive(Clone, Debug)]
@@ -66,10 +65,11 @@ impl FineDiscretization {
             }
         }
 
-        let per: Vec<(Vec<Vec3>, Vec<Vec3>, Vec<f64>)> = surface
-            .patches
-            .par_iter()
-            .map(|p| {
+        // one slot per patch, committed in patch order — bit-identical at
+        // any thread count
+        let per: Vec<(Vec<Vec3>, Vec<Vec3>, Vec<f64>)> =
+            rayon::par::map_indexed(surface.patches.len(), |pi| {
+                let p = &surface.patches[pi];
                 let mut pts = Vec::with_capacity(per_patch);
                 let mut nrm = Vec::with_capacity(per_patch);
                 let mut wts = Vec::with_capacity(per_patch);
@@ -82,8 +82,7 @@ impl FineDiscretization {
                     wts.push(param_w[idx] * jac);
                 }
                 (pts, nrm, wts)
-            })
-            .collect();
+            });
 
         let mut out = FineDiscretization {
             eta,
@@ -143,22 +142,23 @@ impl FineDiscretization {
         let nf = self.per_patch;
         fine.clear();
         fine.resize(num_patches * nf * vd, 0.0);
-        fine.par_chunks_mut(nf * vd)
-            .enumerate()
-            .for_each(|(pi, chunk)| {
-                // interpolate each component separately
-                let mut comp = vec![0.0; nc];
-                let mut res;
-                for c in 0..vd {
-                    for m in 0..nc {
-                        comp[m] = coarse[(pi * nc + m) * vd + c];
-                    }
-                    res = self.upsample.matvec(&comp);
-                    for (m, val) in res.iter().enumerate() {
-                        chunk[m * vd + c] = *val;
-                    }
+        // per-patch chunks are disjoint and each is written by exactly one
+        // dispatched index, so the fill is thread-count-deterministic; this
+        // runs once per GMRES iteration, so it is a step hot loop
+        rayon::par::chunks_mut(fine, nf * vd, |pi, chunk| {
+            // interpolate each component separately
+            let mut comp = vec![0.0; nc];
+            let mut res;
+            for c in 0..vd {
+                for m in 0..nc {
+                    comp[m] = coarse[(pi * nc + m) * vd + c];
                 }
-            });
+                res = self.upsample.matvec(&comp);
+                for (m, val) in res.iter().enumerate() {
+                    chunk[m * vd + c] = *val;
+                }
+            }
+        });
     }
 }
 

@@ -18,7 +18,6 @@ use kernels::{direct_eval, Kernel, LaplaceDL, StokesDL};
 use linalg::{gmres, gmres_right, GmresOptions, GmresResult, Interp1d, LinearOperator, Vec3};
 use parking_lot::Mutex;
 use patch::{BoundarySurface, SurfaceQuad};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A double-layer kernel usable by the Nyström solver: packs a density
@@ -620,25 +619,24 @@ impl<K: LayerKernel, KE: Kernel + Clone + Sync + Send> DoubleLayerSolver<K, KE> 
             out[i * vd..(i + 1) * vd].copy_from_slice(&vals[slot * vd..(slot + 1) * vd]);
         }
         let base = far_idx.len();
-        let per_near: Vec<(usize, Vec<f64>)> = near
-            .par_iter()
-            .enumerate()
-            .map(|(k, &(i, hit))| {
-                let (big_r, r) = near_nodes[k];
-                // signed distance along the inward line y − t n
-                let t_x = (hit.point - targets[i]).dot(hit.normal);
-                let nodes: Vec<f64> = (0..p1).map(|m| big_r + m as f64 * r).collect();
-                let w = Interp1d::new(nodes).weights_at(t_x);
-                let mut o = vec![0.0; vd];
-                for m in 0..p1 {
-                    let v = &vals[(base + k * p1 + m) * vd..(base + k * p1 + m + 1) * vd];
-                    for c in 0..vd {
-                        o[c] += w[m] * v[c];
-                    }
+        // one slot per near target, committed in index order; the serial
+        // scatter below then runs in that fixed order
+        let per_near: Vec<(usize, Vec<f64>)> = rayon::par::map_indexed(near.len(), |k| {
+            let (i, hit) = near[k];
+            let (big_r, r) = near_nodes[k];
+            // signed distance along the inward line y − t n
+            let t_x = (hit.point - targets[i]).dot(hit.normal);
+            let nodes: Vec<f64> = (0..p1).map(|m| big_r + m as f64 * r).collect();
+            let w = Interp1d::new(nodes).weights_at(t_x);
+            let mut o = vec![0.0; vd];
+            for m in 0..p1 {
+                let v = &vals[(base + k * p1 + m) * vd..(base + k * p1 + m + 1) * vd];
+                for c in 0..vd {
+                    o[c] += w[m] * v[c];
                 }
-                (i, o)
-            })
-            .collect();
+            }
+            (i, o)
+        });
         for (i, o) in per_near {
             out[i * vd..(i + 1) * vd].copy_from_slice(&o);
         }

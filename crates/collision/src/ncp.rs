@@ -23,7 +23,6 @@ use crate::detect::{detect_contacts, Contact, DetectOptions};
 use crate::lcp::{solve_lcp, LcpOptions};
 use crate::mesh::TriMesh;
 use linalg::{CsrMatrix, Vec3};
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Maps contact forces on a mesh's vertices to vertex displacements over
@@ -125,27 +124,27 @@ fn contact_linearization(
     current: &[TriMesh],
     mobility: &impl Mobility,
 ) -> (Vec<ContactData>, MeshProbes) {
-    let mut data: Vec<ContactData> = contacts
-        .par_iter()
-        .map(|c| {
-            // meshes involved in this contact (movable only)
-            let mut involved: Vec<u32> = c
-                .pairs
-                .iter()
-                .flat_map(|p| [p.vert_mesh, p.tri_mesh])
-                .filter(|&mi| !mobility.is_rigid(mi))
-                .collect();
-            involved.sort_unstable();
-            involved.dedup();
-            let grads: Vec<Vec<(u32, Vec3)>> =
-                involved.iter().map(|&mi| c.gradient(mi, current)).collect();
-            ContactData {
-                meshes: involved,
-                grads,
-                disps: Vec::new(),
-            }
-        })
-        .collect();
+    // one slot per contact, committed in contact order — the parallel
+    // split cannot perturb the canonical ordering the assembly relies on
+    let mut data: Vec<ContactData> = rayon::par::map_indexed(contacts.len(), |k| {
+        let c = &contacts[k];
+        // meshes involved in this contact (movable only)
+        let mut involved: Vec<u32> = c
+            .pairs
+            .iter()
+            .flat_map(|p| [p.vert_mesh, p.tri_mesh])
+            .filter(|&mi| !mobility.is_rigid(mi))
+            .collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let grads: Vec<Vec<(u32, Vec3)>> =
+            involved.iter().map(|&mi| c.gradient(mi, current)).collect();
+        ContactData {
+            meshes: involved,
+            grads,
+            disps: Vec::new(),
+        }
+    });
 
     let mut by_mesh: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
     for (k, d) in data.iter().enumerate() {
@@ -168,16 +167,16 @@ fn batched_mobility_responses(
     mobility: &impl Mobility,
 ) {
     let groups: Vec<(&u32, &Vec<(usize, usize)>)> = by_mesh.iter().collect();
-    let results: Vec<Vec<Vec<Vec3>>> = groups
-        .par_iter()
-        .map(|&(&mi, probes)| {
-            let cols: Vec<&[(u32, Vec3)]> = probes
-                .iter()
-                .map(|&(k, slot)| data[k].grads[slot].as_slice())
-                .collect();
-            mobility.apply_many(mi, &cols, meshes[mi as usize].verts.len())
-        })
-        .collect();
+    // meshes are independent batches; results land in ascending-mesh order
+    let data_ref = &data[..];
+    let results: Vec<Vec<Vec<Vec3>>> = rayon::par::map_indexed(groups.len(), |gi| {
+        let (&mi, probes) = groups[gi];
+        let cols: Vec<&[(u32, Vec3)]> = probes
+            .iter()
+            .map(|&(k, slot)| data_ref[k].grads[slot].as_slice())
+            .collect();
+        mobility.apply_many(mi, &cols, meshes[mi as usize].verts.len())
+    });
     for ((_, probes), res) in groups.into_iter().zip(results) {
         assert_eq!(
             res.len(),
@@ -195,23 +194,26 @@ fn batched_mobility_responses(
 /// mesh order, stably sorted to `(j, k)`, and summed in that order by the
 /// CSR build — a fixed accumulation order regardless of parallel split.
 fn assemble_b(m: usize, data: &[ContactData], by_mesh: &MeshProbes) -> CsrMatrix {
-    let mut triplets: Vec<(usize, usize, f64)> = by_mesh
-        .par_iter()
-        .flat_map_iter(|(_, probes)| {
-            let mut out = Vec::with_capacity(probes.len() * probes.len());
-            for &(j, slot_j) in probes {
-                for &(k, slot_k) in probes {
-                    // B_jk += ∇V_j(mesh) · Δx_k(mesh)
-                    let mut acc = 0.0;
-                    for &(v, g) in &data[j].grads[slot_j] {
-                        acc += g.dot(data[k].disps[slot_k][v as usize]);
-                    }
-                    out.push((j, k, acc));
+    // per-mesh triplet batches computed in parallel, concatenated in
+    // ascending-mesh order (the BTreeMap's iteration order), so the stable
+    // sort below sees the same sequence at any thread count
+    let groups: Vec<&Vec<(usize, usize)>> = by_mesh.values().collect();
+    let batches: Vec<Vec<(usize, usize, f64)>> = rayon::par::map_indexed(groups.len(), |gi| {
+        let probes = groups[gi];
+        let mut out = Vec::with_capacity(probes.len() * probes.len());
+        for &(j, slot_j) in probes {
+            for &(k, slot_k) in probes {
+                // B_jk += ∇V_j(mesh) · Δx_k(mesh)
+                let mut acc = 0.0;
+                for &(v, g) in &data[j].grads[slot_j] {
+                    acc += g.dot(data[k].disps[slot_k][v as usize]);
                 }
+                out.push((j, k, acc));
             }
-            out.into_iter()
-        })
-        .collect();
+        }
+        out
+    });
+    let mut triplets: Vec<(usize, usize, f64)> = batches.into_iter().flatten().collect();
     // stable: duplicates keep ascending-mesh order
     triplets.sort_by_key(|&(j, k, _)| (j, k));
     CsrMatrix::from_sorted_triplets(m, m, &triplets)
@@ -242,12 +244,11 @@ pub fn resolve_contacts(
 
     for it in 0..opts.max_outer {
         outer = it + 1;
-        // current end-of-step meshes
-        let current: Vec<TriMesh> = meshes
-            .par_iter()
-            .zip(end_positions.par_iter())
-            .map(|(m, pos)| m.with_positions(pos.clone()))
-            .collect();
+        // current end-of-step meshes (one slot per mesh, index order)
+        let end_ref = &end_positions[..];
+        let current: Vec<TriMesh> = rayon::par::map_indexed(nm, |mi| {
+            meshes[mi].with_positions(end_ref[mi].clone())
+        });
         let contacts: Vec<Contact> =
             detect_contacts(&current, Some(start_positions), obj_of, opts.detect)
                 .into_iter()

@@ -101,6 +101,11 @@ pub fn build(name: &str, cfg: &Doc) -> Result<Built, String> {
 /// Adaptive time-step knobs (all optional; see [`sim::DtControl`]):
 /// `dt_adaptive` (default true), `dt_min` (default 0 = dt/16),
 /// `dt_grow_after`, `substep`, `dt_max_stretch`, `dt_max_vol_drift`.
+///
+/// Parallelism: `threads` (default 0 = available parallelism) pins every
+/// parallel stage of `Simulation::step` to that many workers. Trajectories
+/// are bit-identical at any thread count; the knob only trades wall time,
+/// so it is also settable from the CLI via `sim-driver --threads`.
 fn sim_config(cfg: &Doc, sec: &str, dt: f64, collision_delta: f64) -> SimConfig {
     let gravity = match cfg.get(sec, "gravity") {
         Some(crate::toml::Value::Array(v)) if v.len() == 3 => Vec3::new(
@@ -126,6 +131,7 @@ fn sim_config(cfg: &Doc, sec: &str, dt: f64, collision_delta: f64) -> SimConfig 
         gravity,
         disable_collisions: cfg.bool_or(sec, "disable_collisions", false),
         dt_control,
+        threads: cfg.usize_or(sec, "threads", 0),
         ..Default::default()
     }
 }
@@ -194,12 +200,16 @@ fn wall_col_m(col_m: usize, levels: u32) -> usize {
 /// stops them, not the nominal `1e-5`), while the refined configuration
 /// reaches ~1e-3 on *resolvable* boundary data — its `2e-3` default is
 /// attainable on smooth fields (the analytic suite converges to it in
-/// 3–4 iterations). Scenario solves with parabolic *port* boundary
-/// conditions still stop on the stall check instead: the profile's kink
-/// at the port rim carries content beyond any wall quadrature, flooring
-/// those residuals at O(0.1) (see ROADMAP's port-BC open item) — but
-/// against a resolved operator the stall now reflects the data, not the
-/// operator.
+/// 3–4 iterations). Scenario port boundary data is rim-smooth (the
+/// mollified quartic profile of [`sim::Vessel::new`] replaced the
+/// parabolic one whose O(1) seam jump floored refined residuals at ~0.4
+/// regardless of `wall_refine`), which cut the refined cell-free floor
+/// ~4× to ~0.11 — but through-flow data still excites a slowly
+/// converging spectral tail, so vessel solves sit at the stall check
+/// rather than `bie_tol` at practical iteration budgets (the probe
+/// record lives on `sim::domain`'s
+/// `refined_serpentine_port_floor_improved` test; preconditioning is
+/// the open item).
 fn bie_options(cfg: &Doc, sec: &str, q: usize, refine: u32) -> Result<bie::BieOptions, String> {
     // the PR 3-era boolean knob was replaced by `bie_backend`; the TOML
     // layer ignores unknown keys, so reject it explicitly rather than

@@ -17,7 +17,7 @@
 //! none of the order-canonical folds this test exists to protect.
 
 use driver::{Doc, Value};
-use sim::Simulation;
+use sim::{Checkpoint, Simulation};
 
 fn coeff_bits(sim: &Simulation) -> Vec<u64> {
     let mut bits = Vec::new();
@@ -29,8 +29,31 @@ fn coeff_bits(sim: &Simulation) -> Vec<u64> {
     bits
 }
 
-#[test]
-fn two_instances_step_bit_identically() {
+/// Asserts two sims agree bit-exactly on coefficients and (when present)
+/// the boundary-solve warm-start densities.
+fn assert_bits_equal(step: usize, a: &Simulation, b: &Simulation) {
+    let da = coeff_bits(a);
+    let db = coeff_bits(b);
+    let diffs = da.iter().zip(&db).filter(|(x, y)| x != y).count();
+    assert_eq!(
+        diffs,
+        0,
+        "step {step}: {diffs}/{} coefficient words differ",
+        da.len()
+    );
+    if let (Some(wa), Some(wb)) = (a.bie_warm.as_ref(), b.bie_warm.as_ref()) {
+        let wdiffs = wa
+            .iter()
+            .zip(wb)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(wdiffs, 0, "step {step}: warm-start densities differ");
+    }
+}
+
+/// The high-contact sedimentation configuration shared by the instance-
+/// determinism and thread-determinism tests (see the module docs).
+fn sedimentation_cfg() -> Doc {
     let mut cfg = Doc::default();
     let sec = "sedimentation";
     cfg.set(sec, "tube_segments", Value::Int(1));
@@ -38,6 +61,26 @@ fn two_instances_step_bit_identically() {
     cfg.set(sec, "order", Value::Int(6));
     cfg.set(sec, "fill_h", Value::Float(1.1)); // enough cells for 15+ contacts
     cfg.set(sec, "col_m", Value::Int(6));
+    cfg
+}
+
+/// The refined-wall FMM `vessel_flow` configuration shared by the
+/// persistent-FMM and thread-determinism tests.
+fn vessel_fmm_cfg() -> Doc {
+    let mut cfg = Doc::default();
+    let sec = "vessel_flow";
+    cfg.set(sec, "tube_segments", Value::Int(1));
+    cfg.set(sec, "patch_order", Value::Int(6));
+    cfg.set(sec, "order", Value::Int(6));
+    cfg.set(sec, "bie_backend", Value::Str("fmm".into()));
+    cfg.set(sec, "bie_qf", Value::Int(6)); // keep the refined solve fast
+    cfg.set(sec, "fill_h", Value::Float(1.5));
+    cfg
+}
+
+#[test]
+fn two_instances_step_bit_identically() {
+    let cfg = sedimentation_cfg();
     let mut a = driver::build("sedimentation", &cfg).unwrap().sim;
     let mut b = driver::build("sedimentation", &cfg).unwrap().sim;
     let mut total_contacts = 0;
@@ -78,14 +121,7 @@ fn two_instances_step_bit_identically() {
 /// one target replan per step.
 #[test]
 fn refined_fmm_vessel_instances_step_bit_identically() {
-    let mut cfg = Doc::default();
-    let sec = "vessel_flow";
-    cfg.set(sec, "tube_segments", Value::Int(1));
-    cfg.set(sec, "patch_order", Value::Int(6));
-    cfg.set(sec, "order", Value::Int(6));
-    cfg.set(sec, "bie_backend", Value::Str("fmm".into()));
-    cfg.set(sec, "bie_qf", Value::Int(6)); // keep the refined solve fast
-    cfg.set(sec, "fill_h", Value::Float(1.5));
+    let cfg = vessel_fmm_cfg();
     let mut a = driver::build("vessel_flow", &cfg).unwrap().sim;
     let mut b = driver::build("vessel_flow", &cfg).unwrap().sim;
     // the registry default is the refined wall (4× the coarse patches)
@@ -122,5 +158,96 @@ fn refined_fmm_vessel_instances_step_bit_identically() {
             .filter(|(x, y)| x.to_bits() != y.to_bits())
             .count();
         assert_eq!(wdiffs, 0, "step {step}: warm-start densities differ");
+    }
+}
+
+/// The thread knob must not touch the trajectory. Every parallel stage of
+/// the step hands each worker whole output slots (`rayon::par::map_indexed`
+/// commits in index order, the NCP keeps its sorted-triplet fold, the CSR
+/// matvec owns disjoint row blocks), so the floating-point reduction tree
+/// is fixed by the code, not the schedule — and this holds on any host:
+/// four workers over one core still interleave nondeterministically through
+/// the atomic work counter, which is exactly what bit-identity must
+/// survive. Free-space coverage at threads=1 vs threads=4.
+#[test]
+fn thread_counts_step_bit_identically_shear_pair() {
+    let mut cfg1 = Doc::default();
+    cfg1.set("shear_pair", "order", Value::Int(8));
+    let mut cfg4 = cfg1.clone();
+    cfg1.set("shear_pair", "threads", Value::Int(1));
+    cfg4.set("shear_pair", "threads", Value::Int(4));
+    let mut a = driver::build("shear_pair", &cfg1).unwrap().sim;
+    let mut b = driver::build("shear_pair", &cfg4).unwrap().sim;
+    assert_eq!(a.config.threads, 1);
+    assert_eq!(b.config.threads, 4);
+    for step in 1..=3 {
+        a.step();
+        b.step();
+        assert_bits_equal(step, &a, &b);
+    }
+}
+
+/// Thread-count bit-identity through the refined-wall FMM vessel pipeline
+/// (boundary solve, persistent wall FMM, near-singular extrapolation) at
+/// threads=1 vs threads=4 — including identical `StepStats` from the
+/// boundary solve, so even a stalled-residual float must agree to the
+/// bit across worker counts. (The port-profile floor improvement itself
+/// is pinned cell-free in `sim::domain`'s
+/// `refined_serpentine_port_floor_improved`; with cells against the
+/// wall the near-field rhs keeps the solve at the stall check, which is
+/// fine here — the subject is determinism, not convergence.)
+#[test]
+fn thread_counts_step_bit_identically_refined_vessel() {
+    let mut cfg1 = vessel_fmm_cfg();
+    let mut cfg4 = vessel_fmm_cfg();
+    cfg1.set("vessel_flow", "threads", Value::Int(1));
+    cfg4.set("vessel_flow", "threads", Value::Int(4));
+    let mut a = driver::build("vessel_flow", &cfg1).unwrap().sim;
+    let mut b = driver::build("vessel_flow", &cfg4).unwrap().sim;
+    assert_eq!(a.config.threads, 1);
+    assert_eq!(b.config.threads, 4);
+    for step in 1..=2 {
+        a.step();
+        b.step();
+        assert_bits_equal(step, &a, &b);
+        assert_eq!(
+            a.last_stats.bie_residual.to_bits(),
+            b.last_stats.bie_residual.to_bits(),
+            "step {step}: boundary-solve residual differs across thread counts"
+        );
+        assert_eq!(
+            a.last_stats.bie_converged, b.last_stats.bie_converged,
+            "step {step}: boundary-solve convergence flag differs across thread counts"
+        );
+    }
+}
+
+/// A checkpoint written by a threads=4 run restores into a threads=1
+/// instance and continues bit-identically: the checkpoint neither stores
+/// nor restores the thread count (it is an execution detail, not
+/// trajectory state), and `restore_into` must keep the live sim's knob.
+#[test]
+fn checkpoint_restores_across_thread_counts() {
+    let mut cfg4 = sedimentation_cfg();
+    cfg4.set("sedimentation", "threads", Value::Int(4));
+    let mut a = driver::build("sedimentation", &cfg4).unwrap().sim;
+    a.step();
+    a.step();
+    let bytes = Checkpoint::capture(&a, "sedimentation").to_bytes();
+
+    let mut cfg1 = sedimentation_cfg();
+    cfg1.set("sedimentation", "threads", Value::Int(1));
+    let mut b = driver::build("sedimentation", &cfg1).unwrap().sim;
+    let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+    ckpt.restore_into(&mut b).unwrap();
+    assert_eq!(
+        b.config.threads, 1,
+        "restore_into must keep the live instance's thread knob"
+    );
+    assert_bits_equal(2, &a, &b);
+    for step in 3..=4 {
+        a.step();
+        b.step();
+        assert_bits_equal(step, &a, &b);
     }
 }

@@ -97,7 +97,7 @@ impl QuadForest {
         let root = node.root;
         let level = node.level + 1;
         let children = node.patch.split4();
-        for (k, (rect, child)) in rects.iter().zip(children.into_iter()).enumerate() {
+        for (k, (rect, child)) in rects.iter().zip(children).enumerate() {
             let id = self.nodes.len() as u32;
             self.nodes.push(QNode {
                 root,

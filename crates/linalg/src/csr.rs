@@ -9,8 +9,6 @@
 //! order — so the result is bit-identical across runs and instances
 //! (the restart/determinism guarantee the driver tests pin).
 
-use rayon::prelude::*;
-
 /// A sparse matrix in compressed-sparse-row layout.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CsrMatrix {
@@ -113,16 +111,23 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(y.len(), self.rows, "matvec: y length");
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let (cols, vals) = (
-                &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]],
-                &self.vals[self.row_ptr[i]..self.row_ptr[i + 1]],
-            );
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
+        // row blocks amortize the dispatch; every output row is written by
+        // exactly one dispatched block, so the fill is deterministic at any
+        // thread count
+        const BLK: usize = 64;
+        rayon::par::chunks_mut(y, BLK, |bi, block| {
+            for (r, yi) in block.iter_mut().enumerate() {
+                let i = bi * BLK + r;
+                let (cols, vals) = (
+                    &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]],
+                    &self.vals[self.row_ptr[i]..self.row_ptr[i + 1]],
+                );
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    acc += v * x[*c];
+                }
+                *yi = acc;
             }
-            *yi = acc;
         });
     }
 

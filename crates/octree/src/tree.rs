@@ -537,13 +537,13 @@ impl Octree {
     }
 
     /// Source indices (into the original input array) owned by node `ni`.
-    pub fn node_sources<'a>(&'a self, ni: u32) -> &'a [u32] {
+    pub fn node_sources(&self, ni: u32) -> &[u32] {
         let (a, b) = self.nodes[ni as usize].src_range;
         &self.src_order[a as usize..b as usize]
     }
 
     /// Target indices (into the original input array) owned by node `ni`.
-    pub fn node_targets<'a>(&'a self, ni: u32) -> &'a [u32] {
+    pub fn node_targets(&self, ni: u32) -> &[u32] {
         let (a, b) = self.nodes[ni as usize].trg_range;
         &self.trg_order[a as usize..b as usize]
     }

@@ -84,7 +84,7 @@ pub fn export_surface_vtk(path: &Path, surface: &BoundarySurface, m: usize) -> i
     for (pi, grid) in grids.iter().enumerate() {
         let base = points.len() as u32;
         points.extend_from_slice(grid);
-        patch_id.extend(std::iter::repeat(pi as f64).take(grid.len()));
+        patch_id.extend(std::iter::repeat_n(pi as f64, grid.len()));
         for j in 0..m - 1 {
             for i in 0..m - 1 {
                 let v00 = base + (j * m + i) as u32;

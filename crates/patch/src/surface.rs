@@ -119,7 +119,7 @@ impl BoundarySurface {
         };
         for (pi, (pts, nrm, wts, area)) in per_patch.into_iter().enumerate() {
             quad.patch_of
-                .extend(std::iter::repeat(pi as u32).take(pts.len()));
+                .extend(std::iter::repeat_n(pi as u32, pts.len()));
             quad.points.extend(pts);
             quad.normals.extend(nrm);
             quad.weights.extend(wts);

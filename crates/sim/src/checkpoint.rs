@@ -180,6 +180,9 @@ fn read_config(r: &mut ByteReader) -> Result<SimConfig, CodecError> {
             max_stretch: r.get_f64()?,
             max_volume_drift: r.get_f64()?,
         },
+        // deliberately not serialized (format v3 unchanged): thread count
+        // is an execution detail, and restore_into keeps the live value
+        threads: 0,
     })
 }
 
@@ -325,6 +328,10 @@ impl Checkpoint {
 
     /// Restores the captured state into a freshly built simulation of the
     /// same scenario: replaces cells, config, step counter, and timers.
+    /// The live simulation's `threads` knob is kept — thread count is an
+    /// execution detail, not trajectory state (every parallel stage is
+    /// bit-identical across thread counts), so a checkpoint written at
+    /// N threads restores cleanly into a 1-thread run and vice versa.
     ///
     /// Fails if the basis order or the vessel digest disagrees — that means
     /// the scenario was rebuilt differently from the checkpointed run and a
@@ -344,7 +351,9 @@ impl Checkpoint {
             )));
         }
         sim.cells = self.cells.clone();
+        let threads = sim.config.threads;
         sim.config = self.config;
+        sim.config.threads = threads;
         sim.steps = self.steps;
         sim.timers = self.timers;
         sim.last_stats = Default::default();

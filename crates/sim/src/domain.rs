@@ -18,7 +18,10 @@ pub struct Port {
     pub center: Vec3,
     /// Unit direction of flow *into* the domain at this port.
     pub inward: Vec3,
-    /// Cap radius estimate.
+    /// Rim (axis) radius of the cap: the largest distance of any cap
+    /// quadrature node from the port axis. The port profile vanishes
+    /// (with zero slope) at this radius, so the boundary data meets the
+    /// no-slip wall smoothly at the cap seam.
     pub radius: f64,
 }
 
@@ -40,9 +43,30 @@ pub struct Vessel {
 }
 
 impl Vessel {
-    /// Builds the vessel state: boundary solver, parabolic port boundary
-    /// conditions scaled so the net flux is zero (§5.1), and collision
-    /// meshes with `col_m × col_m` samples per patch (paper: 22).
+    /// Builds the vessel state: boundary solver, mollified quartic port
+    /// boundary conditions scaled so the net flux is zero (§5.1), and
+    /// collision meshes with `col_m × col_m` samples per patch (paper: 22).
+    ///
+    /// The port profile is `(3/2)·peak_speed·((1 − ρ²)⁺)²` with `ρ` the
+    /// distance from the *port axis* normalized by the cap's rim radius,
+    /// rather than the old parabolic `peak_speed·(1 − ρ²)⁺` over the
+    /// distance from the cap's area centroid. That old coordinate never
+    /// reached 1 on the (hemispherical) caps — the area-based radius
+    /// estimate overshoots the rim — so the boundary data held an O(1)
+    /// *value jump* at the cap/wall seam, content at the patch scale that
+    /// no `wall_refine` could resolve: refined vessel solves floored at
+    /// O(0.1) relative residual. The axis coordinate puts the rim exactly
+    /// at the cap/wall seam, and the quartic has zero value *and* zero
+    /// slope there, so the data is C¹ into the no-slip wall. Measured
+    /// effect: the refined cell-free floor drops ~4×, 0.4 → ~0.11 (a
+    /// slowly converging spectral tail of the through-flow system keeps
+    /// an O(0.1) residual at practical iteration budgets — see
+    /// `refined_serpentine_port_floor_improved` for the probe record;
+    /// full unrestarted GMRES does reach tolerance, at ~0.7·N
+    /// iterations). The 3/2 factor preserves
+    /// the parabola's flux: over a flat disk (disk means: 1/2 for 1 − ρ²,
+    /// 1/3 for its square) and *exactly* as well over a hemispherical cap
+    /// with ρ = sin θ (∫cos⁵θ sinθ = 1/6 vs ∫cos³θ sinθ = 1/4).
     pub fn new(
         surface: BoundarySurface,
         mu: f64,
@@ -99,8 +123,31 @@ impl Vessel {
             });
         }
 
-        // parabolic boundary condition on ports, zero on walls; outlet
-        // speeds scaled for zero total flux
+        // replace the area-based radius estimate by the true rim (axis)
+        // radius: the largest node distance from the port axis. The
+        // profile below vanishes exactly there, i.e. at the outermost cap
+        // node rather than beyond the seam (the area estimate overshoots
+        // on curved caps — √2·r for a hemisphere — leaving an O(1) value
+        // jump against the no-slip wall; see the constructor docs).
+        for port in &mut ports {
+            let mut rim = 0.0f64;
+            for l in 0..quad.len() {
+                let on_port = match surface.kinds[quad.patch_of[l] as usize] {
+                    PatchKind::Inlet(p) | PatchKind::Outlet(p) => p == port.id,
+                    PatchKind::Wall => false,
+                };
+                if on_port {
+                    let d = quad.points[l] - port.center;
+                    let ax = d - port.inward * d.dot(port.inward);
+                    rim = rim.max(ax.norm());
+                }
+            }
+            port.radius = rim;
+        }
+
+        // mollified quartic boundary condition on ports (equal flux to the
+        // parabolic profile, but rim-smooth — see the constructor docs),
+        // zero on walls; outlet speeds scaled for zero total flux
         let mut bc = vec![0.0; quad.len() * 3];
         let mut influx = 0.0;
         let mut outflux = 0.0;
@@ -113,8 +160,11 @@ impl Vessel {
                 PatchKind::Wall => None,
             };
             if let Some(port) = port {
-                let rho = (quad.points[l] - port.center).norm() / port.radius;
-                let profile = (1.0 - rho * rho).max(0.0);
+                let d = quad.points[l] - port.center;
+                let ax = d - port.inward * d.dot(port.inward);
+                let rho = ax.norm() / port.radius;
+                let s = (1.0 - rho * rho).max(0.0);
+                let profile = 1.5 * s * s;
                 let u = port.inward * (peak_speed * profile);
                 bc[l * 3] = u.x;
                 bc[l * 3 + 1] = u.y;
@@ -231,6 +281,113 @@ mod tests {
                 assert_eq!(v.bc[l * 3], 0.0);
             }
         }
+    }
+
+    /// The rim-kink fix: the port profile must vanish *with its slope* at
+    /// the rim (C¹ match to the no-slip wall) while carrying the same disk
+    /// flux as the parabolic profile it replaced.
+    #[test]
+    fn port_profile_is_rim_smooth_and_flux_preserving() {
+        let prof = |rho: f64| {
+            let s: f64 = (1.0 - rho * rho).max(0.0);
+            1.5 * s * s
+        };
+        // zero value and zero slope at the rim (the parabola had slope −2)
+        assert_eq!(prof(1.0), 0.0);
+        let h = 1e-6;
+        let rim_slope = (prof(1.0) - prof(1.0 - h)) / h;
+        assert!(rim_slope.abs() < 1e-4, "rim slope {rim_slope}");
+        // disk mean equals the parabolic profile's 1/2 (flux preserved at
+        // equal peak speed): mean = ∫₀¹ 2ρ·prof(ρ) dρ
+        let n = 200_000;
+        let mut mean = 0.0;
+        for i in 0..n {
+            let rho = (i as f64 + 0.5) / n as f64;
+            mean += 2.0 * rho * prof(rho) / n as f64;
+        }
+        assert!((mean - 0.5).abs() < 1e-6, "disk mean {mean}");
+        // and the built vessel's inlet peak reflects the 3/2 rescale: the
+        // quadrature never samples the exact disk center, but only the
+        // rescaled quartic can exceed the parabola's `peak_speed` cap of
+        // 1.0 anywhere (it does so for ρ² < 1 − √(2/3), sampled by the
+        // inner cap nodes)
+        let v = tube_vessel();
+        let quad = &v.solver.quad;
+        let peak = (0..quad.len())
+            .filter(|&l| {
+                matches!(
+                    v.solver.surface.kinds[quad.patch_of[l] as usize],
+                    PatchKind::Inlet(_)
+                )
+            })
+            .map(|l| Vec3::new(v.bc[l * 3], v.bc[l * 3 + 1], v.bc[l * 3 + 2]).norm())
+            .fold(0.0f64, f64::max);
+        assert!(
+            peak > 1.0 && peak <= 1.5 + 1e-9,
+            "inlet peak {peak} not in the rescaled-quartic range"
+        );
+    }
+
+    /// The payoff of the rim-smooth profile, pinned at its *measured*
+    /// size: a refined serpentine vessel's cell-free boundary solve
+    /// (the `vessel_flow` registry geometry at smoke settings) floored
+    /// at ~0.4 relative residual under the old parabolic/centroid
+    /// profile — the O(1) value jump at the cap seam put unresolvable
+    /// content in the data — and reaches ~0.11 with the rim-smooth
+    /// quartic, a ~4× improvement this test ratchets.
+    ///
+    /// What the remaining O(0.1) floor at practical iteration budgets
+    /// is NOT (all probed while landing this fix): not data smoothness
+    /// (a C∞ bump profile floors at ~0.12, same as the quartic's
+    /// ~0.11), not wall resolution (`wall_refine` 0/1/2 → 0.21 / 0.12
+    /// / 0.21, no trend), not restart stagnation or the FMM backend
+    /// (dense unrestarted GMRES on a small straight tube sits at
+    /// 9.4e-2 after 400 iterations), and not inconsistency: the same
+    /// full GMRES *does* converge to 2e-3 — at iteration 1334 of a
+    /// 1944-unknown system. Through-flow port data excites a slowly
+    /// resolving spectral tail that needs ~0.7·N Krylov iterations,
+    /// so the practical fix is preconditioning (open ROADMAP item),
+    /// not more wall refinement or smoother data.
+    #[test]
+    fn refined_serpentine_port_floor_improved() {
+        let c = patch::Serpentine {
+            length: 8.0,
+            amp: 0.7,
+            windings: 1.0,
+        };
+        let surface = capsule_tube(&c, 1.1, 1, 6).refine(1);
+        let opts = BieOptions {
+            backend: bie::MatvecBackend::Fmm,
+            qf: 10,
+            fmm: bie::FmmOptions {
+                order: 4,
+                ..Default::default()
+            },
+            gmres: linalg::GmresOptions {
+                tol: 2e-3,
+                max_iters: 30,
+                stall_ratio: 0.9,
+                restart: 10,
+                ..Default::default()
+            },
+            check: bie::CheckSpec::Linear {
+                big_r: 0.15,
+                small_r: 0.15,
+            },
+            p_extrap: 5,
+            ..Default::default()
+        };
+        let v = Vessel::new(surface, 1.0, opts, 1.0, 5);
+        let (_, res) = v.solver.solve(&v.bc);
+        // measured ~0.109 when the fix landed; 0.15 leaves noise margin
+        // while staying far below the parabolic profile's ~0.4 floor
+        assert!(
+            res.rel_residual < 0.15,
+            "cell-free refined port solve at residual {:.3e} after {} \
+             iterations (stalled: {}) — the rim-smooth profile should \
+             hold the floor near 0.11, well under the parabolic 0.4",
+            res.rel_residual, res.iterations, res.stalled
+        );
     }
 
     #[test]

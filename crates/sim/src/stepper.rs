@@ -11,7 +11,6 @@ use collision::{
 use fmm::fmm_evaluate;
 use kernels::{direct_eval_serial, StokesEquiv, StokesSL};
 use linalg::{Mat, Vec3};
-use rayon::prelude::*;
 use sphharm::SphBasis;
 use vesicle::{
     implicit_substep_chain, step_health, upsample_matrix, Cell, CellHealth, SelfInteraction,
@@ -117,6 +116,15 @@ pub struct SimConfig {
     pub disable_collisions: bool,
     /// Adaptive time-step controls (blow-up gate + retry/backoff policy).
     pub dt_control: DtControl,
+    /// Worker threads for the parallel stages of [`Simulation::step`].
+    /// `0` (the default) inherits the ambient pool size (available
+    /// parallelism, or an enclosing `rayon` pool override); any other
+    /// value pins the step to exactly that many workers. Every parallel
+    /// stage commits results in a fixed index order, so trajectories are
+    /// bit-identical at any thread count — this knob only trades wall
+    /// time. It is an execution detail, not trajectory state: checkpoints
+    /// neither store nor restore it.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -132,6 +140,7 @@ impl Default for SimConfig {
             step: StepOptions::default(),
             disable_collisions: false,
             dt_control: DtControl::default(),
+            threads: 0,
         }
     }
 }
@@ -351,11 +360,10 @@ impl Simulation {
 
     /// Total volume fraction of cells inside the vessel (Figs. 5–7).
     pub fn volume_fraction(&self) -> f64 {
-        let cell_vol: f64 = self
-            .cells
-            .par_iter()
-            .map(|c| c.geometry(&self.basis).volume())
-            .sum();
+        let vols = rayon::par::map_indexed(self.cells.len(), |ci| {
+            self.cells[ci].geometry(&self.basis).volume()
+        });
+        let cell_vol: f64 = vols.iter().sum();
         match &self.vessel {
             Some(v) => cell_vol / v.volume,
             None => 0.0,
@@ -374,7 +382,21 @@ impl Simulation {
     /// `grow_after` consecutive clean steps the controller doubles Δt back
     /// toward the configured target. Returns the per-component timers for
     /// this step (retried attempts' wall time included).
+    ///
+    /// When `config.threads > 0` the whole step runs under a `rayon` pool
+    /// override of that size; `0` leaves the ambient pool (available
+    /// parallelism, or an enclosing override such as a bench sweep)
+    /// untouched. The result is bit-identical either way.
     pub fn step(&mut self) -> StepTimers {
+        let threads = self.config.threads;
+        if threads > 0 {
+            rayon::par::with_override(threads, || self.step_inner())
+        } else {
+            self.step_inner()
+        }
+    }
+
+    fn step_inner(&mut self) -> StepTimers {
         let mut t = StepTimers::default();
         let ctl = self.config.dt_control;
         let dt_target = self.config.dt;
@@ -494,25 +516,20 @@ impl Simulation {
         };
 
         // --- membrane forces and per-cell data (Other) ---
+        // cells are independent within each stage: one slot per cell,
+        // committed in cell-index order, so the result is bit-identical at
+        // any thread count
         let ((geos, forces, selfops), t_other0) = timed(|| {
-            let geos: Vec<_> = self.cells.par_iter().map(|c| c.geometry(basis)).collect();
-            let forces: Vec<Vec<Vec3>> = self
-                .cells
-                .par_iter()
-                .zip(&geos)
-                .map(|(c, g)| {
-                    let mut f = c.membrane_force(basis, g);
-                    for v in &mut f {
-                        *v += self.config.gravity;
-                    }
-                    f
-                })
-                .collect();
-            let selfops: Vec<SelfInteraction> = self
-                .cells
-                .par_iter()
-                .map(|c| c.self_interaction(basis))
-                .collect();
+            let geos = rayon::par::map_indexed(nc, |ci| self.cells[ci].geometry(basis));
+            let forces: Vec<Vec<Vec3>> = rayon::par::map_indexed(nc, |ci| {
+                let mut f = self.cells[ci].membrane_force(basis, &geos[ci]);
+                for v in &mut f {
+                    *v += self.config.gravity;
+                }
+                f
+            });
+            let selfops: Vec<SelfInteraction> =
+                rayon::par::map_indexed(nc, |ci| self.cells[ci].self_interaction(basis));
             (geos, forces, selfops)
         });
         t.other += t_other0;
@@ -550,9 +567,9 @@ impl Simulation {
                 kernels::direct_eval(&kernel, &src_pts, &src_f, &trg_pts, &mut out);
                 out
             };
-            // subtract each cell's own plain-quadrature self sum (u_fr − u_γi)
-            let mut b: Vec<Vec<Vec3>> = vec![vec![Vec3::ZERO; n]; nc];
-            b.par_iter_mut().enumerate().for_each(|(ci, bi)| {
+            // subtract each cell's own plain-quadrature self sum (u_fr − u_γi);
+            // one output slot per cell, committed in index order
+            let b: Vec<Vec<Vec3>> = rayon::par::map_indexed(nc, |ci| {
                 let mut own = vec![0.0; n * 3];
                 direct_eval_serial(
                     &kernel,
@@ -561,6 +578,7 @@ impl Simulation {
                     &src_pts[ci * n..(ci + 1) * n],
                     &mut own,
                 );
+                let mut bi = vec![Vec3::ZERO; n];
                 for i in 0..n {
                     let gidx = ci * n + i;
                     bi[i] = Vec3::new(
@@ -569,6 +587,7 @@ impl Simulation {
                         total[gidx * 3 + 2] - own[i * 3 + 2],
                     );
                 }
+                bi
             });
             b
         });
@@ -660,7 +679,9 @@ impl Simulation {
         if self.config.gravity != Vec3::ZERO && nc > 0 {
             let (_, t_g) = timed(|| {
                 let g = self.config.gravity;
-                b_cells.par_iter_mut().enumerate().for_each(|(ci, bi)| {
+                // chunk size 1 = one disjoint cell slot per dispatched index
+                rayon::par::chunks_mut(&mut b_cells, 1, |ci, slot| {
+                    let bi = &mut slot[0];
                     let mut f = vec![0.0; 3 * n];
                     for i in 0..n {
                         f[3 * i] = g.x;
@@ -694,29 +715,24 @@ impl Simulation {
         // backward Euler at dt_total, chained as n_sub sub-steps when the
         // controller is in sub-stepping mode
         let (mut new_positions, t_impl) = timed(|| {
-            let positions: Vec<Vec<Vec3>> = self
-                .cells
-                .par_iter()
-                .enumerate()
-                .map(|(ci, cell)| {
-                    if frozen[ci] {
-                        return geos[ci].x.clone();
-                    }
-                    let opts = StepOptions {
-                        dt,
-                        ..self.config.step
-                    };
-                    let (pos, _res) = implicit_substep_chain(
-                        basis,
-                        cell,
-                        &selfops[ci],
-                        &b_cells[ci],
-                        &opts,
-                        n_sub,
-                    );
-                    pos
-                })
-                .collect();
+            let positions: Vec<Vec<Vec3>> = rayon::par::map_indexed(nc, |ci| {
+                if frozen[ci] {
+                    return geos[ci].x.clone();
+                }
+                let opts = StepOptions {
+                    dt,
+                    ..self.config.step
+                };
+                let (pos, _res) = implicit_substep_chain(
+                    basis,
+                    &self.cells[ci],
+                    &selfops[ci],
+                    &b_cells[ci],
+                    &opts,
+                    n_sub,
+                );
+                pos
+            });
             positions
         });
         t.other += t_impl;
@@ -725,12 +741,9 @@ impl Simulation {
         // per-cell max edge stretch vs rest length, volume drift, and
         // non-finite detection; violations roll the whole attempt back
         let (health, t_health) = timed(|| {
-            let h: Vec<CellHealth> = self
-                .cells
-                .par_iter()
-                .enumerate()
-                .map(|(ci, cell)| step_health(basis, cell, &new_positions[ci], geos[ci].volume()))
-                .collect();
+            let h: Vec<CellHealth> = rayon::par::map_indexed(nc, |ci| {
+                step_health(basis, &self.cells[ci], &new_positions[ci], geos[ci].volume())
+            });
             h
         });
         t.other += t_health;
@@ -813,22 +826,19 @@ impl Simulation {
                 let res = resolve_contacts(&meshes, &mut end, &start, &obj_of, &mobility, &opts);
                 // project corrected fine positions back to the coarse grid
                 // (spectral truncation: exact left inverse of upsampling)
-                let corrected: Vec<Vec<Vec3>> = (0..nc)
-                    .into_par_iter()
-                    .map(|ci| {
-                        let fine = &end[ci][..nf];
-                        let mut out = vec![Vec3::ZERO; n];
-                        for c in 0..3 {
-                            let comp: Vec<f64> = fine.iter().map(|v| v[c]).collect();
-                            let cc = bu.analyze(&comp).resampled(basis.p);
-                            let g = basis.synthesize(&cc, sphharm::Deriv::None);
-                            for j in 0..n {
-                                out[j][c] = g[j];
-                            }
+                let corrected: Vec<Vec<Vec3>> = rayon::par::map_indexed(nc, |ci| {
+                    let fine = &end[ci][..nf];
+                    let mut out = vec![Vec3::ZERO; n];
+                    for c in 0..3 {
+                        let comp: Vec<f64> = fine.iter().map(|v| v[c]).collect();
+                        let cc = bu.analyze(&comp).resampled(basis.p);
+                        let g = basis.synthesize(&cc, sphharm::Deriv::None);
+                        for j in 0..n {
+                            out[j][c] = g[j];
                         }
-                        out
-                    })
-                    .collect();
+                    }
+                    out
+                });
                 (corrected, res)
             });
             let (corrected, res) = col_out;
@@ -896,11 +906,9 @@ impl Simulation {
         if inlets.is_empty() || outlets.is_empty() {
             return 0;
         }
-        let centroids: Vec<Vec3> = self
-            .cells
-            .par_iter()
-            .map(|c| c.geometry(basis).centroid())
-            .collect();
+        let centroids: Vec<Vec3> = rayon::par::map_indexed(self.cells.len(), |ci| {
+            self.cells[ci].geometry(basis).centroid()
+        });
         let mut moved = 0;
         for ci in 0..self.cells.len() {
             let c = centroids[ci];

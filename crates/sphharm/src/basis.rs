@@ -116,7 +116,7 @@ impl SphCoeffs {
         let mut out = SphCoeffs::zeros(q);
         let nmax = self.p.min(q);
         for m in 0..=nmax {
-            for n in m.max(0)..=nmax {
+            for n in m..=nmax {
                 if m == 0 {
                     *out.a_mut(n, 0) = self.a(n, 0);
                 } else {
