@@ -18,7 +18,7 @@
 //! (`--quick` runs fewer steps on the free-space case only and writes
 //! `BENCH_step_quick.json` so smoke runs never clobber the trajectory.)
 
-use driver::Doc;
+use driver::{Doc, FarmOptions, Manifest, Session};
 use sim::StepTimers;
 use std::fmt::Write as _;
 
@@ -64,7 +64,7 @@ struct CaseResult {
 /// e.g. `vessel_flow_refined`). `curve` lists worker counts to sweep the
 /// full step over afterwards (one extra step each, on the same instance).
 fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize, curve: &[usize]) -> CaseResult {
-    let mut built = driver::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
+    let mut session = Session::build(name, cfg).unwrap_or_else(|e| panic!("build {name}: {e}"));
     let mut timers = StepTimers::default();
     let mut bie_iters = Vec::with_capacity(steps);
     let mut col_contacts = Vec::with_capacity(steps);
@@ -74,39 +74,33 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize, curve: &[usize]) -
     // NOTE: the warm-up also primes the boundary-solve warm start, so the
     // measured steps reflect steady-state (warm) GMRES iteration counts;
     // its own count is the cold baseline.
-    built.sim.step();
-    let bie_iters_cold = built
+    let warm = session.step().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let bie_iters_cold = session
         .sim
         .vessel
         .is_some()
-        .then_some(built.sim.last_stats.bie_iterations);
+        .then_some(warm.stats.bie_iterations);
     for _ in 0..steps {
-        let t = built.sim.step();
-        if built.recycle {
-            built.sim.recycle_cells();
+        let row = session.step().unwrap_or_else(|e| panic!("{name}: {e}"));
+        if session.sim.vessel.is_some() {
+            bie_iters.push(row.stats.bie_iterations);
         }
-        if built.sim.vessel.is_some() {
-            bie_iters.push(built.sim.last_stats.bie_iterations);
-        }
-        col_contacts.push(built.sim.last_stats.contacts);
-        dt_retries.push(built.sim.last_stats.dt_retries);
-        timers.accumulate(&t);
+        col_contacts.push(row.stats.contacts);
+        dt_retries.push(row.stats.dt_retries);
+        timers.accumulate(&row.timers);
     }
-    let ambient = built.sim.config.threads;
+    let ambient = session.sim.config.threads;
     let mut thread_curve = Vec::with_capacity(curve.len());
     for &nt in curve {
-        built.sim.config.threads = nt;
-        let t = built.sim.step();
-        if built.recycle {
-            built.sim.recycle_cells();
-        }
-        thread_curve.push((nt, t.total()));
+        session.sim.config.threads = nt;
+        let row = session.step().unwrap_or_else(|e| panic!("{name}: {e}"));
+        thread_curve.push((nt, row.timers.total()));
     }
-    built.sim.config.threads = ambient;
+    session.sim.config.threads = ambient;
     let r = CaseResult {
         name: label.to_string(),
-        cells: built.sim.cells.len(),
-        dofs: built.sim.dofs(),
+        cells: session.sim.cells.len(),
+        dofs: session.sim.dofs(),
         steps,
         timers,
         bie_iters_cold,
@@ -140,6 +134,57 @@ fn run_case(label: &str, name: &str, cfg: &Doc, steps: usize, curve: &[usize]) -
     r
 }
 
+/// Farm-throughput metrics for the `"farm"` row of `BENCH_step.json`.
+struct FarmResult {
+    jobs: usize,
+    completed: usize,
+    wall_s: f64,
+    cache_hits: u64,
+    cache_builds: u64,
+}
+
+/// Runs a small two-job farm (free-space pair + refined-wall vessel, the
+/// `scenarios/farm_smoke.toml` sizes) through `driver::run_farm` over the
+/// worker pool and records throughput plus shared-cache telemetry — the
+/// hits-vs-cold-builds split is the farm's headline number: it measures
+/// how much immutable state jobs actually share instead of rebuilding.
+fn run_farm_case() -> FarmResult {
+    let out_root = "target/bench-farm";
+    std::fs::remove_dir_all(out_root).ok();
+    let text = format!(
+        "[farm]\njobs = [\"shear_a\", \"shear_b\", \"vessel_a\", \"vessel_b\"]\n\
+         out_root = \"{out_root}\"\n\
+         [shear_a]\nscenario = \"shear_pair\"\nsteps = 2\norder = 8\n\
+         [shear_b]\nscenario = \"shear_pair\"\nsteps = 2\norder = 8\nshear_rate = 0.5\n\
+         [vessel_a]\nscenario = \"vessel_flow\"\nsteps = 2\ntube_segments = 1\n\
+         patch_order = 6\norder = 6\nbie_backend = \"fmm\"\nbie_qf = 6\nfill_h = 1.5\n\
+         [vessel_b]\nscenario = \"vessel_flow\"\nsteps = 2\ntube_segments = 1\n\
+         patch_order = 6\norder = 6\nbie_backend = \"fmm\"\nbie_qf = 6\nfill_h = 1.5\nseed = 7\n"
+    );
+    let manifest = Manifest::parse(&text).expect("bench farm manifest must parse");
+    let report = driver::run_farm(
+        &manifest,
+        &FarmOptions {
+            quiet: true,
+            ..Default::default()
+        },
+    )
+    .expect("bench farm must run");
+    let r = FarmResult {
+        jobs: manifest.jobs.len(),
+        completed: report.completed(),
+        wall_s: report.wall_s,
+        cache_hits: report.cache.hits(),
+        cache_builds: report.cache.builds(),
+    };
+    println!(
+        "{:<18} {}/{} jobs in {:.3}s  shared-cache hits {} vs cold builds {}",
+        "farm", r.completed, r.jobs, r.wall_s, r.cache_hits, r.cache_builds
+    );
+    std::fs::remove_dir_all(out_root).ok();
+    r
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
@@ -160,7 +205,13 @@ fn main() {
     } else {
         results.push(run_case("shear_pair", "shear_pair", &cfg, 5, &[]));
         results.push(run_case("sedimentation", "sedimentation", &cfg, 2, CURVE));
-        results.push(run_case("poiseuille_train", "poiseuille_train", &cfg, 2, &[]));
+        results.push(run_case(
+            "poiseuille_train",
+            "poiseuille_train",
+            &cfg,
+            2,
+            &[],
+        ));
         // the high-hematocrit stress case: a ~40% volume-fraction rouleau
         // column in a snug tube, stepping under the adaptive-dt controller
         // (its dt_retries_per_step column is the point — retry activity at
@@ -236,7 +287,19 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if !quick {
+        // farm throughput rides in the same trajectory file: jobs
+        // completed over the worker pool, wall time, and the shared-cache
+        // hit/cold-build split across jobs
+        let f = run_farm_case();
+        let _ = write!(
+            json,
+            ",\n  \"farm\": {{\"jobs\": {}, \"completed\": {}, \"wall_s\": {:.3}, \"shared_cache_hits\": {}, \"cold_builds\": {}}}",
+            f.jobs, f.completed, f.wall_s, f.cache_hits, f.cache_builds
+        );
+    }
+    json.push_str("\n}\n");
     let path = if quick {
         "BENCH_step_quick.json"
     } else {

@@ -21,6 +21,6 @@ pub mod solver;
 
 pub use closest::{closest_points, ClosestHit};
 pub use fine::FineDiscretization;
-pub use precond::CoarseGridPrecond;
 pub use fmm::FmmOptions;
+pub use precond::CoarseGridPrecond;
 pub use solver::{BieOptions, CheckSpec, DoubleLayerSolver, LayerKernel, MatvecBackend};

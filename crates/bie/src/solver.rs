@@ -648,7 +648,9 @@ struct SolverOperator<'a, K: LayerKernel, KE: Kernel + Clone + Sync + Send> {
     solver: &'a DoubleLayerSolver<K, KE>,
 }
 
-impl<K: LayerKernel, KE: Kernel + Clone + Sync + Send> LinearOperator for SolverOperator<'_, K, KE> {
+impl<K: LayerKernel, KE: Kernel + Clone + Sync + Send> LinearOperator
+    for SolverOperator<'_, K, KE>
+{
     fn dim(&self) -> usize {
         self.solver.dim()
     }

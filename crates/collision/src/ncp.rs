@@ -246,9 +246,8 @@ pub fn resolve_contacts(
         outer = it + 1;
         // current end-of-step meshes (one slot per mesh, index order)
         let end_ref = &end_positions[..];
-        let current: Vec<TriMesh> = rayon::par::map_indexed(nm, |mi| {
-            meshes[mi].with_positions(end_ref[mi].clone())
-        });
+        let current: Vec<TriMesh> =
+            rayon::par::map_indexed(nm, |mi| meshes[mi].with_positions(end_ref[mi].clone()));
         let contacts: Vec<Contact> =
             detect_contacts(&current, Some(start_positions), obj_of, opts.detect)
                 .into_iter()

@@ -8,9 +8,16 @@
 //! - [`scenario`]: the registry of named scenario builders (shear pair,
 //!   sedimentation, vessel flow, dense fill, Poiseuille cell train, random
 //!   suspension) shared by `examples/`, `sim-driver`, and `step_bench`;
-//! - [`mod@run`]: the stepping loop with per-stage timer aggregation, CSV
-//!   trajectory output, and periodic binary checkpoints (restartable
-//!   bit-identically via `sim::checkpoint`).
+//! - [`session`]: the composable run layer — [`Session`] owns a built
+//!   scenario and steps it resumably, streaming each step through
+//!   pluggable [`StepSink`] observers (console table, CSV stream, cadence
+//!   checkpointer);
+//! - [`batch`]: the simulation farm — `sim-driver batch <manifest.toml>`
+//!   schedules many scenario jobs over the persistent worker pool with
+//!   shared immutable caches and a checkpoint-resumable queue;
+//! - [`mod@run`]: the pre-split record types ([`RunOptions`],
+//!   [`RunReport`], [`StepRow`]) and the [`run()`] entry point, now a thin
+//!   wrapper over [`session`].
 //!
 //! The `sim-driver` binary is the CLI front end:
 //!
@@ -19,14 +26,21 @@
 //! cargo run --release -p driver -- shear_pair --steps 20
 //! cargo run --release -p driver -- vessel_flow --config scenarios/vessel_flow.toml
 //! cargo run --release -p driver -- shear_pair --restart target/driver/shear_pair/shear_pair_final.ckpt --steps 10
+//! cargo run --release -p driver -- batch scenarios/farm_smoke.toml
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod run;
 pub mod scenario;
+pub mod session;
 pub mod toml;
 
+pub use batch::{run_farm, FarmOptions, FarmReport, JobOutcome, JobSpec, JobStatus, Manifest};
 pub use run::{final_checkpoint_path, run, RunOptions, RunReport, StepRow};
 pub use scenario::{build, registry, Built, ScenarioSpec};
+pub use session::{
+    drive, run_with, CacheTelemetry, CheckpointSink, ConsoleSink, CsvSink, Session, StepSink,
+};
 pub use toml::{Doc, Value};

@@ -3,11 +3,22 @@
 //! ```text
 //! sim-driver list
 //! sim-driver <scenario> [--config FILE] [--steps N] [--checkpoint-every K]
-//!            [--out DIR | --no-output] [--restart CKPT] [--quiet]
-//!            [--threads N] [--assert-contacts N] [--assert-bie-below N]
+//!            [--keep-checkpoints K] [--out DIR | --no-output]
+//!            [--restart CKPT] [--quiet] [--threads N]
+//!            [--assert-contacts N] [--assert-bie-below N]
 //!            [--assert-dt-retries N] [--assert-fmm-rebuilds N]
 //!            [--allow-nonfinite] [--set key=value ...]
+//! sim-driver batch <manifest.toml> [--jobs N] [--halt-after N] [--quiet]
+//!            [--assert-cache-hits N] [--assert-resumed N]
 //! ```
+//!
+//! `batch` runs a simulation farm: a manifest of scenario jobs scheduled
+//! over the persistent worker pool, resumable from per-job checkpoints
+//! (see `driver::batch` for the manifest format). `--jobs N` caps
+//! concurrent jobs (1 = sequential, 0 = pool width); `--halt-after N`
+//! simulates a crash after `N` completed jobs; `--assert-cache-hits N` /
+//! `--assert-resumed N` turn the farm into a CI smoke asserting at least
+//! `N` shared-cache hits / resumed jobs.
 //!
 //! `--set` writes into the scenario's config section, overriding the file;
 //! e.g. `sim-driver shear_pair --set order=8 --set dt=0.01`.
@@ -49,7 +60,7 @@
 //! non-finite (naming the step, cell, and coefficient); pass
 //! `--allow-nonfinite` to disable that guard and keep stepping anyway.
 
-use driver::{final_checkpoint_path, run, Doc, RunOptions};
+use driver::{final_checkpoint_path, run, Doc, FarmOptions, Manifest, RunOptions};
 use sim::Checkpoint;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -59,6 +70,7 @@ struct Args {
     config: Option<PathBuf>,
     steps: usize,
     checkpoint_every: usize,
+    keep_checkpoints: usize,
     out_dir: Option<PathBuf>,
     no_output: bool,
     restart: Option<PathBuf>,
@@ -76,10 +88,13 @@ struct Args {
 fn usage() -> String {
     let mut u = String::from(
         "usage: sim-driver <scenario|list> [--config FILE] [--steps N] \
-         [--checkpoint-every K] [--out DIR | --no-output] [--restart CKPT] \
+         [--checkpoint-every K] [--keep-checkpoints K] \
+         [--out DIR | --no-output] [--restart CKPT] \
          [--quiet] [--threads N] [--assert-contacts N] [--assert-bie-below N] \
          [--assert-dt-retries N] [--assert-fmm-rebuilds N] \
-         [--allow-nonfinite] [--set key=value ...]\n\nscenarios:\n",
+         [--allow-nonfinite] [--set key=value ...]\n       \
+         sim-driver batch <manifest.toml> [--jobs N] [--halt-after N] \
+         [--quiet] [--assert-cache-hits N] [--assert-resumed N]\n\nscenarios:\n",
     );
     for s in driver::registry() {
         u.push_str(&format!("  {:<18} {}\n", s.name, s.summary));
@@ -93,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         config: None,
         steps: 10,
         checkpoint_every: 0,
+        keep_checkpoints: 0,
         out_dir: None,
         no_output: false,
         restart: None,
@@ -124,6 +140,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.checkpoint_every = value("--checkpoint-every")?
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--keep-checkpoints" => {
+                args.keep_checkpoints = value("--keep-checkpoints")?
+                    .parse()
+                    .map_err(|e| format!("--keep-checkpoints: {e}"))?
             }
             "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
             "--no-output" => args.no_output = true,
@@ -187,8 +208,101 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// `sim-driver batch <manifest.toml> [...]`: parse the manifest, run the
+/// farm, enforce the optional CI assertions, exit nonzero on any failed
+/// job.
+fn batch_main(argv: &[String]) -> Result<(), String> {
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut opts = FarmOptions::default();
+    let mut assert_cache_hits: Option<u64> = None;
+    let mut assert_resumed: Option<usize> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--jobs" => {
+                opts.jobs_parallel = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--halt-after" => {
+                opts.halt_after = Some(
+                    value("--halt-after")?
+                        .parse()
+                        .map_err(|e| format!("--halt-after: {e}"))?,
+                )
+            }
+            "--quiet" => opts.quiet = true,
+            "--assert-cache-hits" => {
+                assert_cache_hits = Some(
+                    value("--assert-cache-hits")?
+                        .parse()
+                        .map_err(|e| format!("--assert-cache-hits: {e}"))?,
+                )
+            }
+            "--assert-resumed" => {
+                assert_resumed = Some(
+                    value("--assert-resumed")?
+                        .parse()
+                        .map_err(|e| format!("--assert-resumed: {e}"))?,
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown batch flag {other}\n{}", usage()))
+            }
+            other => {
+                if manifest_path.is_some() {
+                    return Err(format!("two manifests given; second was {other}"));
+                }
+                manifest_path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let path = manifest_path.ok_or_else(|| format!("batch needs a manifest\n{}", usage()))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let manifest = Manifest::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report = driver::run_farm(&manifest, &opts)?;
+    if let Some(min) = assert_cache_hits {
+        if report.cache.hits() < min {
+            return Err(format!(
+                "farm smoke: {} shared-cache hits, expected ≥ {min} — jobs are \
+                 rebuilding immutable state instead of sharing it",
+                report.cache.hits()
+            ));
+        }
+    }
+    if let Some(min) = assert_resumed {
+        if report.resumed() < min {
+            return Err(format!(
+                "farm smoke: {} jobs resumed from checkpoints, expected ≥ {min}",
+                report.resumed()
+            ));
+        }
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} farm job(s) failed", report.failed()));
+    }
+    // only count jobs as missing if the farm was supposed to run them
+    if opts.halt_after.is_none() && report.completed() < manifest.jobs.len() {
+        return Err(format!(
+            "{}/{} farm jobs reached their target",
+            report.completed(),
+            manifest.jobs.len()
+        ));
+    }
+    Ok(())
+}
+
 fn main_inner() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("batch") {
+        return batch_main(&argv[1..]);
+    }
     let args = parse_args(&argv)?;
 
     if args.help || args.scenario == "list" {
@@ -210,11 +324,7 @@ fn main_inner() -> Result<(), String> {
         cfg.set(&args.scenario, &key, value);
     }
     if let Some(n) = args.threads {
-        cfg.set(
-            &args.scenario,
-            "threads",
-            driver::Value::Int(n as i64),
-        );
+        cfg.set(&args.scenario, "threads", driver::Value::Int(n as i64));
     }
 
     let mut built = driver::build(&args.scenario, &cfg)?;
@@ -259,6 +369,7 @@ fn main_inner() -> Result<(), String> {
         scenario: args.scenario.clone(),
         steps: args.steps,
         checkpoint_every: args.checkpoint_every,
+        keep_checkpoints: args.keep_checkpoints,
         out_dir: out_dir.clone(),
         quiet: args.quiet,
         fail_on_nonfinite: !args.allow_nonfinite,

@@ -1,7 +1,8 @@
-//! The scenario run loop: stepping, per-stage timer aggregation, CSV
-//! trajectory output, and periodic checkpointing.
+//! Run-loop records and the pre-split entry point: [`StepRow`],
+//! [`RunReport`], [`RunOptions`], and [`run`] — now a thin composition
+//! over the [`crate::session`] step loop and IO sinks.
 
-use sim::{Checkpoint, Simulation, StepStats, StepTimers};
+use sim::{Simulation, StepStats, StepTimers};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -14,6 +15,11 @@ pub struct RunOptions {
     pub steps: usize,
     /// Write a checkpoint every `k` steps (0 = only the final one).
     pub checkpoint_every: usize,
+    /// Cadence checkpoints to keep on disk (rotation): 0 = keep all,
+    /// `k` = delete all but the newest `k` (the final-state checkpoint is
+    /// never rotated). Long-horizon farm jobs use this so resumability
+    /// does not cost one file per cadence tick.
+    pub keep_checkpoints: usize,
     /// Directory for checkpoints and CSV output; `None` disables all
     /// file output.
     pub out_dir: Option<PathBuf>,
@@ -32,6 +38,7 @@ impl Default for RunOptions {
             scenario: String::new(),
             steps: 10,
             checkpoint_every: 0,
+            keep_checkpoints: 0,
             out_dir: None,
             quiet: false,
             fail_on_nonfinite: true,
@@ -99,12 +106,12 @@ impl RunReport {
 }
 
 /// Column header of the per-step CSV.
-const CSV_HEADER: &str =
+pub(crate) const CSV_HEADER: &str =
     "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells,wall_fmm_builds,wall_fmm_replans\n";
 
 impl StepRow {
     /// One CSV line (newline-terminated) for this row.
-    fn csv_line(&self) -> String {
+    pub(crate) fn csv_line(&self) -> String {
         let t = self.timers;
         format!(
             "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{},{},{}\n",
@@ -129,20 +136,8 @@ impl StepRow {
     }
 }
 
-/// Scans every cell's shape coefficients for NaN/∞; returns the first
-/// offender as `(cell, component, coefficient index)`.
-fn first_nonfinite(sim: &Simulation) -> Option<(usize, usize, usize)> {
-    for (ci, cell) in sim.cells.iter().enumerate() {
-        for (comp, coeffs) in cell.coeffs.iter().enumerate() {
-            if let Some(k) = coeffs.data.iter().position(|v| !v.is_finite()) {
-                return Some((ci, comp, k));
-            }
-        }
-    }
-    None
-}
-
-fn checkpoint_path(dir: &Path, scenario: &str, step: usize) -> PathBuf {
+/// Path of a cadence checkpoint at the given step counter.
+pub(crate) fn checkpoint_path(dir: &Path, scenario: &str, step: usize) -> PathBuf {
     dir.join(format!("{scenario}_step{step:06}.ckpt"))
 }
 
@@ -154,91 +149,12 @@ pub fn final_checkpoint_path(dir: &Path, scenario: &str) -> PathBuf {
 /// Steps `sim` for `opts.steps` steps, recycling outlet cells when
 /// `recycle` is set, checkpointing on the configured cadence, and writing
 /// `trajectory.csv` plus a final checkpoint into `opts.out_dir`.
+///
+/// This is the pre-split entry point, kept (bit-identical in console, CSV,
+/// and checkpoint output) as a delegating wrapper over the composable
+/// pieces in [`crate::session`].
 pub fn run(sim: &mut Simulation, recycle: bool, opts: &RunOptions) -> io::Result<RunReport> {
-    if let Some(dir) = &opts.out_dir {
-        std::fs::create_dir_all(dir)?;
-    }
-    // continuation runs (restarts) get their own CSV instead of
-    // overwriting the earlier portion of the trajectory; rows are appended
-    // as they happen so a killed run keeps everything up to its last step
-    let start_step = sim.steps;
-    let csv_name = if start_step == 0 {
-        "trajectory.csv".to_string()
-    } else {
-        format!("trajectory_from_{:06}.csv", start_step + 1)
-    };
-    let mut csv_file = match &opts.out_dir {
-        Some(dir) => {
-            let mut f = std::fs::File::create(dir.join(&csv_name))?;
-            std::io::Write::write_all(&mut f, CSV_HEADER.as_bytes())?;
-            Some(f)
-        }
-        None => None,
-    };
-    let mut report = RunReport::default();
-    if !opts.quiet {
-        println!(
-            "{}: {} cells, {} dofs, dt = {}, {} steps",
-            opts.scenario,
-            sim.cells.len(),
-            sim.dofs(),
-            sim.config.dt,
-            opts.steps
-        );
-        println!("step  total(s)  COL(s)  BIE(s)  gmres  contacts  recycled  dt_eff  retries");
-    }
-    for _ in 0..opts.steps {
-        let t = sim.step();
-        if opts.fail_on_nonfinite {
-            if let Some((ci, comp, k)) = first_nonfinite(sim) {
-                return Err(io::Error::other(format!(
-                    "non-finite state after step {}: cell {ci}, component {}, \
-                     coefficient {k} (rerun with --allow-nonfinite to continue anyway)",
-                    sim.steps,
-                    ["x", "y", "z"][comp],
-                )));
-            }
-        }
-        let recycled = if recycle { sim.recycle_cells() } else { 0 };
-        let row = StepRow {
-            step: sim.steps,
-            timers: t,
-            stats: sim.last_stats,
-            recycled,
-        };
-        report.timers.accumulate(&t);
-        if !opts.quiet {
-            println!(
-                "{:>4}  {:>8.3}  {:>6.3}  {:>6.3}  {:>5}  {:>8}  {:>8}  {:>6.4}  {:>7}",
-                row.step,
-                t.total(),
-                t.col,
-                t.bie_solve + t.bie_fmm,
-                row.stats.bie_iterations,
-                row.stats.contacts,
-                recycled,
-                row.stats.dt_effective,
-                row.stats.dt_retries
-            );
-        }
-        if let Some(f) = &mut csv_file {
-            std::io::Write::write_all(f, row.csv_line().as_bytes())?;
-        }
-        report.rows.push(row);
-        if let Some(dir) = &opts.out_dir {
-            if opts.checkpoint_every > 0 && sim.steps.is_multiple_of(opts.checkpoint_every) {
-                let path = checkpoint_path(dir, &opts.scenario, sim.steps);
-                Checkpoint::write(sim, &opts.scenario, &path)?;
-                report.checkpoints.push(path);
-            }
-        }
-    }
-    if let Some(dir) = &opts.out_dir {
-        let path = final_checkpoint_path(dir, &opts.scenario);
-        Checkpoint::write(sim, &opts.scenario, &path)?;
-        report.checkpoints.push(path);
-    }
-    Ok(report)
+    crate::session::run_with(sim, recycle, opts)
 }
 
 #[cfg(test)]

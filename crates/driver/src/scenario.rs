@@ -18,7 +18,8 @@ use patch::{capsule_tube, modulated_torus, Serpentine, StraightLine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim::{
-    cells_from_seeds, fill_seeds, fill_seeds_packed, DtControl, SimConfig, Simulation, Vessel,
+    cells_from_seeds, fill_seeds, fill_seeds_packed, refined_surface, DtControl, SimConfig,
+    Simulation, Vessel,
 };
 use sphharm::SphBasis;
 use vesicle::{biconcave_coeffs, rotated_coeffs, Cell, CellParams};
@@ -326,9 +327,12 @@ fn build_sedimentation(cfg: &Doc) -> Result<Built, String> {
     // across wall_refine levels (so accuracy/cost comparisons share one
     // initial condition)
     let coarse = capsule_tube(&line, radius, cfg.usize_or(sec, "tube_segments", 3), q);
-    let surface = coarse.refine(refine);
+    // refinement goes through the process-wide shared cache (sim::caches):
+    // farm jobs and checkpoint-restore rebuilds of the same geometry reuse
+    // one immutable refined copy instead of re-fitting 4^levels patches
+    let surface = refined_surface(&coarse, refine);
     let vessel = Vessel::new(
-        surface.clone(),
+        (*surface).clone(),
         1.0,
         bie_options(cfg, sec, q, refine)?,
         0.0,
@@ -382,10 +386,10 @@ fn build_vessel_flow(cfg: &Doc) -> Result<Built, String> {
         cfg.usize_or(sec, "tube_segments", 5),
         q,
     );
-    let surface = coarse.refine(refine);
+    let surface = refined_surface(&coarse, refine);
     let peak = cfg.f64_or(sec, "peak_speed", 1.0);
     let vessel = Vessel::new(
-        surface.clone(),
+        (*surface).clone(),
         1.0,
         bie_options(cfg, sec, q, refine)?,
         peak,
@@ -430,9 +434,9 @@ fn build_dense_fill(cfg: &Doc) -> Result<Built, String> {
         cfg.usize_or(sec, "nv", 6),
         q,
     );
-    let surface = coarse.refine(refine);
+    let surface = refined_surface(&coarse, refine);
     let vessel = Vessel::new(
-        surface.clone(),
+        (*surface).clone(),
         1.0,
         bie_options(cfg, sec, q, refine)?,
         0.0,
@@ -511,9 +515,10 @@ fn build_dense_fill_packed(cfg: &Doc) -> Result<Built, String> {
         "tube_segments",
         ((length / 2.0).ceil() as usize).max(2),
     );
-    let surface = capsule_tube(&line, tube_r, segments, q).refine(refine);
+    let coarse = capsule_tube(&line, tube_r, segments, q);
+    let surface = refined_surface(&coarse, refine);
     let vessel = Vessel::new(
-        surface,
+        (*surface).clone(),
         1.0,
         bie_options(cfg, sec, q, refine)?,
         0.0,
@@ -564,11 +569,11 @@ fn build_poiseuille_train(cfg: &Doc) -> Result<Built, String> {
     };
     let refine = wall_refine(cfg, sec, 0);
     let q = cfg.usize_or(sec, "patch_order", 8);
-    let surface =
-        capsule_tube(&line, tube_r, cfg.usize_or(sec, "tube_segments", 4), q).refine(refine);
+    let coarse = capsule_tube(&line, tube_r, cfg.usize_or(sec, "tube_segments", 4), q);
+    let surface = refined_surface(&coarse, refine);
     let peak = cfg.f64_or(sec, "peak_speed", 1.5);
     let vessel = Vessel::new(
-        surface,
+        (*surface).clone(),
         1.0,
         bie_options(cfg, sec, q, refine)?,
         peak,
@@ -897,7 +902,11 @@ mod tests {
             "tube_segments",
             crate::toml::Value::Int(1),
         );
-        cfg.set("poiseuille_train", "bie_fmm_order", crate::toml::Value::Int(5));
+        cfg.set(
+            "poiseuille_train",
+            "bie_fmm_order",
+            crate::toml::Value::Int(5),
+        );
         cfg.set(
             "poiseuille_train",
             "bie_fmm_leaf_capacity",

@@ -3,7 +3,7 @@
 //! the CLI's `--config` examples can never drift out of the registry, and
 //! a new scenario cannot land without a runnable config.
 
-use driver::{registry, Doc};
+use driver::{registry, Doc, Manifest};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -54,8 +54,16 @@ fn every_scenario_toml_names_a_registry_scenario() {
             .to_string();
         // every config must parse, scenario-named or not
         let text = std::fs::read_to_string(&path).expect("readable config");
-        Doc::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let doc =
+            Doc::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         if NON_SCENARIO_CONFIGS.contains(&stem.as_str()) {
+            continue;
+        }
+        // farm manifests validate through their own parser (which checks
+        // every job's scenario against the registry) instead of by name
+        if doc.get("farm", "jobs").is_some() {
+            Manifest::from_doc(&doc)
+                .unwrap_or_else(|e| panic!("{} is not a valid farm manifest: {e}", path.display()));
             continue;
         }
         assert!(

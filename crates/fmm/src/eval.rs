@@ -408,11 +408,7 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
             i = j;
         }
         self.outside_idx = ret.outside;
-        self.outside_pts = self
-            .outside_idx
-            .iter()
-            .map(|&t| trg[t as usize])
-            .collect();
+        self.outside_pts = self.outside_idx.iter().map(|&t| trg[t as usize]).collect();
 
         let mut ar = self.arenas.lock();
         ar.out_sorted.resize(self.tree.trg_order.len() * td, 0.0);
@@ -849,8 +845,12 @@ impl<KS: Kernel, KE: Kernel> Fmm<KS, KE> {
                     fill_surface(&plan.unit_surf, center, RAD_INNER * h, &mut s.surf);
                     let row = &up[slot * nd_eq..(slot + 1) * nd_eq];
                     let dens = scaled_density(row, &lp.dens_scale, sdim, &mut s.dens);
-                    self.eq_kernel
-                        .eval_block(&g.pts[a..b], &s.surf, dens, &mut out[a * td..b * td]);
+                    self.eq_kernel.eval_block(
+                        &g.pts[a..b],
+                        &s.surf,
+                        dens,
+                        &mut out[a * td..b * td],
+                    );
                 }
             } else if mnode.is_leaf {
                 let (sa, sb) = (mnode.src_range.0 as usize, mnode.src_range.1 as usize);

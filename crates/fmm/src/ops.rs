@@ -22,6 +22,7 @@ use linalg::{Mat, Svd, Vec3};
 use parking_lot::Mutex;
 use rayon::par;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Relative SVD truncation for the equivalent-density pseudo-inverses.
@@ -219,6 +220,27 @@ impl FmmOperators {
 
 type CacheKey = (&'static str, u64, usize);
 static OPS_CACHE: Mutex<Option<HashMap<CacheKey, Arc<FmmOperators>>>> = Mutex::new(None);
+static OPS_BUILDS: AtomicU64 = AtomicU64::new(0);
+static OPS_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide operator-cache counters (monotone since process
+/// start). Consumers that want per-window telemetry (e.g. the driver's
+/// batch farm) snapshot before/after and subtract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpsCacheStats {
+    /// Cold operator-set builds ([`FmmOperators::build`] actually ran).
+    pub builds: u64,
+    /// Lookups served from the shared cache without rebuilding.
+    pub hits: u64,
+}
+
+/// Snapshot of the [`cached_operators`] hit/build counters.
+pub fn ops_cache_stats() -> OpsCacheStats {
+    OpsCacheStats {
+        builds: OPS_BUILDS.load(Ordering::Relaxed),
+        hits: OPS_HITS.load(Ordering::Relaxed),
+    }
+}
 
 /// Returns (building if needed) the cached operator set for this kernel and
 /// order. Thread-safe; the build runs outside the cache lock would risk
@@ -228,9 +250,11 @@ pub fn cached_operators<K: Kernel>(eq_kernel: &K, p: usize) -> Arc<FmmOperators>
     let mut guard = OPS_CACHE.lock();
     let map = guard.get_or_insert_with(HashMap::new);
     if let Some(ops) = map.get(&key) {
+        OPS_HITS.fetch_add(1, Ordering::Relaxed);
         return ops.clone();
     }
     let ops = Arc::new(FmmOperators::build(eq_kernel, p));
+    OPS_BUILDS.fetch_add(1, Ordering::Relaxed);
     map.insert(key, ops.clone());
     ops
 }
@@ -374,10 +398,28 @@ mod tests {
     #[test]
     fn operator_cache_returns_same_instance() {
         let k = LaplaceSL;
+        let before = ops_cache_stats();
         let a = cached_operators(&k, 4);
         let b = cached_operators(&k, 4);
         assert!(Arc::ptr_eq(&a, &b));
         let c = cached_operators(&StokesSL { mu: 1.0 }, 4);
         assert_eq!(c.vdim, 3);
+        // telemetry: the repeat lookup is a hit, and every distinct
+        // (kernel, order) pair builds at most once per process
+        let after = ops_cache_stats();
+        assert!(
+            after.hits >= before.hits + 1,
+            "repeat lookup not counted as a hit: {before:?} -> {after:?}"
+        );
+        assert!(
+            after.builds >= before.builds,
+            "build counter went backwards: {before:?} -> {after:?}"
+        );
+        let again = {
+            let _ = cached_operators(&k, 4);
+            ops_cache_stats()
+        };
+        assert_eq!(again.builds, after.builds, "warm lookup rebuilt operators");
+        assert_eq!(again.hits, after.hits + 1);
     }
 }

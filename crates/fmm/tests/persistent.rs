@@ -56,7 +56,10 @@ fn rel_err(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 const OPTS: FmmOptions = FmmOptions {
@@ -72,7 +75,9 @@ const OPTS: FmmOptions = FmmOptions {
 fn replanned_evaluate_matches_fresh_frozen_build() {
     let mut rng = StdRng::seed_from_u64(31);
     let src = tube_surface(&mut rng, 1500, 1.0, 4.0);
-    let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..src.len())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     let k = LaplaceSL;
 
     let trg0 = lumen_targets(&mut rng, 300, 1.0, 4.0);
@@ -97,7 +102,9 @@ fn replanned_evaluate_matches_fresh_frozen_build() {
 fn repeated_replans_on_same_plan_are_bit_identical() {
     let mut rng = StdRng::seed_from_u64(32);
     let src = tube_surface(&mut rng, 1200, 1.0, 4.0);
-    let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..src.len())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     let k = LaplaceSL;
     let ta = lumen_targets(&mut rng, 300, 1.0, 4.0);
     let tb = lumen_targets(&mut rng, 180, 1.0, 4.0);
@@ -116,12 +123,11 @@ fn frozen_lumen_evaluation_matches_direct_summation() {
     let mut rng = StdRng::seed_from_u64(33);
     let src = tube_surface(&mut rng, 1800, 1.0, 4.0);
     let trg = lumen_targets(&mut rng, 350, 1.0, 4.0);
-    let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..src.len())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     let k = LaplaceSL;
-    let opts = FmmOptions {
-        order: 6,
-        ..OPTS
-    };
+    let opts = FmmOptions { order: 6, ..OPTS };
     let approx = Fmm::frozen(k, k, &src, &trg, opts).evaluate(&data);
     let mut exact = vec![0.0; trg.len()];
     direct_eval(&k, &src, &data, &trg, &mut exact);
@@ -172,7 +178,9 @@ fn frozen_stokes_double_layer_matches_direct_summation() {
 fn out_of_cube_targets_are_exact() {
     let mut rng = StdRng::seed_from_u64(35);
     let src = tube_surface(&mut rng, 900, 1.0, 3.0);
-    let data: Vec<f64> = (0..src.len()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..src.len())
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     let k = LaplaceSL;
     // mixed set: lumen targets plus far-outside stragglers
     let mut trg = lumen_targets(&mut rng, 100, 1.0, 3.0);

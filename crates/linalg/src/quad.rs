@@ -59,7 +59,7 @@ pub fn clenshaw_curtis(n: usize) -> Rule1d {
         nodes.push(-(PI * j as f64 / m as f64).cos());
     }
     // w_j = (c_j / m) * (1 - sum_{k=1}^{m/2} b_k cos(2 k θ_j) / (4k² − 1) * 2)
-    for j in 0..n {
+    for (j, w) in weights.iter_mut().enumerate() {
         let theta = PI * j as f64 / m as f64;
         let mut s = 0.0;
         let kmax = m / 2;
@@ -68,7 +68,7 @@ pub fn clenshaw_curtis(n: usize) -> Rule1d {
             s += bk * (2.0 * k as f64 * theta).cos() / ((4 * k * k - 1) as f64);
         }
         let cj = if j == 0 || j == m { 1.0 } else { 2.0 };
-        weights[j] = cj / m as f64 * (1.0 - s);
+        *w = cj / m as f64 * (1.0 - s);
     }
     Rule1d { nodes, weights }
 }

@@ -72,16 +72,16 @@ impl Lu {
         // forward substitution with unit lower triangle
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // back substitution
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -189,20 +189,20 @@ impl Qr {
                 continue;
             }
             let mut dotv = 0.0;
-            for i in k..m {
-                dotv += self.qr[(i, k)] * y[i];
+            for (i, &yi) in y.iter().enumerate().skip(k) {
+                dotv += self.qr[(i, k)] * yi;
             }
             let s = self.beta[k] * dotv;
-            for i in k..m {
-                y[i] -= s * self.qr[(i, k)];
+            for (i, yi) in y.iter_mut().enumerate().skip(k) {
+                *yi -= s * self.qr[(i, k)];
             }
         }
         // back substitution with R
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.qr[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.qr[(i, j)] * xj;
             }
             let d = self.rdiag[i];
             x[i] = if d.abs() > 0.0 { acc / d } else { 0.0 };

@@ -871,8 +871,14 @@ mod tests {
             seen[t as usize] += 1;
         }
         assert!(seen.iter().all(|&c| c == 1), "targets not partitioned");
-        assert!(!ret.virt.is_empty(), "test geometry produced no virtual targets");
-        assert!(ret.outside.len() >= 1, "test geometry produced no outside targets");
+        assert!(
+            !ret.virt.is_empty(),
+            "test geometry produced no virtual targets"
+        );
+        assert!(
+            ret.outside.len() >= 1,
+            "test geometry produced no outside targets"
+        );
 
         // per-node target ranges still partition parents
         for (i, n) in tree.nodes.iter().enumerate() {
@@ -971,7 +977,9 @@ mod tests {
                 count += tree.nodes[ui as usize].nsrc();
             }
             for &wi in &w {
-                assert!(!tree.nodes[wi as usize].key.is_adjacent(tree.nodes[owner as usize].key));
+                assert!(!tree.nodes[wi as usize]
+                    .key
+                    .is_adjacent(tree.nodes[owner as usize].key));
                 count += tree.nodes[wi as usize].nsrc();
             }
             assert_eq!(

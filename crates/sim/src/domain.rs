@@ -386,7 +386,9 @@ mod tests {
             "cell-free refined port solve at residual {:.3e} after {} \
              iterations (stalled: {}) — the rim-smooth profile should \
              hold the floor near 0.11, well under the parabolic 0.4",
-            res.rel_residual, res.iterations, res.stalled
+            res.rel_residual,
+            res.iterations,
+            res.stalled
         );
     }
 

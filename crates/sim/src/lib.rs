@@ -14,12 +14,14 @@
 
 #![warn(missing_docs)]
 
+pub mod caches;
 pub mod checkpoint;
 pub mod domain;
 pub mod fill;
 pub mod stepper;
 pub mod timers;
 
+pub use caches::{refined_surface, surface_cache_stats, SurfaceCacheStats};
 pub use checkpoint::{simulation_from_checkpoint, vessel_digest, Checkpoint};
 pub use domain::{Port, Vessel};
 pub use fill::{cells_from_seeds, fill_seeds, fill_seeds_packed, Seed};

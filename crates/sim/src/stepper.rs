@@ -742,7 +742,12 @@ impl Simulation {
         // non-finite detection; violations roll the whole attempt back
         let (health, t_health) = timed(|| {
             let h: Vec<CellHealth> = rayon::par::map_indexed(nc, |ci| {
-                step_health(basis, &self.cells[ci], &new_positions[ci], geos[ci].volume())
+                step_health(
+                    basis,
+                    &self.cells[ci],
+                    &new_positions[ci],
+                    geos[ci].volume(),
+                )
             });
             h
         });

@@ -1,14 +1,14 @@
 //! High-volume-fraction sedimentation under gravity — the Fig. 7 scenario.
 //!
 //! The domain (vertical capsule container filled with RBCs) comes from the
-//! scenario registry (`driver::scenario`, `sedimentation`); this binary
-//! adds the Fig.-7-style reporting: global volume fraction plus the local
-//! fraction in the lower half of the domain as cells settle and pack
-//! (paper: 47% initial → ~55% local).
+//! scenario registry (`driver::scenario`, `sedimentation`), stepped
+//! through the Session API; this binary adds the Fig.-7-style reporting:
+//! global volume fraction plus the local fraction in the lower half of the
+//! domain as cells settle and pack (paper: 47% initial → ~55% local).
 //!
 //! Run with: `cargo run --release -p rbcflow-examples --bin sedimentation`
 
-use driver::Doc;
+use driver::{Doc, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,16 +19,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
 
-    let mut sim = driver::build("sedimentation", &Doc::default())
-        .expect("registry scenario")
-        .sim;
-    println!("filled {} cells", sim.cells.len());
-    let vf0 = sim.volume_fraction();
+    let mut session = Session::build("sedimentation", &Doc::default()).expect("registry scenario");
+    println!("filled {} cells", session.sim.cells.len());
+    let vf0 = session.sim.volume_fraction();
     println!("initial volume fraction: {:.1}%", 100.0 * vf0);
 
     println!("step  vol-frac  lower-half-frac  contacts  mean-z");
-    for s in 0..steps {
-        sim.step();
+    for _ in 0..steps {
+        let row = session.step().unwrap();
+        let sim = &session.sim;
         let vf = sim.volume_fraction();
         // local fraction in the lower half (z < 3)
         let mut lower_vol = 0.0;
@@ -45,10 +44,10 @@ fn main() {
         let lower_frac = lower_vol / (sim.vessel.as_ref().unwrap().volume * 0.5);
         println!(
             "{:>4}  {:>7.1}%  {:>14.1}%  {:>8}  {:>6.3}",
-            s + 1,
+            row.step,
             100.0 * vf,
             100.0 * lower_frac,
-            sim.last_stats.contacts,
+            row.stats.contacts,
             mean_z
         );
     }

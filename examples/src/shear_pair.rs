@@ -1,30 +1,33 @@
 //! Two vesicles in shear flow — the Fig. 10 scenario.
 //!
 //! The domain comes from the scenario registry (`driver::scenario`,
-//! `shear_pair`); this binary adds the Fig.-10-style outputs: centroid
-//! trajectories to CSV and periodic VTK snapshots. For a plain run with
-//! checkpointing, prefer `cargo run --release -p driver -- shear_pair`.
+//! `shear_pair`); this binary adds the Fig.-10-style outputs as a custom
+//! [`StepSink`] plugged into the Session step loop: centroid trajectories
+//! to CSV and periodic VTK snapshots. For a plain run with checkpointing,
+//! prefer `cargo run --release -p driver -- shear_pair`.
 //!
 //! Run with: `cargo run --release -p rbcflow-examples --bin shear_pair`
 
-use driver::Doc;
+use driver::{Doc, Session, StepRow, StepSink};
+use sim::Simulation;
+use std::io;
+use std::path::PathBuf;
 
-fn main() {
-    let out_dir = std::path::Path::new("target/shear_pair");
-    std::fs::create_dir_all(out_dir).unwrap();
-    let mut sim = driver::build("shear_pair", &Doc::default())
-        .expect("registry scenario")
-        .sim;
+/// Streams Fig.-10 observables: one centroid/gap CSV row per step, plus a
+/// merged point-cloud VTK snapshot every `snap_every` steps.
+struct Fig10Sink {
+    out_dir: PathBuf,
+    snap_every: usize,
+    csv: String,
+}
 
-    let mut csv = String::from("t,x0,y0,z0,x1,y1,z1,gap,contacts\n");
-    let steps = 60;
-    for s in 0..steps {
-        sim.step();
+impl StepSink for Fig10Sink {
+    fn on_step(&mut self, sim: &Simulation, row: &StepRow) -> io::Result<()> {
         let c0 = sim.cells[0].geometry(&sim.basis).centroid();
         let c1 = sim.cells[1].geometry(&sim.basis).centroid();
-        csv.push_str(&format!(
+        self.csv.push_str(&format!(
             "{:.4},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
-            (s + 1) as f64 * sim.config.dt,
+            row.step as f64 * sim.config.dt,
             c0.x,
             c0.y,
             c0.z,
@@ -32,21 +35,42 @@ fn main() {
             c1.y,
             c1.z,
             (c0 - c1).norm(),
-            sim.last_stats.contacts,
+            row.stats.contacts,
         ));
-        if s % 15 == 14 {
+        if row.step.is_multiple_of(self.snap_every) {
             // dump point clouds for visualization (Fig. 10 snapshots)
-            let pts0 = sim.cells[0].positions(&sim.basis);
-            let pts1 = sim.cells[1].positions(&sim.basis);
-            let mut all = pts0;
-            all.extend(pts1);
-            patch::write_vtk_points(&out_dir.join(format!("snap_{:03}.vtk", s + 1)), &all, None)
-                .unwrap();
+            let mut all = sim.cells[0].positions(&sim.basis);
+            all.extend(sim.cells[1].positions(&sim.basis));
+            patch::write_vtk_points(
+                &self.out_dir.join(format!("snap_{:03}.vtk", row.step)),
+                &all,
+                None,
+            )?;
         }
+        Ok(())
     }
-    std::fs::write(out_dir.join("trajectory.csv"), csv).unwrap();
+
+    fn on_finish(&mut self, _sim: &Simulation) -> io::Result<()> {
+        std::fs::write(self.out_dir.join("trajectory.csv"), &self.csv)
+    }
+}
+
+fn main() {
+    let out_dir = PathBuf::from("target/shear_pair");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let mut session = Session::build("shear_pair", &Doc::default()).expect("registry scenario");
+
+    let mut fig10 = Fig10Sink {
+        out_dir: out_dir.clone(),
+        snap_every: 15,
+        csv: String::from("t,x0,y0,z0,x1,y1,z1,gap,contacts\n"),
+    };
+    {
+        let mut sinks: Vec<&mut dyn StepSink> = vec![&mut fig10];
+        session.drive(60, &mut sinks).unwrap();
+    }
     println!("wrote {}", out_dir.join("trajectory.csv").display());
-    let g0 = sim.cells[0].geometry(&sim.basis);
+    let g0 = session.sim.cells[0].geometry(&session.sim.basis);
     println!(
         "final: centroid0 = {:?}, area = {:.6}",
         g0.centroid(),

@@ -4,11 +4,13 @@
 //! integral solve, contact handling, and cell recycling all active.
 //!
 //! The domain comes from the scenario registry (`driver::scenario`,
-//! `vessel_flow`); this binary adds the verbose per-step timing report.
+//! `vessel_flow`), stepped through the Session API (which applies the
+//! scenario's outlet-recycling policy per step); this binary adds the
+//! verbose per-step timing report.
 //!
 //! Run with: `cargo run --release -p rbcflow-examples --bin vessel_flow`
 
-use driver::Doc;
+use driver::{Doc, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,10 +21,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
 
-    let built = driver::build("vessel_flow", &Doc::default()).expect("registry scenario");
-    let mut sim = built.sim;
+    let mut session = Session::build("vessel_flow", &Doc::default()).expect("registry scenario");
     {
-        let vessel = sim.vessel.as_ref().unwrap();
+        let vessel = session.sim.vessel.as_ref().unwrap();
         println!(
             "vessel: {} patches, {} ports, volume {:.2}",
             vessel.solver.surface.num_patches(),
@@ -30,33 +31,28 @@ fn main() {
             vessel.volume
         );
     }
-    println!("{} cells filled", sim.cells.len());
+    println!("{} cells filled", session.sim.cells.len());
     println!(
         "volume fraction {:.1}%, dofs {}",
-        100.0 * sim.volume_fraction(),
-        sim.dofs()
+        100.0 * session.sim.volume_fraction(),
+        session.sim.dofs()
     );
 
     println!("step  GMRES-iters  contacts  recycled  COL(s)  BIE-solve(s)  BIE-FMM(s)");
-    for s in 0..steps {
-        let t = sim.step();
-        let recycled = if built.recycle {
-            sim.recycle_cells()
-        } else {
-            0
-        };
+    for _ in 0..steps {
+        let row = session.step().unwrap();
         println!(
             "{:>4}  {:>11}  {:>8}  {:>8}  {:>6.2}  {:>12.2}  {:>8.2}",
-            s + 1,
-            sim.last_stats.bie_iterations,
-            sim.last_stats.contacts,
-            recycled,
-            t.col,
-            t.bie_solve,
-            t.bie_fmm
+            row.step,
+            row.stats.bie_iterations,
+            row.stats.contacts,
+            row.recycled,
+            row.timers.col,
+            row.timers.bie_solve,
+            row.timers.bie_fmm
         );
     }
-    let t = sim.timers;
+    let t = session.sim.timers;
     println!(
         "\ntotals: COL {:.2}s | BIE-solve {:.2}s | BIE-FMM {:.2}s | Other-FMM {:.2}s | Other {:.2}s",
         t.col, t.bie_solve, t.bie_fmm, t.other_fmm, t.other

@@ -125,4 +125,20 @@ cargo run --release -q -p driver -- shear_pair --steps 1 --set order=8 \
     --out "$SMOKE_OUT" --quiet \
     --restart "$SMOKE_OUT/shear_pair_final.ckpt"
 
+echo "== farm smoke (2-job manifest: crash after job 1, resume, shared-cache assert)"
+# the simulation farm end to end on a tiny two-job manifest: leg 1 runs
+# the queue with a simulated crash after the first job completes
+# (--halt-after 1 exits zero with the second job marked halted); leg 2
+# reruns the same manifest, which must skip the finished job, run the
+# halted one to target, and report shared-cache telemetry — the vessel
+# job's FMM solve+eval share operator tables, so >= 1 hit even in a cold
+# process, and any regression that stops jobs from sharing immutable
+# caches fails the assert
+FARM_OUT=target/driver/farm-smoke
+rm -rf "$FARM_OUT"
+cargo run --release -q -p driver -- batch scenarios/farm_smoke.toml \
+    --halt-after 1 --quiet
+cargo run --release -q -p driver -- batch scenarios/farm_smoke.toml \
+    --assert-cache-hits 1
+
 echo "ALL CHECKS PASSED"
