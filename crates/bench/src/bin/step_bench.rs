@@ -6,7 +6,10 @@
 //! FMM-only `BENCH_fmm.json`.
 //!
 //! Scenario settings mirror `scenarios/step_bench.toml` (scaled down from
-//! the paper's production sizes so the bench finishes in ~a minute).
+//! the paper's production sizes so the bench finishes in ~a minute). The
+//! `bifurcation` row times the branched-network workload (flux-balanced
+//! 3-port BCs) next to the straight-tube rows; physiology observables for
+//! the network family live in `BENCH_physiology.json` (`--bin physiology`).
 //!
 //! The two heaviest scenarios (sedimentation, vessel_flow_refined) also
 //! record a full-step thread-count curve (1/2/4/8 workers via the
@@ -224,6 +227,11 @@ fn main() {
             &[],
         ));
         results.push(run_case("vessel_flow", "vessel_flow", &cfg, 2, &[]));
+        // the branched-network workload: a Y-bifurcation with flux-balanced
+        // 3-port BCs (the N-port generalization of the tube's 2-port solve)
+        // splitting a 2-cell train — tracks the junction blend's cost next
+        // to the straight-tube rows
+        results.push(run_case("bifurcation", "bifurcation", &cfg, 2, &[]));
         // the resolved-wall variant: 2 refinement levels multiply the
         // patch count 16×, the check spec tightens to the paper's
         // production values, and the Auto backend crosses over to the FMM

@@ -15,6 +15,9 @@
 //! - [`batch`]: the simulation farm — `sim-driver batch <manifest.toml>`
 //!   schedules many scenario jobs over the persistent worker pool with
 //!   shared immutable caches and a checkpoint-resumable queue;
+//! - [`physio`]: the physiology observer — [`PhysioSink`] streams
+//!   apparent viscosity, cell-free layer, and branch hematocrit split
+//!   (from [`sim::physio`]) as one CSV row per step;
 //! - [`mod@run`]: the pre-split record types ([`RunOptions`],
 //!   [`RunReport`], [`StepRow`]) and the [`run()`] entry point, now a thin
 //!   wrapper over [`session`].
@@ -32,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod physio;
 pub mod run;
 pub mod scenario;
 pub mod session;
 pub mod toml;
 
 pub use batch::{run_farm, FarmOptions, FarmReport, JobOutcome, JobSpec, JobStatus, Manifest};
+pub use physio::{PhysioRow, PhysioSink, PHYSIO_CSV_HEADER};
 pub use run::{final_checkpoint_path, run, RunOptions, RunReport, StepRow};
 pub use scenario::{build, registry, Built, ScenarioSpec};
 pub use session::{

@@ -7,6 +7,7 @@
 //!            [--restart CKPT] [--quiet] [--threads N]
 //!            [--assert-contacts N] [--assert-bie-below N]
 //!            [--assert-dt-retries N] [--assert-fmm-rebuilds N]
+//!            [--assert-flux-balance TOL]
 //!            [--allow-nonfinite] [--set key=value ...]
 //! sim-driver batch <manifest.toml> [--jobs N] [--halt-after N] [--quiet]
 //!            [--assert-cache-hits N] [--assert-resumed N]
@@ -40,6 +41,14 @@
 //! finished with a non-finite centroid or volume. The CI gate runs one
 //! refined-wall `vessel_flow` step through this to pin the wall-refinement
 //! + FMM-backend path.
+//!
+//! `--assert-flux-balance TOL` turns the run into a conservation smoke
+//! test: it exits nonzero unless every step's net port flux imbalance
+//! `|Σ ∫ u·n dS|` over the committed boundary condition stayed at or
+//! below `TOL` and every cell finished finite. Network scenarios
+//! (`bifurcation`) prescribe per-port fluxes that sum to zero and make
+//! each discrete port flux exact, so the CI gate runs them through this
+//! with a roundoff-scale tolerance.
 //!
 //! `--assert-dt-retries N` turns the run into an instability smoke test:
 //! it exits nonzero unless the adaptive time stepper performed at least
@@ -80,6 +89,7 @@ struct Args {
     assert_bie_below: Option<usize>,
     assert_dt_retries: Option<usize>,
     assert_fmm_rebuilds: Option<usize>,
+    assert_flux_balance: Option<f64>,
     allow_nonfinite: bool,
     sets: Vec<String>,
     help: bool,
@@ -92,6 +102,7 @@ fn usage() -> String {
          [--out DIR | --no-output] [--restart CKPT] \
          [--quiet] [--threads N] [--assert-contacts N] [--assert-bie-below N] \
          [--assert-dt-retries N] [--assert-fmm-rebuilds N] \
+         [--assert-flux-balance TOL] \
          [--allow-nonfinite] [--set key=value ...]\n       \
          sim-driver batch <manifest.toml> [--jobs N] [--halt-after N] \
          [--quiet] [--assert-cache-hits N] [--assert-resumed N]\n\nscenarios:\n",
@@ -118,6 +129,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         assert_bie_below: None,
         assert_dt_retries: None,
         assert_fmm_rebuilds: None,
+        assert_flux_balance: None,
         allow_nonfinite: false,
         sets: Vec::new(),
         help: false,
@@ -183,6 +195,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value("--assert-fmm-rebuilds")?
                         .parse()
                         .map_err(|e| format!("--assert-fmm-rebuilds: {e}"))?,
+                )
+            }
+            "--assert-flux-balance" => {
+                args.assert_flux_balance = Some(
+                    value("--assert-flux-balance")?
+                        .parse()
+                        .map_err(|e| format!("--assert-flux-balance: {e}"))?,
                 )
             }
             "--allow-nonfinite" => args.allow_nonfinite = true,
@@ -485,6 +504,44 @@ fn main_inner() -> Result<(), String> {
                 "fmm-reuse smoke OK: {builds} wall-FMM build(s) ≤ {max_builds}, \
                  {replans} target replans over {} steps",
                 report.rows.len()
+            );
+        }
+    }
+
+    if let Some(tol) = args.assert_flux_balance {
+        if built.sim.vessel.is_none() {
+            return Err("flux-balance smoke: scenario has no vessel (no ports to balance)".into());
+        }
+        let mut worst = 0.0f64;
+        for row in &report.rows {
+            let imb = row.stats.flux_imbalance;
+            if !imb.is_finite() || imb > tol {
+                return Err(format!(
+                    "flux-balance smoke: step {} net port flux imbalance {imb:.3e} \
+                     exceeds {tol:.3e} — the prescribed port fluxes do not cancel \
+                     in the committed boundary condition",
+                    row.step
+                ));
+            }
+            worst = worst.max(imb);
+        }
+        let basis = &built.sim.basis;
+        for (ci, cell) in built.sim.cells.iter().enumerate() {
+            let g = cell.geometry(basis);
+            let c = g.centroid();
+            let vol = g.volume();
+            if !c.is_finite() || !vol.is_finite() {
+                return Err(format!(
+                    "flux-balance smoke: cell {ci} ended non-finite (centroid {c:?}, volume {vol})"
+                ));
+            }
+        }
+        if !args.quiet {
+            println!(
+                "flux-balance smoke OK: max net port flux imbalance {worst:.3e} ≤ {tol:.3e} \
+                 over {} steps, all {} cells finite",
+                report.rows.len(),
+                built.sim.cells.len()
             );
         }
     }

@@ -107,14 +107,14 @@ impl RunReport {
 
 /// Column header of the per-step CSV.
 pub(crate) const CSV_HEADER: &str =
-    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells,wall_fmm_builds,wall_fmm_replans\n";
+    "step,col_s,bie_solve_s,bie_fmm_s,other_fmm_s,other_s,total_s,gmres_iters,contacts,ncp_iters,recycled,dt_effective,dt_retries,max_edge_stretch,frozen_cells,wall_fmm_builds,wall_fmm_replans,flux_imbalance\n";
 
 impl StepRow {
     /// One CSV line (newline-terminated) for this row.
     pub(crate) fn csv_line(&self) -> String {
         let t = self.timers;
         format!(
-            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{},{},{}\n",
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.8},{},{:.4},{},{},{},{:.3e}\n",
             self.step,
             t.col,
             t.bie_solve,
@@ -132,6 +132,7 @@ impl StepRow {
             self.stats.frozen_cells,
             self.stats.wall_fmm_builds,
             self.stats.wall_fmm_replans,
+            self.stats.flux_imbalance,
         )
     }
 }
@@ -182,6 +183,7 @@ mod tests {
                 frozen_cells: 1,
                 wall_fmm_builds: 1,
                 wall_fmm_replans: 4,
+                flux_imbalance: 2.5e-13,
                 ..Default::default()
             },
             recycled: 1,
@@ -200,9 +202,13 @@ mod tests {
             "frozen_cells",
             "wall_fmm_builds",
             "wall_fmm_replans",
+            "flux_imbalance",
         ] {
             assert!(header.contains(col), "missing column {col}: {header}");
         }
-        assert!(csv.contains(",0.00500000,2,1.2500,1,1,4"), "{csv}");
+        assert!(
+            csv.contains(",0.00500000,2,1.2500,1,1,4,2.500e-13"),
+            "{csv}"
+        );
     }
 }

@@ -18,11 +18,11 @@ use patch::{capsule_tube, modulated_torus, Serpentine, StraightLine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim::{
-    cells_from_seeds, fill_seeds, fill_seeds_packed, refined_surface, DtControl, SimConfig,
-    Simulation, Vessel,
+    cells_from_seeds, fill_seeds, fill_seeds_packed, refined_surface, vessel_from_network,
+    DtControl, NetworkSpec, SegmentSpec, SimConfig, Simulation, Vessel,
 };
 use sphharm::SphBasis;
-use vesicle::{biconcave_coeffs, rotated_coeffs, Cell, CellParams};
+use vesicle::{biconcave_coeffs, rotated_coeffs, sphere_coeffs, Cell, CellParams};
 
 /// A registered scenario.
 pub struct ScenarioSpec {
@@ -83,6 +83,18 @@ pub fn registry() -> &'static [ScenarioSpec] {
             summary:
                 "randomly oriented cells on a jittered lattice in background shear, free space",
             build: build_random_suspension,
+        },
+        ScenarioSpec {
+            name: "bifurcation",
+            summary:
+                "Y-bifurcation vessel with flux-balanced ports splitting a cell train (§6 networks)",
+            build: build_bifurcation,
+        },
+        ScenarioSpec {
+            name: "vessel_ladder",
+            summary:
+                "one rung of the tube-diameter ladder: straight tube at fixed flux (Fåhræus–Lindqvist)",
+            build: build_vessel_ladder,
         },
     ]
 }
@@ -622,6 +634,237 @@ fn build_poiseuille_train(cfg: &Doc) -> Result<Built, String> {
     })
 }
 
+/// A Y-bifurcation: one parent branch splitting into two daughters, built
+/// by the [`sim::network`] composer with flux-balanced port boundary
+/// conditions (the prescribed per-port fluxes sum to zero by
+/// construction: `flux` enters the parent, `flux_split` of it leaves
+/// through the first daughter, the rest through the second). A short
+/// single-file train of cells is seeded in the parent branch so the run
+/// exercises cell transport through the junction — the branch-hematocrit
+/// observable's workload.
+///
+/// Geometry knobs: `parent_radius`/`parent_length`,
+/// `daughter_radius`/`daughter_length`, `daughter_angle_deg` (each
+/// daughter's angle off the parent's downstream direction, splayed in
+/// ±y), `smoothing` (junction blend radius), `per_face` (patches per
+/// cube-sphere face edge), `patch_order`.
+///
+/// `wall_refine` is rejected: refinement would re-fit the blended
+/// junction from the *coarse* patch polynomials instead of the exact
+/// surface; raise `per_face` to resolve the junction instead.
+fn build_bifurcation(cfg: &Doc) -> Result<Built, String> {
+    let sec = "bifurcation";
+    if cfg.get(sec, "wall_refine").is_some() {
+        return Err(
+            "bifurcation: wall_refine is not supported on network vessels \
+             (refinement would re-fit the junction blend from coarse patch \
+             polynomials); raise per_face instead"
+                .into(),
+        );
+    }
+    let parent_r = cfg.f64_or(sec, "parent_radius", 0.5);
+    let parent_l = cfg.f64_or(sec, "parent_length", 1.6);
+    let daughter_r = cfg.f64_or(sec, "daughter_radius", 0.4);
+    let daughter_l = cfg.f64_or(sec, "daughter_length", 1.5);
+    let angle = cfg.f64_or(sec, "daughter_angle_deg", 31.0).to_radians();
+    let flux = cfg.f64_or(sec, "flux", 1.0);
+    if !flux.is_finite() || flux <= 0.0 {
+        return Err(format!("bifurcation: flux must be > 0, got {flux}"));
+    }
+    let split = cfg.f64_or(sec, "flux_split", 0.55);
+    if !(split > 0.0 && split < 1.0) {
+        return Err(format!(
+            "bifurcation: flux_split must be in (0, 1), got {split}"
+        ));
+    }
+    // parent carries +x flow toward the junction at the origin; daughters
+    // splay symmetrically in ±y around the continued -(-x) = downstream -x
+    // direction. Port fluxes sum to zero by construction; NetworkSpec
+    // re-validates and vessel_from_network makes each discrete port flux
+    // exact, so the per-step imbalance assertion holds to roundoff.
+    let (s, c) = (angle.sin(), angle.cos());
+    let spec = NetworkSpec {
+        center: Vec3::ZERO,
+        segments: vec![
+            SegmentSpec {
+                axis: Vec3::new(1.0, 0.0, 0.0),
+                length: parent_l,
+                radius: parent_r,
+                flux,
+            },
+            SegmentSpec {
+                axis: Vec3::new(-c, s, 0.0),
+                length: daughter_l,
+                radius: daughter_r,
+                flux: -split * flux,
+            },
+            SegmentSpec {
+                axis: Vec3::new(-c, -s, 0.0),
+                length: daughter_l,
+                radius: daughter_r,
+                flux: -(1.0 - split) * flux,
+            },
+        ],
+        smoothing: cfg.f64_or(sec, "smoothing", 0.3 * daughter_r.min(parent_r)),
+        per_face: cfg.usize_or(sec, "per_face", 2),
+        q: cfg.usize_or(sec, "patch_order", 8),
+    };
+    let vessel = vessel_from_network(
+        &spec,
+        1.0,
+        bie_options(cfg, sec, spec.q, 0)?,
+        cfg.usize_or(sec, "col_m", 6),
+    )
+    .map_err(|e| format!("bifurcation: {e}"))?;
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 6));
+    let n_cells = cfg.usize_or(sec, "n_cells", 2);
+    if n_cells == 0 {
+        return Err("bifurcation: n_cells must be ≥ 1".into());
+    }
+    let cell_r = cfg.f64_or(sec, "cell_radius", 0.15);
+    if cell_r >= daughter_r.min(parent_r) {
+        return Err(format!(
+            "bifurcation: cell_radius {cell_r} does not fit the narrowest branch \
+             (radius {})",
+            daughter_r.min(parent_r)
+        ));
+    }
+    let spacing = cfg.f64_or(sec, "spacing", 3.0 * cell_r);
+    // train along the parent axis, marching -x toward the junction; the
+    // lead cell starts mid-branch, the tail stays clear of the inlet cap
+    let x_far = parent_l - 2.0 * cell_r;
+    let x_near = x_far - spacing * (n_cells - 1) as f64;
+    if x_near < cell_r {
+        return Err(format!(
+            "bifurcation: train span {:.2} (n_cells·spacing + caps) exceeds \
+             parent_length {parent_l}",
+            spacing * (n_cells - 1) as f64 + 3.0 * cell_r
+        ));
+    }
+    let params = cell_params(cfg, sec, 0.01, 1.0);
+    let cells: Vec<Cell> = (0..n_cells)
+        .map(|i| {
+            let center = Vec3::new(x_far - spacing * i as f64, 0.0, 0.0);
+            Cell::new(&basis, biconcave_coeffs(&basis, cell_r, center), params)
+        })
+        .collect();
+
+    let config = sim_config(cfg, sec, 0.01, 0.05);
+    // recycle_cells tracks a single outlet; with two daughters it would
+    // teleport cells from only one of them, so it stays off by default
+    let recycle = cfg.bool_or(sec, "recycle", false);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle,
+    })
+}
+
+/// One rung of the tube-diameter ladder behind the apparent-viscosity
+/// (Fåhræus–Lindqvist) sweep: a straight capsule tube carrying a *fixed
+/// volumetric flux* `flux` regardless of `tube_radius`, so runs at
+/// different diameters are directly comparable (the physiology bench
+/// varies `tube_radius` only). The quartic port profile of
+/// [`sim::Vessel::new`] has flux `peak · π r² / 2`, so the inflow peak is
+/// derived as `2·flux / (π·tube_radius²)` unless `peak_speed` overrides
+/// it explicitly.
+fn build_vessel_ladder(cfg: &Doc) -> Result<Built, String> {
+    let sec = "vessel_ladder";
+    let length = cfg.f64_or(sec, "tube_length", 6.0);
+    let tube_r = cfg.f64_or(sec, "tube_radius", 0.8);
+    if !(tube_r > 0.0 && length > 2.0 * tube_r) {
+        return Err(format!(
+            "vessel_ladder: need tube_length > 2·tube_radius > 0, got \
+             length {length}, radius {tube_r}"
+        ));
+    }
+    let flux = cfg.f64_or(sec, "flux", 1.0);
+    if !flux.is_finite() || flux <= 0.0 {
+        return Err(format!("vessel_ladder: flux must be > 0, got {flux}"));
+    }
+    let peak = cfg.f64_or(
+        sec,
+        "peak_speed",
+        2.0 * flux / (std::f64::consts::PI * tube_r * tube_r),
+    );
+    let line = StraightLine {
+        a: Vec3::ZERO,
+        b: Vec3::new(length, 0.0, 0.0),
+    };
+    let refine = wall_refine(cfg, sec, 0);
+    let q = cfg.usize_or(sec, "patch_order", 8);
+    let coarse = capsule_tube(&line, tube_r, cfg.usize_or(sec, "tube_segments", 3), q);
+    let surface = refined_surface(&coarse, refine);
+    let vessel = Vessel::new(
+        (*surface).clone(),
+        1.0,
+        bie_options(cfg, sec, q, refine)?,
+        peak,
+        wall_col_m(cfg.usize_or(sec, "col_m", 10), refine),
+    );
+
+    let basis = SphBasis::new(cfg.usize_or(sec, "order", 6));
+    let n_cells = cfg.usize_or(sec, "n_cells", 3);
+    if n_cells == 0 {
+        return Err("vessel_ladder: n_cells must be ≥ 1".into());
+    }
+    let cell_r = cfg.f64_or(sec, "cell_radius", 0.4);
+    if cell_r >= tube_r {
+        return Err(format!(
+            "vessel_ladder: cell_radius {cell_r} does not fit tube_radius {tube_r}"
+        ));
+    }
+    let spacing = cfg.f64_or(sec, "spacing", 1.4);
+    let span = spacing * (n_cells - 1) as f64 + 2.0 * cell_r;
+    if span > length {
+        return Err(format!(
+            "vessel_ladder: train span {span:.2} (n_cells·spacing + cell) exceeds \
+             tube_length {length}"
+        ));
+    }
+    let offset = cfg.f64_or(sec, "radial_offset", 0.0);
+    if offset.abs() + cell_r >= tube_r {
+        return Err(format!(
+            "vessel_ladder: radial_offset {offset} pushes cells into the wall"
+        ));
+    }
+    // `shape = "sphere"` swaps the train for near-force-free spheres: the
+    // discrete biconcave shape is *not* an equilibrium of the discretized
+    // membrane energy, so it releases stored elastic energy for many steps
+    // after t = 0 and that transient swamps the confinement drag the
+    // apparent-viscosity observable wants to see at smoke horizons. A
+    // sphere's bending force is a spatially constant normal field whose
+    // work vanishes under the volume-conserving motion the stepper
+    // enforces, so sphere rungs measure the genuine drag excess from
+    // step 1 (the physiology regression tests and bench run this mode).
+    let shape = cfg.str_or(sec, "shape", "biconcave");
+    if shape != "biconcave" && shape != "sphere" {
+        return Err(format!(
+            "vessel_ladder: unknown shape `{shape}` (expected biconcave or sphere)"
+        ));
+    }
+    let params = cell_params(cfg, sec, 0.01, 1.0);
+    let x0 = 0.5 * (length - spacing * (n_cells.saturating_sub(1)) as f64);
+    let cells: Vec<Cell> = (0..n_cells)
+        .map(|i| {
+            let center = Vec3::new(x0 + spacing * i as f64, 0.0, offset);
+            let coeffs = if shape == "sphere" {
+                sphere_coeffs(&basis, cell_r, center)
+            } else {
+                biconcave_coeffs(&basis, cell_r, center)
+            };
+            Cell::new(&basis, coeffs, params)
+        })
+        .collect();
+
+    let config = sim_config(cfg, sec, 0.01, 0.05);
+    let recycle = cfg.bool_or(sec, "recycle", true);
+    Ok(Built {
+        sim: Simulation::new(basis, cells, Some(vessel), config),
+        recycle,
+    })
+}
+
 /// Randomly oriented cells on a jittered cubic lattice in free space,
 /// sheared by the background flow — the unconfined dense-suspension
 /// rheology workload.
@@ -693,7 +936,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n, "duplicate scenario names");
-        assert!(n >= 7, "registry shrank to {n} scenarios");
+        assert!(n >= 9, "registry shrank to {n} scenarios");
     }
 
     #[test]
@@ -932,6 +1175,88 @@ mod tests {
         let built = build("poiseuille_train", &plain).unwrap();
         let v = built.sim.vessel.as_ref().unwrap();
         assert_eq!(v.solver.opts.fmm.order, bie::FmmOptions::default().order);
+    }
+
+    #[test]
+    fn bifurcation_builds_with_balanced_ports() {
+        let built = build("bifurcation", &Doc::default()).unwrap();
+        let v = built.sim.vessel.as_ref().unwrap();
+        assert_eq!(v.ports.len(), 3);
+        assert_eq!(v.ports.iter().filter(|p| p.is_inlet).count(), 1);
+        // the network builder makes each prescribed port flux exact in the
+        // discrete quadrature, so the net imbalance is roundoff
+        let fluxes = v.port_fluxes();
+        let total: f64 = fluxes.iter().map(|f| f.abs()).sum();
+        assert!(
+            v.port_flux_imbalance() < 1e-12 * total,
+            "imbalance {} on fluxes {fluxes:?}",
+            v.port_flux_imbalance()
+        );
+        // default split: 0.55 / 0.45 of unit inflow
+        let inlet = v.ports.iter().find(|p| p.is_inlet).unwrap();
+        assert!((inlet.flux - 1.0).abs() < 1e-12, "{}", inlet.flux);
+        assert!(!built.recycle, "multi-outlet recycling is off by default");
+        assert_eq!(built.sim.cells.len(), 2);
+        // rebuilds are bit-identical (no RNG anywhere in the builder)
+        let again = build("bifurcation", &Doc::default()).unwrap();
+        assert_eq!(
+            sim::vessel_digest(built.sim.vessel.as_ref().unwrap()),
+            sim::vessel_digest(again.sim.vessel.as_ref().unwrap())
+        );
+    }
+
+    #[test]
+    fn bifurcation_rejects_bad_split_and_wall_refine() {
+        let mut cfg = Doc::default();
+        cfg.set("bifurcation", "flux_split", crate::toml::Value::Float(1.5));
+        let e = build("bifurcation", &cfg).err().unwrap();
+        assert!(e.contains("flux_split"), "{e}");
+        let mut cfg = Doc::default();
+        cfg.set("bifurcation", "wall_refine", crate::toml::Value::Int(1));
+        let e = build("bifurcation", &cfg).err().unwrap();
+        assert!(e.contains("per_face"), "{e}");
+        let mut cfg = Doc::default();
+        cfg.set(
+            "bifurcation",
+            "cell_radius",
+            crate::toml::Value::Float(0.45),
+        );
+        let e = build("bifurcation", &cfg).err().unwrap();
+        assert!(e.contains("does not fit"), "{e}");
+    }
+
+    #[test]
+    fn vessel_ladder_fixes_flux_across_diameters() {
+        // same flux, two radii: the inflow peak scales as 1/r², so the
+        // recorded inlet flux matches across rungs
+        let mut small = Doc::default();
+        small.set(
+            "vessel_ladder",
+            "tube_radius",
+            crate::toml::Value::Float(0.7),
+        );
+        small.set("vessel_ladder", "patch_order", crate::toml::Value::Int(6));
+        let mut large = Doc::default();
+        large.set(
+            "vessel_ladder",
+            "tube_radius",
+            crate::toml::Value::Float(1.1),
+        );
+        large.set("vessel_ladder", "patch_order", crate::toml::Value::Int(6));
+        let (a, b) = (
+            build("vessel_ladder", &small).unwrap(),
+            build("vessel_ladder", &large).unwrap(),
+        );
+        let qa = a.sim.vessel.as_ref().unwrap().ports[0].flux.abs();
+        let qb = b.sim.vessel.as_ref().unwrap().ports[0].flux.abs();
+        // Vessel::new rims are the max-node estimate, so the discrete flux
+        // sits below π r² peak/2 by an O(h²) geometric factor — but the
+        // factor is resolution-, not radius-, dominated, so fixed-flux
+        // rungs agree to a few percent
+        assert!(
+            (qa - qb).abs() / qb < 0.05,
+            "flux not fixed across rungs: {qa} vs {qb}"
+        );
     }
 
     #[test]

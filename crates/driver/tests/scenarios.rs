@@ -13,7 +13,7 @@ fn scenarios_dir() -> PathBuf {
 
 /// TOML files in `scenarios/` that are deliberately not named after one
 /// registry scenario (multi-section configs for other harnesses).
-const NON_SCENARIO_CONFIGS: &[&str] = &["step_bench"];
+const NON_SCENARIO_CONFIGS: &[&str] = &["step_bench", "physiology"];
 
 #[test]
 fn every_registry_scenario_has_a_parseable_toml() {

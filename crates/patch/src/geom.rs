@@ -24,7 +24,7 @@ use std::f64::consts::PI;
 
 /// Fits one patch of order `q` through samples of a smooth map on the
 /// sub-square `[u0,u1] × [v0,v1]` of the map's parameter domain.
-fn fit_from_map(
+pub(crate) fn fit_from_map(
     q: usize,
     u0: f64,
     u1: f64,
@@ -45,7 +45,7 @@ fn fit_from_map(
 }
 
 /// Subdivides a map's square domain into `n × n` fitted patches.
-fn fit_grid(q: usize, n: usize, f: &dyn Fn(f64, f64) -> Vec3) -> Vec<PolyPatch> {
+pub(crate) fn fit_grid(q: usize, n: usize, f: &dyn Fn(f64, f64) -> Vec3) -> Vec<PolyPatch> {
     let mut out = Vec::with_capacity(n * n);
     for j in 0..n {
         let v0 = -1.0 + 2.0 * j as f64 / n as f64;
@@ -60,7 +60,7 @@ fn fit_grid(q: usize, n: usize, f: &dyn Fn(f64, f64) -> Vec3) -> Vec<PolyPatch> 
 }
 
 /// The six cube-face → unit-sphere maps with outward orientation.
-fn cube_face_maps() -> Vec<Box<dyn Fn(f64, f64) -> Vec3 + Sync>> {
+pub(crate) fn cube_face_maps() -> Vec<Box<dyn Fn(f64, f64) -> Vec3 + Sync>> {
     // each face: (u,v) ∈ [-1,1]² → normalize(face point); orientation chosen
     // so that X_u × X_v points outward
     vec![

@@ -14,6 +14,7 @@
 
 pub mod geom;
 pub mod io;
+pub mod network;
 pub mod poly;
 pub mod surface;
 
@@ -22,5 +23,6 @@ pub use geom::{
     StraightLine,
 };
 pub use io::{export_surface_vtk, write_obj, write_vtk_points, write_vtk_quads};
+pub use network::{branched_network, BranchSpec};
 pub use poly::{patch_interp_matrix, PolyPatch};
 pub use surface::{BoundarySurface, PatchKind, SurfaceQuad};

@@ -80,6 +80,7 @@ pub fn vessel_digest(vessel: &Vessel) -> u64 {
         w.put_vec3(p.center);
         w.put_vec3(p.inward);
         w.put_f64(p.radius);
+        w.put_f64(p.flux);
     }
     w.put_f64(vessel.volume);
     w.put_f64(vessel.mu);

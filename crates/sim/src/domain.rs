@@ -23,6 +23,10 @@ pub struct Port {
     /// (with zero slope) at this radius, so the boundary data meets the
     /// no-slip wall smoothly at the cap seam.
     pub radius: f64,
+    /// Prescribed discrete flux through the port, positive *into* the
+    /// domain (so inlets carry positive flux, outlets negative, and the
+    /// sum over all ports is zero by construction).
+    pub flux: f64,
 }
 
 /// The rigid vessel: boundary solver plus collision meshes and ports.
@@ -120,6 +124,7 @@ impl Vessel {
                 center,
                 inward,
                 radius,
+                flux: 0.0,
             });
         }
 
@@ -192,19 +197,25 @@ impl Vessel {
             }
         }
 
-        let meshes: Vec<TriMesh> = solver
-            .surface
-            .collision_grid(col_m)
-            .into_iter()
-            .map(|g| triangulate_grid(&g, col_m))
-            .collect();
-
-        // interior volume via the divergence theorem (normals outward)
-        let mut volume = 0.0;
-        for l in 0..quad.len() {
-            volume += quad.points[l].dot(quad.normals[l]) * quad.weights[l];
+        // record each port's prescribed discrete flux (positive into the
+        // domain; n is outward, hence the sign flip)
+        for port in &mut ports {
+            let mut f = 0.0;
+            for l in 0..quad.len() {
+                let on_port = match surface.kinds[quad.patch_of[l] as usize] {
+                    PatchKind::Inlet(p) | PatchKind::Outlet(p) => p == port.id,
+                    PatchKind::Wall => false,
+                };
+                if on_port {
+                    let u = Vec3::new(bc[l * 3], bc[l * 3 + 1], bc[l * 3 + 2]);
+                    f -= u.dot(quad.normals[l]) * quad.weights[l];
+                }
+            }
+            port.flux = f;
         }
-        volume /= 3.0;
+
+        let meshes = build_meshes(&solver.surface, col_m);
+        let volume = interior_volume(quad);
 
         Vessel {
             solver,
@@ -215,6 +226,46 @@ impl Vessel {
             mu,
         }
     }
+
+    /// Net discrete flux of the boundary condition through the surface
+    /// (absolute value). Zero to rounding for a well-posed interior Stokes
+    /// problem; the stepper records it each step ([`crate::StepStats`]'s
+    /// `flux_imbalance`) and `sim-driver --assert-flux-balance` gates on
+    /// it, so a drifted or mis-built port manifest fails loudly instead of
+    /// feeding the solver an inconsistent right-hand side.
+    pub fn port_flux_imbalance(&self) -> f64 {
+        let quad = &self.solver.quad;
+        let mut flux = 0.0;
+        for l in 0..quad.len() {
+            let u = Vec3::new(self.bc[l * 3], self.bc[l * 3 + 1], self.bc[l * 3 + 2]);
+            flux += u.dot(quad.normals[l]) * quad.weights[l];
+        }
+        flux.abs()
+    }
+
+    /// Prescribed per-port fluxes (positive into the domain), in
+    /// [`Vessel::ports`] order.
+    pub fn port_fluxes(&self) -> Vec<f64> {
+        self.ports.iter().map(|p| p.flux).collect()
+    }
+}
+
+/// Collision triangle meshes from `col_m × col_m` samples per patch.
+pub(crate) fn build_meshes(surface: &BoundarySurface, col_m: usize) -> Vec<TriMesh> {
+    surface
+        .collision_grid(col_m)
+        .into_iter()
+        .map(|g| triangulate_grid(&g, col_m))
+        .collect()
+}
+
+/// Interior volume via the divergence theorem (normals outward).
+pub(crate) fn interior_volume(quad: &patch::SurfaceQuad) -> f64 {
+    let mut volume = 0.0;
+    for l in 0..quad.len() {
+        volume += quad.points[l].dot(quad.normals[l]) * quad.weights[l];
+    }
+    volume / 3.0
 }
 
 fn port_ids(surface: &BoundarySurface) -> Vec<u32> {
@@ -306,6 +357,19 @@ mod tests {
             mean += 2.0 * rho * prof(rho) / n as f64;
         }
         assert!((mean - 0.5).abs() < 1e-6, "disk mean {mean}");
+        // ...and the *same* flux over a hemispherical cap, where ρ = sin θ
+        // and the axis-projected area element is cos θ · r² sin θ dθ dφ:
+        // flux/(π r² · peak) = 2·∫₀^{π/2} prof(sin θ) cos θ sin θ dθ = 1/2,
+        // identical to the flat disk — the 3/2 normalization is exact on
+        // both cap shapes, which is what lets the network BCs prescribe
+        // port fluxes on hemispherical caps without shape corrections
+        let mut hemi = 0.0;
+        let dth = std::f64::consts::FRAC_PI_2 / n as f64;
+        for i in 0..n {
+            let th = (i as f64 + 0.5) * dth;
+            hemi += 2.0 * prof(th.sin()) * th.cos() * th.sin() * dth;
+        }
+        assert!((hemi - 0.5).abs() < 1e-6, "hemisphere mean {hemi}");
         // and the built vessel's inlet peak reflects the 3/2 rescale: the
         // quadrature never samples the exact disk center, but only the
         // rescaled quartic can exceed the parabola's `peak_speed` cap of
@@ -389,6 +453,29 @@ mod tests {
             res.rel_residual,
             res.iterations,
             res.stalled
+        );
+    }
+
+    #[test]
+    fn port_fluxes_recorded_and_balanced() {
+        let v = tube_vessel();
+        let fluxes = v.port_fluxes();
+        assert_eq!(fluxes.len(), 2);
+        let inlet = v.ports.iter().find(|p| p.is_inlet).unwrap();
+        let outlet = v.ports.iter().find(|p| !p.is_inlet).unwrap();
+        assert!(inlet.flux > 0.0, "inlet flux {}", inlet.flux);
+        assert!(outlet.flux < 0.0, "outlet flux {}", outlet.flux);
+        // ports balance exactly (the outlet rescale) and the live bc
+        // integral agrees
+        assert!((inlet.flux + outlet.flux).abs() < 1e-12);
+        assert!(v.port_flux_imbalance() < 1e-12);
+        // hemispherical cap at peak 1: flux ≈ π r²/2 (r = 1), up to the
+        // max-node rim underestimate at this resolution (a few percent)
+        let analytic = std::f64::consts::FRAC_PI_2;
+        assert!(
+            (inlet.flux - analytic).abs() / analytic < 0.2,
+            "inlet flux {} vs analytic {analytic}",
+            inlet.flux
         );
     }
 

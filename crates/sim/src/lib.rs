@@ -8,6 +8,10 @@
 //! Modules:
 //! - [`stepper`]: the time-step algorithm of §2.2;
 //! - [`domain`]: vessel state, inlet/outlet ports, boundary conditions;
+//! - [`network`]: branched vascular networks with flux-balanced N-port
+//!   boundary conditions;
+//! - [`physio`]: physiology observables (apparent viscosity, cell-free
+//!   layer, branch hematocrit split);
 //! - [`fill`]: the vessel-filling procedure of §5.1;
 //! - [`timers`]: component timers;
 //! - [`checkpoint`]: bit-exact checkpoint/restart for long runs.
@@ -18,6 +22,8 @@ pub mod caches;
 pub mod checkpoint;
 pub mod domain;
 pub mod fill;
+pub mod network;
+pub mod physio;
 pub mod stepper;
 pub mod timers;
 
@@ -25,5 +31,10 @@ pub use caches::{refined_surface, surface_cache_stats, SurfaceCacheStats};
 pub use checkpoint::{simulation_from_checkpoint, vessel_digest, Checkpoint};
 pub use domain::{Port, Vessel};
 pub use fill::{cells_from_seeds, fill_seeds, fill_seeds_packed, Seed};
+pub use network::{vessel_from_network, NetworkSpec, SegmentSpec};
+pub use physio::{
+    apparent_viscosity, branch_hematocrit, cell_free_layer, membrane_drag_power, tube_dimensions,
+    BranchSplit,
+};
 pub use stepper::{DtControl, DtState, SimConfig, Simulation, StepStats};
 pub use timers::{timed, StepTimers};

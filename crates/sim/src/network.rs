@@ -1,0 +1,477 @@
+//! Vascular network vessels: branched geometries with flux-balanced
+//! multi-port boundary conditions (§5.1 generalized to N ports).
+//!
+//! A [`NetworkSpec`] describes a junction as segments radiating from a
+//! center, each carrying a *prescribed flux* (positive into the domain).
+//! [`vessel_from_network`] composes the closed surface through
+//! [`patch::branched_network`] and builds a [`Vessel`] whose boundary
+//! condition applies the rim-smooth quartic port profile of
+//! [`Vessel::new`] *per quadrature node*: node→port membership is
+//! geometric (behind the branch cap seam, within the cap cylinder) rather
+//! than patch-kind based, because at practical template resolutions no
+//! whole patch lies inside a port cap.
+//!
+//! Flux balance is enforced twice:
+//! - at **build time**, [`NetworkSpec::validate`] rejects manifests whose
+//!   fluxes do not sum to zero (an interior Stokes problem with net influx
+//!   has no solution — the right-hand side would be inconsistent);
+//! - **per step**, the stepper records [`Vessel::port_flux_imbalance`]
+//!   into `StepStats::flux_imbalance`, and each port's *discrete* flux is
+//!   made exact here by scaling its profile with the ratio of prescribed
+//!   to raw quadrature flux — so the recorded imbalance stays at rounding
+//!   level no matter how coarse the cap quadrature is.
+
+use crate::domain::{build_meshes, interior_volume, Port, Vessel};
+use bie::{BieOptions, DoubleLayerSolver};
+use kernels::{StokesDL, StokesEquiv};
+use linalg::Vec3;
+use patch::BranchSpec;
+
+/// One branch of a network manifest: geometry plus prescribed flux.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentSpec {
+    /// Outward branch direction from the junction center.
+    pub axis: Vec3,
+    /// Junction center → cap seam distance.
+    pub length: f64,
+    /// Branch tube radius.
+    pub radius: f64,
+    /// Prescribed volumetric flux through the branch port, positive *into*
+    /// the domain (inflow) and negative out of it (outflow).
+    pub flux: f64,
+}
+
+/// A junction manifest: segments around a center, plus the geometric
+/// composition knobs forwarded to [`patch::branched_network`].
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Junction center.
+    pub center: Vec3,
+    /// The branches (port id = branch index).
+    pub segments: Vec<SegmentSpec>,
+    /// Junction blend length `k` (see [`patch::branched_network`]).
+    pub smoothing: f64,
+    /// Per-face subdivision of the cube-sphere template.
+    pub per_face: usize,
+    /// Patch polynomial/quadrature order.
+    pub q: usize,
+}
+
+impl NetworkSpec {
+    /// Checks the flux manifest: every segment must carry a non-zero
+    /// finite flux, at least one inflow and one outflow must exist, and
+    /// the fluxes must sum to zero (relative to their total magnitude).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.len() < 2 {
+            return Err(format!(
+                "network needs at least 2 segments, got {}",
+                self.segments.len()
+            ));
+        }
+        let mut sum = 0.0;
+        let mut mag = 0.0;
+        for (i, s) in self.segments.iter().enumerate() {
+            if !(s.flux.is_finite() && s.flux != 0.0) {
+                return Err(format!(
+                    "segment {i}: flux must be non-zero and finite, got {}",
+                    s.flux
+                ));
+            }
+            sum += s.flux;
+            mag += s.flux.abs();
+        }
+        if !self.segments.iter().any(|s| s.flux > 0.0) {
+            return Err("network has no inflow segment (all fluxes negative)".to_string());
+        }
+        if !self.segments.iter().any(|s| s.flux < 0.0) {
+            return Err("network has no outflow segment (all fluxes positive)".to_string());
+        }
+        if sum.abs() > 1e-12 * mag {
+            return Err(format!(
+                "port fluxes do not balance: sum {sum:e} against total magnitude \
+                 {mag:e} — prescribe fluxes summing to zero (net influx has no \
+                 interior Stokes solution)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Quartic rim-smooth port profile (see [`Vessel::new`] for its analytic
+/// flux properties on flat and hemispherical caps).
+fn quartic(rho: f64) -> f64 {
+    let s = (1.0 - rho * rho).max(0.0);
+    1.5 * s * s
+}
+
+/// Builds a [`Vessel`] from a network manifest: composed branched surface,
+/// node-level flux-balanced port boundary conditions, collision meshes,
+/// and interior volume. See the module docs for the two-level flux-balance
+/// enforcement; errors on invalid manifests, non-star-shaped geometry,
+/// overlapping port caps, and ports left without quadrature nodes.
+pub fn vessel_from_network(
+    spec: &NetworkSpec,
+    mu: f64,
+    opts: BieOptions,
+    col_m: usize,
+) -> Result<Vessel, String> {
+    spec.validate()?;
+    let branches: Vec<BranchSpec> = spec
+        .segments
+        .iter()
+        .map(|s| BranchSpec {
+            axis: s.axis,
+            length: s.length,
+            radius: s.radius,
+            is_inlet: s.flux > 0.0,
+        })
+        .collect();
+    let surface = patch::branched_network(
+        spec.center,
+        &branches,
+        spec.smoothing,
+        spec.per_face,
+        spec.q,
+    )?;
+    let solver = DoubleLayerSolver::new(surface, StokesDL, StokesEquiv { mu }, opts);
+    let quad = &solver.quad;
+    let dirs: Vec<Vec3> = spec
+        .segments
+        .iter()
+        .map(|s| s.axis * (1.0 / s.axis.norm()))
+        .collect();
+
+    // node → port membership: behind the cap seam, within the cap
+    // cylinder. Ambiguity (a node on two caps) means the branch caps
+    // overlap — a manifest error, not something to resolve silently.
+    let mut port_of: Vec<Option<usize>> = vec![None; quad.len()];
+    for (l, slot) in port_of.iter_mut().enumerate() {
+        let x = quad.points[l] - spec.center;
+        for (bi, (d, s)) in dirs.iter().zip(&spec.segments).enumerate() {
+            let t = x.dot(*d);
+            let ray = (x - *d * t).norm();
+            if t > s.length && ray < 1.5 * s.radius {
+                if let Some(prev) = *slot {
+                    return Err(format!(
+                        "quadrature node lies on two port caps (branches {prev} \
+                         and {bi}) — branch caps overlap; lengthen the branches \
+                         or widen their angles"
+                    ));
+                }
+                *slot = Some(bi);
+            }
+        }
+    }
+
+    // per-port rim radius and area-weighted cap centroid. Unlike
+    // [`Vessel::new`] — which must estimate the rim as the largest node
+    // distance from the axis because it only sees patch kinds — the branch
+    // radius is known analytically here, and the cap is an exact capsule
+    // hemisphere, so the profile's rim is the true cap seam (a max-node
+    // estimate under-shoots by O(h²) at coarse template resolutions,
+    // squeezing the profile and biasing the cap flux low)
+    let nb = spec.segments.len();
+    let rim: Vec<f64> = spec.segments.iter().map(|s| s.radius).collect();
+    let mut centroid = vec![Vec3::ZERO; nb];
+    let mut cap_area = vec![0.0f64; nb];
+    for (l, port) in port_of.iter().enumerate() {
+        let Some(bi) = *port else { continue };
+        centroid[bi] += quad.points[l] * quad.weights[l];
+        cap_area[bi] += quad.weights[l];
+    }
+    for (bi, s) in spec.segments.iter().enumerate() {
+        if cap_area[bi] == 0.0 {
+            return Err(format!(
+                "port {bi} (axis {:?}) has no quadrature nodes — raise per_face \
+                 or the patch order",
+                s.axis
+            ));
+        }
+        centroid[bi] /= cap_area[bi];
+    }
+
+    // raw discrete flux of the unit-peak quartic through each cap
+    // (positive: the profile is directed along −axis, i.e. inward), then
+    // scale each port so its discrete flux equals the prescription exactly
+    let mut raw = vec![0.0f64; nb];
+    for (l, port) in port_of.iter().enumerate() {
+        let Some(bi) = *port else { continue };
+        let x = quad.points[l] - spec.center;
+        let t = x.dot(dirs[bi]);
+        let ray = (x - dirs[bi] * t).norm();
+        raw[bi] += dirs[bi].dot(quad.normals[l]) * quartic(ray / rim[bi]) * quad.weights[l];
+    }
+    let mut scale = vec![0.0f64; nb];
+    for (bi, s) in spec.segments.iter().enumerate() {
+        if raw[bi] <= 0.0 {
+            return Err(format!(
+                "port {bi} raw cap flux {} is not positive — cap normals are \
+                 not aligned with the branch axis (degenerate geometry)",
+                raw[bi]
+            ));
+        }
+        scale[bi] = s.flux / raw[bi];
+    }
+    let mut bc = vec![0.0; quad.len() * 3];
+    for l in 0..quad.len() {
+        let Some(bi) = port_of[l] else { continue };
+        let x = quad.points[l] - spec.center;
+        let t = x.dot(dirs[bi]);
+        let ray = (x - dirs[bi] * t).norm();
+        let u = dirs[bi] * (-scale[bi] * quartic(ray / rim[bi]));
+        bc[l * 3] = u.x;
+        bc[l * 3 + 1] = u.y;
+        bc[l * 3 + 2] = u.z;
+    }
+
+    let ports: Vec<Port> = spec
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(bi, s)| Port {
+            id: bi as u32,
+            is_inlet: s.flux > 0.0,
+            center: centroid[bi],
+            inward: -dirs[bi],
+            radius: rim[bi],
+            flux: s.flux,
+        })
+        .collect();
+
+    let meshes = build_meshes(&solver.surface, col_m);
+    let volume = interior_volume(quad);
+
+    Ok(Vessel {
+        solver,
+        bc,
+        meshes,
+        ports,
+        volume,
+        mu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn y_spec() -> NetworkSpec {
+        let up = Vec3::new(-1.0, 0.6, 0.0).normalized();
+        let dn = Vec3::new(-1.0, -0.6, 0.0).normalized();
+        NetworkSpec {
+            center: Vec3::ZERO,
+            segments: vec![
+                SegmentSpec {
+                    axis: Vec3::new(1.0, 0.0, 0.0),
+                    length: 1.6,
+                    radius: 0.5,
+                    flux: 1.0,
+                },
+                SegmentSpec {
+                    axis: up,
+                    length: 1.5,
+                    radius: 0.4,
+                    flux: -0.55,
+                },
+                SegmentSpec {
+                    axis: dn,
+                    length: 1.5,
+                    radius: 0.4,
+                    flux: -0.45,
+                },
+            ],
+            smoothing: 0.15,
+            per_face: 2,
+            q: 8,
+        }
+    }
+
+    fn dense_opts() -> BieOptions {
+        BieOptions {
+            backend: bie::MatvecBackend::Dense,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn balanced_y_manifest_builds_with_exact_port_fluxes() {
+        let v = vessel_from_network(&y_spec(), 1.0, dense_opts(), 6).unwrap();
+        assert_eq!(v.ports.len(), 3);
+        let fluxes = v.port_fluxes();
+        assert_eq!(fluxes, vec![1.0, -0.55, -0.45]);
+        assert!(v.ports[0].is_inlet && !v.ports[1].is_inlet && !v.ports[2].is_inlet);
+        // the recorded Port.flux values are the prescription; the *live*
+        // discrete fluxes must match them: recompute per port from bc
+        let quad = &v.solver.quad;
+        for port in &v.ports {
+            let axis = -port.inward;
+            let mut f = 0.0;
+            for l in 0..quad.len() {
+                let x = quad.points[l] - y_spec().center;
+                let t = x.dot(axis);
+                let ray = (x - axis * t).norm();
+                let on = t > y_spec().segments[port.id as usize].length
+                    && ray < 1.5 * y_spec().segments[port.id as usize].radius;
+                if on {
+                    let u = Vec3::new(v.bc[l * 3], v.bc[l * 3 + 1], v.bc[l * 3 + 2]);
+                    f -= u.dot(quad.normals[l]) * quad.weights[l];
+                }
+            }
+            assert!(
+                (f - port.flux).abs() < 1e-12,
+                "port {}: discrete flux {f} vs prescribed {}",
+                port.id,
+                port.flux
+            );
+        }
+        // total imbalance at rounding level (ISSUE acceptance: < 1e-6;
+        // the per-port exact scaling puts it at machine epsilon)
+        assert!(
+            v.port_flux_imbalance() < 1e-13,
+            "imbalance {}",
+            v.port_flux_imbalance()
+        );
+        // walls are no-slip
+        for l in 0..quad.len() {
+            let x = quad.points[l];
+            if x.norm() < 1.0 {
+                assert_eq!(v.bc[l * 3], 0.0);
+            }
+        }
+    }
+
+    /// The quartic's hemispherical-cap flux identity at the *discrete*
+    /// level: each network port cap is an exact capsule hemisphere (the
+    /// blend correction underflows far from the junction), so the raw
+    /// unit-peak quartic flux through the cap quadrature must match the
+    /// analytic `π r²/2` — the same value as on a flat disk, which is
+    /// what makes the 3/2 normalization exact on both cap shapes.
+    #[test]
+    fn hemispherical_cap_quartic_flux_matches_analytic() {
+        // per_face = 3: the cap quadrature does not conform to the cap
+        // boundary, so the discrete flux of the C¹ integrand converges
+        // with the template resolution (2.8% off at per_face = 2, under
+        // 2% at 3); the *prescribed* flux is exact at any resolution via
+        // the per-port scaling
+        let mut spec = y_spec();
+        spec.per_face = 3;
+        let v = vessel_from_network(&spec, 1.0, dense_opts(), 6).unwrap();
+        let quad = &v.solver.quad;
+        for port in &v.ports {
+            let seg = spec.segments[port.id as usize];
+            let axis = -port.inward;
+            let mut raw = 0.0;
+            for l in 0..quad.len() {
+                let x = quad.points[l] - spec.center;
+                let t = x.dot(axis);
+                let ray = (x - axis * t).norm();
+                if t > seg.length && ray < 1.5 * seg.radius {
+                    let s = (1.0 - (ray / port.radius).powi(2)).max(0.0);
+                    raw += axis.dot(quad.normals[l]) * 1.5 * s * s * quad.weights[l];
+                }
+            }
+            let analytic = 0.5 * PI * seg.radius * seg.radius;
+            assert!(
+                (raw - analytic).abs() / analytic < 0.02,
+                "port {}: raw quartic cap flux {raw} vs analytic {analytic}",
+                port.id
+            );
+        }
+    }
+
+    #[test]
+    fn unbalanced_manifest_rejected_with_clear_error() {
+        let mut spec = y_spec();
+        spec.segments[2].flux = -0.2; // sum = +0.25
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.contains("do not balance") && err.contains("summing to zero"),
+            "unhelpful error: {err}"
+        );
+        // and the builder refuses it too
+        assert!(vessel_from_network(&spec, 1.0, dense_opts(), 6).is_err());
+    }
+
+    #[test]
+    fn all_in_or_all_out_manifests_rejected() {
+        let mut spec = y_spec();
+        for s in &mut spec.segments {
+            s.flux = s.flux.abs();
+        }
+        assert!(spec.validate().unwrap_err().contains("no outflow"));
+        for s in &mut spec.segments {
+            s.flux = -s.flux;
+        }
+        assert!(spec.validate().unwrap_err().contains("no inflow"));
+        let mut spec = y_spec();
+        spec.segments[0].flux = 0.0;
+        assert!(spec.validate().unwrap_err().contains("non-zero"));
+    }
+
+    #[test]
+    fn overlapping_port_caps_rejected() {
+        // two inflow branches 15° apart: their cap cylinders overlap, so
+        // some cap node sits on both — must fail with the ambiguity error
+        // rather than silently double-prescribing the velocity
+        let a = 7.5f64.to_radians();
+        let spec = NetworkSpec {
+            center: Vec3::ZERO,
+            segments: vec![
+                SegmentSpec {
+                    axis: Vec3::new(a.cos(), a.sin(), 0.0),
+                    length: 2.0,
+                    radius: 0.5,
+                    flux: 0.5,
+                },
+                SegmentSpec {
+                    axis: Vec3::new(a.cos(), -a.sin(), 0.0),
+                    length: 2.0,
+                    radius: 0.5,
+                    flux: 0.5,
+                },
+                SegmentSpec {
+                    axis: Vec3::new(-1.0, 0.0, 0.0),
+                    length: 2.0,
+                    radius: 0.6,
+                    flux: -1.0,
+                },
+            ],
+            smoothing: 0.1,
+            per_face: 2,
+            q: 8,
+        };
+        let err = match vessel_from_network(&spec, 1.0, dense_opts(), 6) {
+            Err(e) => e,
+            Ok(_) => panic!("overlapping caps accepted"),
+        };
+        assert!(
+            err.contains("overlap") || err.contains("star-shaped"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn network_vessel_volume_reasonable() {
+        // three branch capsule halves minus overlap: must land between the
+        // largest single branch and the sum of all three
+        let spec = y_spec();
+        let v = vessel_from_network(&spec, 1.0, dense_opts(), 6).unwrap();
+        let single: f64 = spec
+            .segments
+            .iter()
+            .map(|s| PI * s.radius * s.radius * s.length)
+            .fold(0.0, f64::max);
+        let total: f64 = spec
+            .segments
+            .iter()
+            .map(|s| PI * s.radius * s.radius * s.length + 0.5 * 4.0 / 3.0 * PI * s.radius.powi(3))
+            .sum();
+        assert!(
+            v.volume > single && v.volume < 1.5 * total,
+            "volume {} outside ({single}, {})",
+            v.volume,
+            1.5 * total
+        );
+    }
+}

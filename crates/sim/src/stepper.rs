@@ -187,6 +187,12 @@ pub struct StepStats {
     /// Target-only replans of the persistent wall FMM during this step
     /// (one per `eval_at` call on the FMM backend; 0 on the dense path).
     pub wall_fmm_replans: usize,
+    /// Net flux of the vessel boundary condition through the surface
+    /// ([`Vessel::port_flux_imbalance`]) at the step's boundary solve —
+    /// machine-epsilon-sized for a well-posed port manifest, 0 for
+    /// free-space steps. Asserted per step by
+    /// `sim-driver --assert-flux-balance`.
+    pub flux_imbalance: f64,
 }
 
 /// The simulation state: cells in an optional vessel.
@@ -665,6 +671,7 @@ impl Simulation {
             stats.bie_iterations = bie_iters;
             stats.bie_converged = bie_converged;
             stats.bie_residual = bie_residual;
+            stats.flux_imbalance = vessel.port_flux_imbalance();
             let (builds, replans) = vessel.solver.take_eval_fmm_counters();
             stats.wall_fmm_builds = builds as usize;
             stats.wall_fmm_replans = replans as usize;

@@ -111,6 +111,19 @@ cargo run --release -q -p driver -- vessel_flow --steps 2 \
     --set fill_h=1.5 --no-output --quiet --assert-bie-below 30 \
     --assert-fmm-rebuilds 1
 
+echo "== network smoke (bifurcation, 1 step, flux-balanced 3-port BCs + FMM backend)"
+# one step of the Y-bifurcation (the branched-network scenario family)
+# through the FMM matvec backend: asserts the three prescribed port
+# fluxes cancel in the committed step to well below the 1e-6 acceptance
+# tolerance (the discrete quadrature balances them to roundoff — see
+# driver/tests/network.rs for the roundoff-tight pin) and that every
+# cell ends finite, so a regression in the N-port BC assembly or the
+# junction blend fails here in seconds
+cargo run --release -q -p driver -- bifurcation --steps 1 \
+    --set patch_order=6 --set order=6 \
+    --set bie_backend=fmm --set bie_qf=6 \
+    --no-output --quiet --assert-flux-balance 1e-6
+
 echo "== driver smoke run (shear_pair, 2 steps at --threads 2 + checkpoint restart)"
 # the first leg runs the real-parallel step path (--threads 2) so the CI
 # gate exercises multi-worker dispatch end to end; the restart leg runs at
